@@ -1,0 +1,64 @@
+"""Figure 20: standalone TPC-H benchmark — Accordion vs Presto vs
+Prestissimo on a single node.
+
+Paper shape: Accordion tracks Prestissimo closely on every query and both
+clearly beat Presto (the C++-vs-Java gap); all three return identical
+results.
+"""
+
+import pytest
+
+from repro.data.tpch.queries import STANDALONE_BENCHMARK
+from repro.experiments import standalone_engine
+
+from conftest import emit_table, once
+
+SCALE = 0.005
+MODES = ("accordion", "presto", "prestissimo")
+
+
+def _run_all():
+    times: dict[str, dict[str, float]] = {m: {} for m in MODES}
+    rows: dict[str, dict[str, list]] = {m: {} for m in MODES}
+    for mode in MODES:
+        engine = standalone_engine(mode, scale=SCALE)
+        for name, sql in STANDALONE_BENCHMARK.items():
+            result = engine.execute(sql, max_virtual_seconds=1e6)
+            times[mode][name] = result.elapsed_seconds
+            rows[mode][name] = sorted(map(repr, result.rows))
+    return times, rows
+
+
+def test_fig20_standalone_tpch(benchmark):
+    times, rows = once(benchmark, _run_all)
+
+    table = []
+    for name in STANDALONE_BENCHMARK:
+        table.append(
+            [
+                name,
+                f"{times['accordion'][name]:.2f}",
+                f"{times['presto'][name]:.2f}",
+                f"{times['prestissimo'][name]:.2f}",
+                f"{times['presto'][name] / times['accordion'][name]:.2f}x",
+            ]
+        )
+    emit_table(
+        "Figure 20: standalone TPC-H (virtual seconds, single node)",
+        ["Query", "Accordion", "Presto", "Prestissimo", "Presto/Accordion"],
+        table,
+    )
+    benchmark.extra_info["times"] = {
+        m: {q: round(t, 3) for q, t in qs.items()} for m, qs in times.items()
+    }
+
+    for name in STANDALONE_BENCHMARK:
+        # Paper shape 1: Presto is distinctly slower than Accordion.
+        assert times["presto"][name] > 1.3 * times["accordion"][name], name
+        # Paper shape 2: Accordion is comparable to Prestissimo.
+        ratio = times["accordion"][name] / times["prestissimo"][name]
+        assert 0.6 < ratio < 1.6, (name, ratio)
+        # All engines agree on the answers.
+        assert (
+            rows["accordion"][name] == rows["presto"][name] == rows["prestissimo"][name]
+        ), name

@@ -1,0 +1,131 @@
+"""Figure 26 + Table 2: partitioned hash join DOP switching on Q2J.
+
+The two-way join (Figure 15) starts at stage DOP 2 and is switched
+2 -> 4 -> 6, with a final request rejected when the remaining time falls
+below T_build.  Table 2 reports the per-switch state transfer breakdown
+(total = shuffle + build); the paper's key trend is that the transfer
+gets *cheaper* as the DOP grows (more nodes share the reshuffle work).
+"""
+
+from repro import AccordionEngine, EngineConfig, QueryOptions
+from repro.config import CostModel
+from repro.data.tpch.queries import QUERIES
+from repro.errors import TuningRejected
+
+from conftest import emit, emit_stage_curves, emit_table, norm_rows, once
+
+
+def make_engine(catalog):
+    config = EngineConfig(cost=CostModel().scaled(1000.0), page_row_limit=256)
+    return AccordionEngine(catalog, config=config)
+
+
+def options():
+    return QueryOptions(join_distribution="partitioned", initial_stage_dop=2)
+
+
+def builds_ready(query):
+    active = query.stages[1].active_group
+    return bool(active) and all(b.ready for t in active for b in t.bridges)
+
+
+def test_fig26_table2_dop_switching(benchmark, eval_catalog):
+    def experiment():
+        untuned = make_engine(eval_catalog).execute(
+            QUERIES["Q2J"], options(), max_virtual_seconds=1e6
+        )
+
+        engine = make_engine(eval_catalog)
+        query = engine.submit(QUERIES["Q2J"], options())
+        elastic = engine.elastic(query)
+        switches = []
+        rejected = []
+        for target in (4, 6):
+            engine.kernel.run(
+                until=engine.now + 1e5,
+                stop_when=lambda: builds_ready(query) or query.finished,
+            )
+            if query.finished:
+                break
+            try:
+                result = elastic.ap(1, target)
+                engine.kernel.run(
+                    until=engine.now + 1e5,
+                    stop_when=lambda: result.completed_at is not None or query.finished,
+                )
+                switches.append(result)
+            except TuningRejected as exc:
+                rejected.append((target, exc.reason))
+        # A final, late request: let the query get close to done first.
+        engine.kernel.run(
+            until=engine.now + 1e5,
+            stop_when=lambda: query.finished
+            or (
+                (r := elastic.remaining_time(1)) is not None
+                and 0 < r < query.stages[1].max_build_seconds()
+            ),
+        )
+        if not query.finished:
+            try:
+                elastic.ap(1, 8)
+            except TuningRejected as exc:
+                rejected.append((8, exc.reason))
+        engine.run_until_done(query, 1e6)
+        return untuned, query, switches, rejected
+
+    untuned, query, switches, rejected = once(benchmark, experiment)
+
+    emit_stage_curves(
+        "Figure 26: Q2J stage throughput under DOP switching",
+        query,
+        stages=[1, 2, 3],
+    )
+    emit_table(
+        "Table 2: state transfer details of Q2J (virtual seconds)",
+        ["DOP switching", "Total time", "Shuffle time", "Build time"],
+        [
+            [
+                f"{s.request.target // 2 * 2 - 2 or 2} -> {s.request.target}",
+                f"{s.total_seconds:.2f}",
+                f"{s.shuffle_seconds:.2f}",
+                f"{s.build_seconds:.2f}",
+            ]
+            for s in switches
+        ],
+    )
+    reduction = 100.0 * (1 - query.elapsed / untuned.elapsed_seconds)
+    emit(
+        "Figure 26: outcome",
+        f"untuned {untuned.elapsed_seconds:.1f}s -> switched {query.elapsed:.1f}s "
+        f"({reduction:.1f}% reduction; paper: 56.16%)\n"
+        f"rejected requests: {rejected}",
+    )
+    benchmark.extra_info.update(
+        reduction_pct=round(reduction, 1),
+        switches=[
+            {
+                "target": s.request.target,
+                "total": round(s.total_seconds, 3),
+                "shuffle": round(s.shuffle_seconds, 3),
+                "build": round(s.build_seconds, 3),
+            }
+            for s in switches
+        ],
+    )
+
+    # Correctness under switching.
+    assert norm_rows(query.result().rows()) == norm_rows(untuned.rows)
+    # Both switches were applied and completed.
+    assert len(switches) == 2
+    for s in switches:
+        assert s.total_seconds is not None and s.total_seconds > 0
+        assert s.shuffle_seconds > 0 and s.build_seconds > 0
+        assert s.total_seconds >= s.shuffle_seconds
+    # Table 2 trend: switching to a higher DOP transfers state faster.
+    assert switches[1].total_seconds < switches[0].total_seconds * 1.3
+    # Substantial overall reduction (paper: 56.16%).
+    assert reduction > 25.0
+    # The late request was rejected by the filter.
+    assert any(reason == "remaining-lt-build" for _, reason in rejected) or query.finished
+    # Rebuild markers (yellow dashed lines) recorded for each switch.
+    assert len(query.tracker.markers_of("build_ready")) >= 4

@@ -1,0 +1,116 @@
+"""Figures 27 + 28: the elastic shuffle stage (Section 6.4.2).
+
+Setup: the orders table is stored on only two nodes so the shuffle work
+of the partitioned join (hash-partitioning orders rows to ten join tasks)
+bottlenecks those nodes.  Figure 27 shows the plan after inserting a
+dedicated shuffle stage downstream of the orders scan; Figure 28 shows
+stage throughput rising as the shuffle stage's parallelism is increased —
+until the bottleneck shifts to the join stage and further increases stop
+helping.
+"""
+
+from repro import QueryOptions
+from repro.buffers import OutputMode
+from repro.data.tpch.queries import QUERIES
+from repro.errors import TuningRejected
+from repro.experiments import shuffle_experiment_engine
+
+from conftest import emit, emit_table, norm_rows, once
+
+BASE = dict(join_distribution="partitioned", scan_stage_dop=2, initial_task_dop=6)
+SWEEP = (1, 2, 4, 6, 8)
+
+
+def shuffle_options(shuffle_dop):
+    return QueryOptions(
+        shuffle_stage_tables=frozenset({"orders"}),
+        stage_dops={1: 10, 2: shuffle_dop},
+        **BASE,
+    )
+
+
+def test_fig27_plan_with_shuffle_stage(benchmark):
+    engine = shuffle_experiment_engine()
+    plan = once(
+        benchmark,
+        lambda: engine.coordinator.plan_sql(QUERIES["QSHUFFLE"], shuffle_options(1)),
+    )
+    emit("Figure 27: physical plan after adding the shuffle stage", plan.describe())
+    shuffle = plan.fragment(2)
+    assert shuffle.is_shuffle_stage
+    assert shuffle.output.mode is OutputMode.HASH
+    assert plan.fragment(3).source_table == "orders"
+    assert plan.fragment(3).output.mode is OutputMode.ARBITRARY
+    benchmark.extra_info["stages"] = len(plan.fragments)
+
+
+def test_fig28_shuffle_stage_parallelism_sweep(benchmark):
+    def experiment():
+        times = {}
+        rows = {}
+        for dop in SWEEP:
+            engine = shuffle_experiment_engine()
+            result = engine.execute(
+                QUERIES["QSHUFFLE"], shuffle_options(dop), max_virtual_seconds=1e6
+            )
+            times[dop] = result.elapsed_seconds
+            rows[dop] = norm_rows(result.rows)
+        return times, rows
+
+    times, rows = once(benchmark, experiment)
+    emit_table(
+        "Figure 28: query time vs shuffle-stage DOP (virtual seconds)",
+        ["Shuffle stage DOP", "Execution time", "Speedup vs DOP 1"],
+        [[d, f"{times[d]:.2f}", f"{times[1] / times[d]:.2f}x"] for d in SWEEP],
+    )
+    benchmark.extra_info["times"] = {str(d): round(t, 2) for d, t in times.items()}
+
+    # All configurations agree on the answer.
+    assert all(rows[d] == rows[1] for d in SWEEP)
+    # Throughput rises with shuffle parallelism...
+    assert times[1] > times[4] > 0
+    assert times[1] / times[6] > 1.5
+    # ...and flattens once the join becomes the bottleneck.
+    assert abs(times[8] - times[6]) < 0.35 * times[6]
+
+
+def test_fig28_runtime_shuffle_tuning(benchmark):
+    """The paper's actual experiment tunes S2 *during* execution."""
+
+    def experiment():
+        engine = shuffle_experiment_engine()
+        query = engine.submit(QUERIES["QSHUFFLE"], shuffle_options(1))
+        elastic = engine.elastic(query)
+        applied = []
+        for time, target in ((4.0, 4), (8.0, 8)):
+            engine.kernel.run(until=time, stop_when=lambda: query.finished)
+            if query.finished:
+                break
+            try:
+                elastic.ap(2, target)
+                applied.append(target)
+            except TuningRejected:
+                pass
+        engine.run_until_done(query, 1e6)
+
+        static = shuffle_experiment_engine().execute(
+            QUERIES["QSHUFFLE"], shuffle_options(1), max_virtual_seconds=1e6
+        )
+        return query, applied, static
+
+    query, applied, static = once(benchmark, experiment)
+    reduction = 100.0 * (1 - query.elapsed / static.elapsed_seconds)
+    emit(
+        "Figure 28: runtime shuffle-stage tuning",
+        f"static DOP 1: {static.elapsed_seconds:.1f}s -> runtime-tuned: "
+        f"{query.elapsed:.1f}s ({reduction:.1f}% reduction; paper: 33.19%)\n"
+        f"applied targets: {applied}",
+    )
+    benchmark.extra_info.update(
+        static_s=round(static.elapsed_seconds, 2),
+        tuned_s=round(query.elapsed, 2),
+        reduction_pct=round(reduction, 1),
+    )
+    assert applied, "at least one shuffle-stage DOP increase must be applied"
+    assert norm_rows(query.result().rows()) == norm_rows(static.rows)
+    assert reduction > 20.0

@@ -1,0 +1,122 @@
+"""Figure 30: automatic DOP tuning on Q2 and Q3.
+
+The DOP planning module picks initial DOPs and per-scan time constraints
+for a query deadline; the DOP monitor then tracks scan progress and
+adjusts stage DOPs incrementally — scaling *down* (RP actions) when ahead
+of schedule to shed resources, and up when behind.  For Q3, a new, tighter
+constraint is injected mid-flight (the paper adds "finish S1 within 30 s"
+at ~150 s) and the auto-tuner re-plans.
+"""
+
+import pytest
+
+from repro import AccordionEngine, EngineConfig, QueryOptions
+from repro.autotune import DopPlanner
+from repro.config import CostModel
+from repro.data.tpch.queries import QUERIES
+
+from conftest import emit, once
+
+
+def make_engine(catalog):
+    config = EngineConfig(cost=CostModel().scaled(1000.0), page_row_limit=256)
+    return AccordionEngine(catalog, config=config)
+
+
+def run_autotuned(catalog, sql, deadline, midflight=None):
+    engine = make_engine(catalog)
+    plan = engine.coordinator.plan_sql(sql, QueryOptions())
+    dop_plan = DopPlanner(catalog, engine.config).plan(plan, deadline)
+    query = engine.submit(
+        sql,
+        QueryOptions(
+            initial_stage_dop=max(2, dop_plan.initial_stage_dop),
+            initial_task_dop=dop_plan.initial_task_dop,
+        ),
+    )
+    elastic = engine.elastic(query)
+    for scan_stage, scan_deadline in dop_plan.scan_deadlines.items():
+        elastic.set_constraint(scan_stage, scan_deadline)
+    elastic.start_monitor(period=2.0)
+    if midflight is not None:
+        at, stage, seconds = midflight
+        engine.kernel.run(until=at, stop_when=lambda: query.finished)
+        if not query.finished:
+            elastic.set_constraint(stage, seconds)
+    engine.run_until_done(query, 1e6)
+    return query, elastic, dop_plan
+
+
+def summarize(tag, query, elastic, deadline):
+    ups = [r for r in elastic.tuner.applied if "AP" in r.request.describe() or r.request.target > 1]
+    lines = [
+        f"deadline {deadline:.0f}s -> finished at {query.elapsed:.1f}s",
+        "actions: "
+        + (", ".join(
+            f"{r.request.describe()}@{r.issued_at:.0f}s" for r in elastic.tuner.applied
+        ) or "(none)"),
+        f"constraint markers: {len(query.tracker.markers_of('constraint'))}",
+    ]
+    emit(tag, "\n".join(lines))
+
+
+def test_fig30a_q2_auto_tuning(benchmark, small_catalog):
+    untuned = make_engine(small_catalog).execute(QUERIES["Q2"], max_virtual_seconds=1e6)
+    deadline = untuned.elapsed_seconds * 3  # a comfortably loose target
+
+    query, elastic, dop_plan = once(
+        benchmark, lambda: run_autotuned(small_catalog, QUERIES["Q2"], deadline)
+    )
+    summarize("Figure 30a: Q2 automatic DOP tuning", query, elastic, deadline)
+    benchmark.extra_info.update(
+        deadline_s=round(deadline, 1), finished_s=round(query.elapsed, 1)
+    )
+
+    # The deadline was met.
+    assert query.elapsed <= deadline
+    # The planner produced per-scan constraints in dependency order.
+    assert len(dop_plan.scan_deadlines) >= 1
+    # With a loose deadline the monitor sheds resources (RP actions).
+    reductions = [
+        r
+        for r in elastic.tuner.applied
+        if r.request.target < max(2, dop_plan.initial_stage_dop)
+    ]
+    assert reductions, "expected RP actions while ahead of schedule"
+
+
+def test_fig30b_q3_auto_tuning_with_midflight_constraint(benchmark, small_catalog):
+    untuned = make_engine(small_catalog).execute(QUERIES["Q3"], max_virtual_seconds=1e6)
+    deadline = untuned.elapsed_seconds * 2.5
+
+    def experiment():
+        return run_autotuned(
+            small_catalog,
+            QUERIES["Q3"],
+            deadline,
+            # A much tighter finish-S1-soon constraint arrives mid-flight.
+            midflight=(deadline * 0.25, 1, untuned.elapsed_seconds * 0.05),
+        )
+
+    query, elastic, dop_plan = once(benchmark, experiment)
+    summarize(
+        "Figure 30b: Q3 automatic DOP tuning (mid-flight constraint)",
+        query,
+        elastic,
+        deadline,
+    )
+    benchmark.extra_info.update(
+        deadline_s=round(deadline, 1), finished_s=round(query.elapsed, 1)
+    )
+
+    assert query.elapsed <= deadline
+    # The mid-flight constraint was registered (two markers: initial + new).
+    assert len(query.tracker.markers_of("constraint")) >= 2
+    # The tighter constraint forced the tuner to scale S1 back up (AP).
+    constraint_time = query.tracker.markers_of("constraint")[-1].time
+    increases = [
+        r
+        for r in elastic.tuner.applied
+        if r.issued_at >= constraint_time and r.request.target > 1
+    ]
+    assert increases, "expected AP actions after the tighter constraint"

@@ -1,0 +1,58 @@
+"""Quickstart: run SQL on a simulated Accordion cluster.
+
+Builds an engine over a generated TPC-H database (10 storage + 10 compute
+nodes, as in the paper's testbed), runs a few queries, and prints results
+with their virtual execution times.
+
+    python examples/quickstart.py
+"""
+
+from repro import AccordionEngine
+from repro.metrics import render_table
+
+
+def main() -> None:
+    print("Generating TPC-H data and starting the simulated cluster...")
+    engine = AccordionEngine.tpch(scale=0.01)
+
+    queries = {
+        "row count": "select count(*) from lineitem",
+        "revenue (TPC-H Q6)": """
+            select sum(l_extendedprice * l_discount) as revenue
+            from lineitem
+            where l_shipdate >= date '1994-01-01'
+              and l_shipdate < date '1994-01-01' + interval '1' year
+              and l_discount between 0.05 and 0.07
+              and l_quantity < 24
+        """,
+        "top orders (TPC-H Q3)": """
+            select l_orderkey,
+                   sum(l_extendedprice * (1 - l_discount)) as revenue,
+                   o_orderdate, o_shippriority
+            from customer, orders, lineitem
+            where c_mktsegment = 'BUILDING'
+              and c_custkey = o_custkey and l_orderkey = o_orderkey
+              and o_orderdate < date '1995-03-15'
+              and l_shipdate > date '1995-03-15'
+            group by l_orderkey, o_orderdate, o_shippriority
+            order by revenue desc, o_orderdate
+            limit 5
+        """,
+    }
+
+    for title, sql in queries.items():
+        result = engine.execute(sql)
+        print(f"\n=== {title} ===")
+        print(
+            f"(virtual time {result.elapsed_seconds:.2f}s, "
+            f"init {result.initialization_seconds * 1000:.0f}ms, "
+            f"{result.num_rows} rows)"
+        )
+        print(render_table(result.columns, result.rows[:10]))
+
+    print("\nStage breakdown of the last query:")
+    print(result.query.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without
+the `wheel` package (PEP 660 editable builds need it; the legacy path
+does not). Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Accordion: Intra-Query Runtime Elasticity for cloud-native data analysis.
+
+A full reproduction of the SIGMOD'25 Accordion engine on a discrete-event
+simulated cluster.  Entry point: :class:`repro.AccordionEngine`.
+"""
+
+from .cluster import QueryOptions
+from .config import (
+    BufferConfig,
+    ClusterConfig,
+    CostModel,
+    EngineConfig,
+    NodeSpec,
+    presto_config,
+    prestissimo_config,
+)
+from .engine import AccordionEngine, QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccordionEngine",
+    "BufferConfig",
+    "ClusterConfig",
+    "CostModel",
+    "EngineConfig",
+    "NodeSpec",
+    "QueryOptions",
+    "QueryResult",
+    "presto_config",
+    "prestissimo_config",
+]

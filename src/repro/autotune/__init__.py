@@ -1,0 +1,30 @@
+"""Automatic DOP tuning (paper Section 5)."""
+
+from .bottleneck import Bottleneck, find_bottlenecks
+from .collector import RuntimeInfoCollector, Snapshot, StageSample
+from .filter import TuningRequestFilter
+from .planner import DopPlan, DopPlanner
+from .predictor import Prediction, WhatIfService
+from .progress import probe_scan_stage, remaining_seconds, scan_progress
+from .service import ElasticQuery
+from .tuner import DopAutoTuner, TuningUnit, tuning_units
+
+__all__ = [
+    "Bottleneck",
+    "DopAutoTuner",
+    "DopPlan",
+    "DopPlanner",
+    "ElasticQuery",
+    "Prediction",
+    "RuntimeInfoCollector",
+    "Snapshot",
+    "StageSample",
+    "TuningRequestFilter",
+    "TuningUnit",
+    "WhatIfService",
+    "find_bottlenecks",
+    "probe_scan_stage",
+    "remaining_seconds",
+    "scan_progress",
+    "tuning_units",
+]

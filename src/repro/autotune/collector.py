@@ -1,0 +1,167 @@
+"""Runtime information collector (paper Section 5.1, Figure 18).
+
+Periodically snapshots every task's context and aggregates the samples
+into the query-stage-task hierarchy: per-stage output rows, exchange
+turn-up counters, scan progress, DOPs, plus per-node CPU utilization and
+NIC activity.  The predictor, bottleneck localizer, and auto-tuner all
+read from here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..cluster.cluster import Cluster
+from ..sim import SimKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+
+
+@dataclass
+class StageSample:
+    rows_out: int
+    rows_received: int
+    exchange_turn_up: int
+    stage_dop: int
+    task_dop: int
+    finished: bool
+    scan_rows_remaining: int | None
+    scan_rows_total: int | None
+    max_build_seconds: float
+
+
+@dataclass
+class Snapshot:
+    time: float
+    stages: dict[int, StageSample] = field(default_factory=dict)
+    #: node key -> mean CPU utilization since the previous snapshot.
+    cpu_utilization: dict[str, float] = field(default_factory=dict)
+    #: node key -> NIC busy fraction since the previous snapshot.
+    nic_utilization: dict[str, float] = field(default_factory=dict)
+
+
+class RuntimeInfoCollector:
+    def __init__(
+        self,
+        kernel: SimKernel,
+        query: "QueryExecution",
+        cluster: Cluster,
+        period: float = 0.5,
+        window: int = 64,
+    ):
+        self.kernel = kernel
+        self.query = query
+        self.cluster = cluster
+        self.period = period
+        self.samples: deque[Snapshot] = deque(maxlen=window)
+        self._cpu_marks: dict[str, tuple[float, float]] = {}
+        self._nic_marks: dict[str, float] = {}
+        self._stopped = False
+        self._sample()
+
+    # ------------------------------------------------------------------
+    def _nodes(self):
+        seen = {}
+        for node in self.cluster.compute + self.cluster.storage:
+            seen[f"{node.role}{node.id}"] = node
+        return seen
+
+    def _sample(self) -> None:
+        if self._stopped:
+            return
+        now = self.kernel.now
+        snap = Snapshot(now)
+        for stage_id, stage in self.query.stages.items():
+            feed = stage.split_feed
+            snap.stages[stage_id] = StageSample(
+                rows_out=stage.rows_out(),
+                rows_received=stage.rows_received(),
+                exchange_turn_up=stage.exchange_turn_up(),
+                stage_dop=stage.stage_dop,
+                task_dop=stage.task_dop,
+                finished=stage.finished,
+                scan_rows_remaining=feed.rows_remaining if feed else None,
+                scan_rows_total=feed.total_rows if feed else None,
+                max_build_seconds=stage.max_build_seconds(),
+            )
+        for key, node in self._nodes().items():
+            busy = node.cpu.busy_core_seconds()
+            nic_busy = node.nic.busy_seconds()
+            prev = self._cpu_marks.get(key)
+            if prev is not None:
+                prev_busy, prev_time = prev
+                dt = now - prev_time
+                if dt > 0:
+                    snap.cpu_utilization[key] = (busy - prev_busy) / (
+                        dt * node.cpu.cores
+                    )
+                    prev_nic = self._nic_marks.get(key, 0.0)
+                    snap.nic_utilization[key] = min(1.0, (nic_busy - prev_nic) / dt)
+            self._cpu_marks[key] = (busy, now)
+            self._nic_marks[key] = nic_busy
+        self.samples.append(snap)
+        if self.query.finished:
+            self._stopped = True
+            return
+        self.kernel.schedule(self.period, self._sample)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    def latest(self) -> Snapshot | None:
+        return self.samples[-1] if self.samples else None
+
+    def window_samples(self, seconds: float) -> list[Snapshot]:
+        if not self.samples:
+            return []
+        cutoff = self.samples[-1].time - seconds
+        return [s for s in self.samples if s.time >= cutoff]
+
+    def stage_rate(self, stage_id: int, seconds: float = 3.0) -> float:
+        """Stage output rows/second over the recent window."""
+        window = self.window_samples(seconds)
+        if len(window) < 2:
+            return 0.0
+        first, last = window[0], window[-1]
+        dt = last.time - first.time
+        if dt <= 0 or stage_id not in first.stages:
+            return 0.0
+        return (
+            last.stages[stage_id].rows_out - first.stages[stage_id].rows_out
+        ) / dt
+
+    def scan_consume_rate(self, stage_id: int, seconds: float = 3.0) -> float:
+        """R_consume: rows/second leaving the scan stage's split feed."""
+        window = self.window_samples(seconds)
+        if len(window) < 2:
+            return 0.0
+        first, last = window[0], window[-1]
+        a = first.stages.get(stage_id)
+        b = last.stages.get(stage_id)
+        if a is None or b is None or a.scan_rows_remaining is None:
+            return 0.0
+        dt = last.time - first.time
+        if dt <= 0:
+            return 0.0
+        return max(0.0, (a.scan_rows_remaining - b.scan_rows_remaining) / dt)
+
+    def cluster_cpu_headroom(self) -> tuple[float, float]:
+        """(used core-fraction, idle core-fraction) across compute nodes."""
+        snap = self.latest()
+        if snap is None or not snap.cpu_utilization:
+            return 0.0, 1.0
+        computes = [
+            v for k, v in snap.cpu_utilization.items() if k.startswith("compute")
+        ] or list(snap.cpu_utilization.values())
+        used = sum(computes) / len(computes)
+        return used, max(0.0, 1.0 - used)
+
+    def node_nic_utilization(self) -> dict[str, float]:
+        snap = self.latest()
+        return dict(snap.nic_utilization) if snap else {}

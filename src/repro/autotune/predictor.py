@@ -1,0 +1,109 @@
+"""The what-if service: stage remaining-time prediction (Section 5.3).
+
+For a stage at parallelism ``n1`` asked about parallelism ``n2``:
+
+    n_f = min(n2 / n1, n_f_max)                  (CPU-bounded speedup)
+    T_pred = (T_remain - T_tuning) / n_f + T_tuning
+
+``T_tuning`` is ~0 for stages without joins and ~T_build (hash-table
+reconstruction) for join stages.  ``n_f_max`` is estimated in real time
+from the upstream/cluster CPU headroom so requests like "increase by
+1000x" are tempered (Section 5.3, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .collector import RuntimeInfoCollector
+from .progress import remaining_seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+
+
+@dataclass(frozen=True)
+class Prediction:
+    stage: int
+    current_dop: int
+    target_dop: int
+    t_remain: float
+    t_tuning: float
+    n_f: float
+    t_predicted: float
+
+    def describe(self) -> str:
+        return (
+            f"S{self.stage} {self.current_dop}->{self.target_dop}: "
+            f"T_remain={self.t_remain:.2f}s T_tuning={self.t_tuning:.2f}s "
+            f"n_f={self.n_f:.2f} => T_pred={self.t_predicted:.2f}s"
+        )
+
+
+class WhatIfService:
+    def __init__(self, collector: RuntimeInfoCollector, query: "QueryExecution"):
+        self.collector = collector
+        self.query = query
+
+    # -- inputs -----------------------------------------------------------
+    def remaining_time(self, stage_id: int) -> float | None:
+        return remaining_seconds(self.collector, self.query, stage_id)
+
+    def tuning_time(self, stage_id: int) -> float:
+        """T_tuning: ~0 for stateless stages, ~T_build for join stages."""
+        stage = self.query.stage(stage_id)
+        if not stage.has_join():
+            return 0.0
+        observed = stage.max_build_seconds()
+        return observed
+
+    def max_speedup(self, stage_id: int) -> float:
+        """Upper bound on n_f from cluster CPU headroom."""
+        used, idle = self.collector.cluster_cpu_headroom()
+        if used <= 0.0:
+            return float("inf")
+        return 1.0 + idle / used
+
+    # -- the what-if computation --------------------------------------------
+    def predict(self, stage_id: int, target_dop: int) -> Prediction | None:
+        """Predicted remaining time of ``stage_id`` at ``target_dop``.
+
+        Returns ``None`` while no progress rate is observable yet.
+        """
+        stage = self.query.stage(stage_id)
+        current = max(1, stage.stage_dop)
+        t_remain = self.remaining_time(stage_id)
+        if t_remain is None:
+            return None
+        t_tuning = self.tuning_time(stage_id) if target_dop > current else 0.0
+        requested = target_dop / current
+        n_f = max(1e-9, min(requested, self.max_speedup(stage_id)))
+        if requested <= 1.0:
+            n_f = requested  # slowdowns are not CPU-bounded
+        t_pred = max(0.0, (t_remain - t_tuning)) / n_f + t_tuning
+        return Prediction(
+            stage=stage_id,
+            current_dop=current,
+            target_dop=target_dop,
+            t_remain=t_remain,
+            t_tuning=t_tuning,
+            n_f=n_f,
+            t_predicted=t_pred,
+        )
+
+    def dop_time_list(
+        self, stage_id: int, candidates: list[int] | None = None
+    ) -> list[Prediction]:
+        """Predicted execution times across candidate DOPs (used by the
+        one-time auto-tuner to pick the cheapest DOP meeting a deadline)."""
+        stage = self.query.stage(stage_id)
+        if candidates is None:
+            ceiling = max(2 * stage.stage_dop, 16)
+            candidates = sorted({1, 2, 3, 4, 6, 8, 12, 16, ceiling})
+        out = []
+        for dop in candidates:
+            prediction = self.predict(stage_id, dop)
+            if prediction is not None:
+                out.append(prediction)
+        return out

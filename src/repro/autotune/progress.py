@@ -1,0 +1,71 @@
+"""Query progress estimation from table-scan stages (paper Section 5.2).
+
+Because execution is streaming, intermediate stages pull data from the
+table-scan stages at the rate of their own processing capacity, so the
+scan stage's consumption rate approximates overall progress.  The
+remaining execution time of a stage is estimated from the scan stage that
+feeds (transitively) its probe input:
+
+    T_remain = V_remain / R_consume
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .collector import RuntimeInfoCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+
+
+def probe_scan_stage(query: "QueryExecution", stage_id: int) -> int | None:
+    """The table-scan stage feeding ``stage_id``'s probe input chain.
+
+    Follows ``probe_child`` links down the fragment tree (e.g. Q3's S1 ->
+    S2, S3 -> S4, Figure 21).
+    """
+    current = query.plan.fragment(stage_id)
+    seen = set()
+    while current is not None and current.id not in seen:
+        seen.add(current.id)
+        if current.is_source:
+            return current.id
+        if current.probe_child is None:
+            return None
+        current = query.plan.fragment(current.probe_child)
+    return None
+
+
+def remaining_seconds(
+    collector: RuntimeInfoCollector,
+    query: "QueryExecution",
+    stage_id: int,
+    window: float = 3.0,
+) -> float | None:
+    """T_remain for a stage via its probe-side scan progress.
+
+    Returns ``None`` when no rate is observable yet (query just started).
+    """
+    scan_id = probe_scan_stage(query, stage_id)
+    if scan_id is None:
+        return None
+    scan_stage = query.stages.get(scan_id)
+    if scan_stage is None or scan_stage.split_feed is None:
+        return None
+    if scan_stage.finished:
+        return 0.0
+    v_remain = scan_stage.split_feed.rows_remaining
+    r_consume = collector.scan_consume_rate(scan_id, window)
+    if r_consume <= 0:
+        return None
+    return v_remain / r_consume
+
+
+def scan_progress(query: "QueryExecution", stage_id: int) -> float | None:
+    """Fraction of the probe-side scan completed (the progress bars of the
+    Accordion main UI, which show only table-scan stages)."""
+    scan_id = probe_scan_stage(query, stage_id)
+    if scan_id is None:
+        return None
+    return query.stages[scan_id].scan_progress()

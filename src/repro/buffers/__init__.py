@@ -1,0 +1,22 @@
+"""Buffers: elastic page buffers, task output buffers, local exchanges."""
+
+from .elastic import ElasticPageBuffer, WaiterList
+from .local_exchange import LocalExchange
+from .output import (
+    ConsumerQueue,
+    OutputMode,
+    SharedOutputBuffer,
+    ShuffleOutputBuffer,
+    TaskOutputBuffer,
+)
+
+__all__ = [
+    "ConsumerQueue",
+    "ElasticPageBuffer",
+    "LocalExchange",
+    "OutputMode",
+    "SharedOutputBuffer",
+    "ShuffleOutputBuffer",
+    "TaskOutputBuffer",
+    "WaiterList",
+]

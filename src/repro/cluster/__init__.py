@@ -1,0 +1,19 @@
+"""Simulated cluster: nodes, RPC, scheduler, coordinator, stages."""
+
+from .cluster import Cluster
+from .coordinator import Coordinator, QueryExecution, QueryOptions
+from .node import Node
+from .rpc import RpcTracker
+from .scheduler import Scheduler
+from .stage import StageExecution
+
+__all__ = [
+    "Cluster",
+    "Coordinator",
+    "Node",
+    "QueryExecution",
+    "QueryOptions",
+    "RpcTracker",
+    "Scheduler",
+    "StageExecution",
+]

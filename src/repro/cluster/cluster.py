@@ -1,0 +1,41 @@
+"""Cluster topology: coordinator + storage nodes + compute nodes."""
+
+from __future__ import annotations
+
+from ..config import ClusterConfig
+from ..sim import SimKernel
+from .node import Node
+
+
+class Cluster:
+    """The simulated cluster (paper Section 6.1: 1 coordinator, 10 storage
+    nodes, 10 compute nodes of c5.2xlarge shape by default)."""
+
+    def __init__(self, kernel: SimKernel, config: ClusterConfig, combined: bool = False):
+        """``combined=True`` makes storage and compute the same machines —
+        used for the single-node standalone benchmark (Figure 20)."""
+        self.kernel = kernel
+        self.config = config
+        self.coordinator_node = Node(kernel, 0, config.node, "coordinator")
+        self.compute: list[Node] = [
+            Node(kernel, i, config.node, "compute") for i in range(config.compute_nodes)
+        ]
+        if combined:
+            if config.storage_nodes > config.compute_nodes:
+                raise ValueError("combined cluster needs storage_nodes <= compute_nodes")
+            self.storage = self.compute[: config.storage_nodes]
+        else:
+            self.storage = [
+                Node(kernel, i, config.node, "storage")
+                for i in range(config.storage_nodes)
+            ]
+        self.storage_map: dict[int, Node] = {n.id: n for n in self.storage}
+
+    def least_loaded_compute(self) -> Node:
+        return min(self.compute, key=lambda n: (n.task_count, n.id))
+
+    def compute_node(self, index: int) -> Node:
+        return self.compute[index % len(self.compute)]
+
+    def total_compute_cores(self) -> int:
+        return sum(n.spec.cores for n in self.compute)

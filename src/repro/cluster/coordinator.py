@@ -1,0 +1,198 @@
+"""Coordinator: query lifecycle management.
+
+Parses, analyzes, plans, and schedules queries; collects result pages from
+stage 0; owns the RPC tracker and the per-query throughput tracker.  The
+runtime DOP tuning module and the auto-tuner (``repro.elastic``,
+``repro.autotune``) plug in on top of the structures created here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..config import EngineConfig
+from ..data import Catalog, SplitLayout
+from ..errors import ExecutionError
+from ..metrics.throughput import ThroughputTracker
+from ..pages import Page, concat_pages
+from ..plan.logical_planner import LogicalPlanner
+from ..plan.optimizer import prune_columns
+from ..plan.physical import PhysicalPlan
+from ..plan.physical_planner import PhysicalPlanner, PlannerOptions
+from ..sim import SimKernel
+from ..sql.parser import parse
+from .cluster import Cluster
+from .rpc import RpcTracker
+from .scheduler import Scheduler
+from .stage import StageExecution
+
+
+@dataclass
+class QueryOptions:
+    """Per-query session options."""
+
+    join_distribution: str = "auto"
+    broadcast_threshold_rows: float = 1e12
+    shuffle_stage_tables: frozenset[str] = frozenset()
+    #: Initial DOPs (None -> engine defaults).
+    initial_stage_dop: int | None = None
+    initial_task_dop: int | None = None
+    scan_stage_dop: int | None = None
+    #: Per-stage initial DOP overrides (stage id -> task count).
+    stage_dops: dict[int, int] = field(default_factory=dict)
+
+    def planner_options(self, config: EngineConfig) -> PlannerOptions:
+        return PlannerOptions(
+            join_distribution=self.join_distribution,
+            broadcast_threshold_rows=self.broadcast_threshold_rows,
+            shuffle_stage_tables=self.shuffle_stage_tables,
+            intermediate_data_cache=config.intermediate_data_cache,
+        )
+
+
+class QueryExecution:
+    """All runtime state of one query."""
+
+    def __init__(
+        self,
+        query_id: int,
+        kernel: SimKernel,
+        sql: str,
+        plan: PhysicalPlan,
+        config: EngineConfig,
+        options: QueryOptions,
+    ):
+        self.id = query_id
+        self.kernel = kernel
+        self.sql = sql
+        self.plan = plan
+        self.config = config
+        self.options = options
+        self.stages: dict[int, StageExecution] = {}
+        self.result_pages: list[Page] = []
+        self.result_rows = 0
+        self.submitted_at = kernel.now
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.init_requests = 0
+        self.tracker: ThroughputTracker | None = None
+        self._done_callbacks: list = []
+
+    # -- results ----------------------------------------------------------
+    def collect_output(self, page: Page) -> None:
+        self.result_pages.append(page)
+        self.result_rows += page.num_rows
+
+    def result(self) -> Page:
+        schema = self.plan.root.schema
+        return concat_pages(schema, self.result_pages)
+
+    def result_rows_list(self) -> list[tuple]:
+        return self.result().rows()
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.kernel.now
+        return end - self.submitted_at
+
+    @property
+    def initialization_seconds(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+    def on_done(self, fn) -> None:
+        if self.finished:
+            fn(self)
+        else:
+            self._done_callbacks.append(fn)
+
+    def task_finished(self, stage: StageExecution, task) -> None:
+        if stage.id == 0 and stage.finished and not self.finished:
+            self.finished_at = self.kernel.now
+            callbacks, self._done_callbacks = self._done_callbacks, []
+            for fn in callbacks:
+                fn(self)
+
+    # -- introspection -----------------------------------------------------
+    def progress(self) -> dict[int, float]:
+        """Scan progress per table-scan stage, in [0, 1].
+
+        The Accordion main UI shows exactly these progress bars: because
+        execution is streaming, table-scan progress is a reliable
+        approximation of overall query progress (paper Section 5.2).
+        """
+        out = {}
+        for stage_id, stage in self.stages.items():
+            value = stage.scan_progress()
+            if value is not None:
+                out[stage_id] = value
+        return out
+
+    def progress_bars(self, width: int = 30) -> str:
+        """ASCII rendering of the main-UI progress tracking box."""
+        lines = []
+        for stage_id, value in sorted(self.progress().items()):
+            filled = int(round(value * width))
+            table = self.stages[stage_id].fragment.source_table or ""
+            lines.append(
+                f"S{stage_id:<3} {table:<10} [{'#' * filled}{'.' * (width - filled)}] "
+                f"{100 * value:5.1f}%"
+            )
+        return "\n".join(lines)
+
+    def stage(self, stage_id: int) -> StageExecution:
+        try:
+            return self.stages[stage_id]
+        except KeyError:
+            raise ExecutionError(f"query {self.id} has no stage {stage_id}") from None
+
+    def describe(self) -> str:
+        lines = [f"query {self.id}: {'finished' if self.finished else 'running'}"]
+        for stage_id in sorted(self.stages):
+            lines.append("  " + self.stages[stage_id].describe())
+        return "\n".join(lines)
+
+
+class Coordinator:
+    def __init__(
+        self,
+        kernel: SimKernel,
+        cluster: Cluster,
+        catalog: Catalog,
+        split_layout: SplitLayout,
+        config: EngineConfig,
+    ):
+        self.kernel = kernel
+        self.cluster = cluster
+        self.catalog = catalog
+        self.split_layout = split_layout
+        self.config = config
+        self.rpc = RpcTracker(kernel, config.cost)
+        self.scheduler = Scheduler(kernel, cluster, config, self.rpc, split_layout)
+        self.queries: dict[int, QueryExecution] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def plan_sql(self, sql: str, options: QueryOptions) -> PhysicalPlan:
+        stmt = parse(sql)
+        logical = prune_columns(LogicalPlanner(self.catalog).plan(stmt))
+        planner = PhysicalPlanner(self.catalog, options.planner_options(self.config))
+        return planner.plan(logical)
+
+    def submit(self, sql: str, options: QueryOptions | None = None) -> QueryExecution:
+        options = options or QueryOptions()
+        plan = self.plan_sql(sql, options)
+        query = QueryExecution(
+            next(self._ids), self.kernel, sql, plan, self.config, options
+        )
+        self.queries[query.id] = query
+        self.scheduler.schedule(query)
+        query.tracker = ThroughputTracker(self.kernel, query)
+        return query

@@ -1,0 +1,24 @@
+"""Simulated cluster nodes: CPU cores + NIC per node."""
+
+from __future__ import annotations
+
+from ..config import NodeSpec
+from ..sim import CpuPool, NicQueue, SimKernel
+
+
+class Node:
+    """One simulated machine (compute or storage)."""
+
+    def __init__(self, kernel: SimKernel, node_id: int, spec: NodeSpec, role: str):
+        self.kernel = kernel
+        self.id = node_id
+        self.spec = spec
+        self.role = role  # "compute" | "storage" | "coordinator"
+        self.cpu = CpuPool(kernel, spec.cores, name=f"{role}{node_id}.cpu")
+        self.nic = NicQueue(
+            kernel, spec.nic_bytes_per_second, name=f"{role}{node_id}.nic"
+        )
+        self.task_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.role}{self.id}, cores={self.spec.cores})"

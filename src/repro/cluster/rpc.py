@@ -1,0 +1,43 @@
+"""Coordinator-side RPC accounting.
+
+Accordion's control plane is RESTful; each request costs 1-10 ms (paper
+Section 6.2 — Q3's initial plan construction issues 65 requests totalling
+~313 ms).  The simulator charges a fixed per-request latency and serialises
+control-plane actions through a virtual RPC clock, so query initialization
+time and tuning-request latency appear in the measurements exactly like in
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import CostModel
+from ..sim import SimKernel
+
+
+class RpcTracker:
+    def __init__(self, kernel: SimKernel, cost: CostModel):
+        self.kernel = kernel
+        self.cost = cost
+        self.total_requests = 0
+        self._clock = 0.0  # virtual time when the control plane frees up
+
+    def after_requests(self, count: int, fn: Callable[[], None]) -> float:
+        """Charge ``count`` requests and run ``fn`` when they complete.
+
+        Returns the absolute virtual time at which ``fn`` fires.
+        """
+        self.total_requests += count
+        start = max(self.kernel.now, self._clock)
+        finish = start + count * self.cost.rpc_request_cost
+        self._clock = finish
+        self.kernel.schedule_at(finish, fn)
+        return finish
+
+    def charge(self, count: int) -> float:
+        """Charge requests without a completion callback."""
+        self.total_requests += count
+        start = max(self.kernel.now, self._clock)
+        self._clock = start + count * self.cost.rpc_request_cost
+        return self._clock

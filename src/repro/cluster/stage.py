@@ -1,0 +1,114 @@
+"""Stage execution state: the tasks of one fragment, plus group tracking
+for partitioned-join DOP switching."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..buffers import OutputMode
+from ..plan.physical import PlanFragment
+from ..plan.pipelines import FragmentLayout, fragment_pipelines
+from ..exec.splits import SplitFeed
+from ..exec.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coordinator import QueryExecution
+
+
+class StageExecution:
+    def __init__(self, query: "QueryExecution", fragment: PlanFragment):
+        self.query = query
+        self.fragment = fragment
+        self.layout: FragmentLayout = fragment_pipelines(fragment)
+        self.tasks: list[Task] = []
+        #: Task groups for DOP switching (Section 4.5): the last group is
+        #: the active one; earlier groups are draining/closed.
+        self.task_groups: list[list[Task]] = []
+        self.split_feed: SplitFeed | None = None
+        self._next_seq = 0
+        #: Virtual times of hash-table-ready events (the yellow dashed
+        #: lines of Figures 24-26).
+        self.build_ready_times: list[float] = []
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def id(self) -> int:
+        return self.fragment.id
+
+    def next_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # -- task views ----------------------------------------------------------
+    @property
+    def active_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if not t.finished]
+
+    @property
+    def active_group(self) -> list[Task]:
+        if self.task_groups:
+            return [t for t in self.task_groups[-1] if not t.finished]
+        return self.active_tasks
+
+    @property
+    def stage_dop(self) -> int:
+        return len(self.active_group) if self.tasks else 0
+
+    @property
+    def task_dop(self) -> int:
+        active = self.active_group
+        if not active:
+            return 0
+        return max(t.tunable_pipeline.active_drivers for t in active)
+
+    @property
+    def finished(self) -> bool:
+        return bool(self.tasks) and all(t.finished for t in self.tasks)
+
+    @property
+    def started(self) -> bool:
+        return bool(self.tasks)
+
+    # -- runtime metrics -----------------------------------------------------
+    def rows_out(self) -> int:
+        if self.fragment.id == 0:
+            return self.query.result_rows
+        return sum(t.output_buffer.rows_out for t in self.tasks)
+
+    def bytes_out(self) -> int:
+        return sum(t.output_buffer.bytes_out for t in self.tasks)
+
+    def exchange_turn_up(self) -> int:
+        return sum(t.info()["exchange_turn_up"] for t in self.tasks)
+
+    def rows_received(self) -> int:
+        return sum(
+            c.rows_received for t in self.tasks for c in t.exchange_clients.values()
+        )
+
+    def max_build_seconds(self) -> float:
+        """Stage T_build = max over its tasks (paper Section 5.2)."""
+        seconds = [b.build_seconds for t in self.tasks for b in t.bridges]
+        return max(seconds, default=0.0)
+
+    def has_join(self) -> bool:
+        return bool(self.layout.bridges)
+
+    @property
+    def is_partitioned_join(self) -> bool:
+        return any(
+            b.join.distribution == "partitioned" for b in self.layout.bridges
+        )
+
+    def scan_progress(self) -> float | None:
+        if self.split_feed is None:
+            return None
+        return self.split_feed.progress
+
+    def describe(self) -> str:
+        kind = "scan" if self.fragment.is_source else "intermediate"
+        return (
+            f"stage {self.id} ({kind}, dop={self.stage_dop}, "
+            f"task_dop={self.task_dop}, rows_out={self.rows_out()})"
+        )

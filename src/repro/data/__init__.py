@@ -1,0 +1,16 @@
+"""Data substrate: tables, catalog, splits, CSV I/O, TPC-H generator."""
+
+from .catalog import Catalog
+from .csvio import read_csv, write_csv
+from .splits import PAPER_SPLIT_SCHEME, SplitLayout, TableSplit
+from .table import Table
+
+__all__ = [
+    "Catalog",
+    "PAPER_SPLIT_SCHEME",
+    "SplitLayout",
+    "Table",
+    "TableSplit",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,45 @@
+"""Catalog: name -> table metadata + data, shared by planner and executor."""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from ..pages import Schema
+from .table import Table
+
+
+class Catalog:
+    """A registry of in-memory tables visible to SQL queries."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table) -> None:
+        self._tables[table.name.lower()] = table
+
+    def register_all(self, tables: dict[str, Table]) -> None:
+        for table in tables.values():
+            self.register(table)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise AnalysisError(f"table not found: {name}") from None
+
+    def schema(self, name: str) -> Schema:
+        return self.table(name).schema
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    @classmethod
+    def tpch(cls, scale: float = 0.01, seed: int = 20250622) -> "Catalog":
+        """Convenience: a catalog holding a generated TPC-H database."""
+        from .tpch.generator import TpchGenerator
+
+        catalog = cls()
+        catalog.register_all(TpchGenerator(scale, seed).tables())
+        return catalog

@@ -1,0 +1,134 @@
+"""Table splits and their placement on storage nodes.
+
+Presto's table-scan tasks consume *system splits* telling them which chunk
+of the base table to read.  The paper (Table 1) partitions each TPC-H
+table into splits spread over the storage nodes — e.g. lineitem at SF100
+is 7 splits on each of 10 nodes.  :class:`SplitLayout` reproduces that
+scheme for any cluster size/scale and is the source of the system splits
+handed to scan tasks by the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util import format_bytes
+from .catalog import Catalog
+from .table import Table
+
+#: Paper Table 1 partitioning scheme: table -> (nodes, splits per node).
+#: ``nodes=None`` means "all storage nodes".
+PAPER_SPLIT_SCHEME: dict[str, tuple[int | None, int]] = {
+    "nation": (1, 1),
+    "region": (1, 1),
+    "supplier": (None, 1),
+    "part": (None, 1),
+    "partsupp": (None, 1),
+    "customer": (None, 1),
+    "orders": (None, 1),
+    "lineitem": (None, 7),
+}
+
+
+@dataclass(frozen=True)
+class TableSplit:
+    """A system split: one contiguous chunk of a base table on a node."""
+
+    table: str
+    split_id: int
+    storage_node: int
+    row_start: int
+    row_stop: int
+    size_bytes: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_stop - self.row_start
+
+
+class SplitLayout:
+    """Partitions catalog tables into splits placed on storage nodes."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        storage_nodes: int,
+        scheme: dict[str, tuple[int | None, int]] | None = None,
+        node_overrides: dict[str, list[int]] | None = None,
+    ):
+        """``node_overrides`` pins a table to an explicit node list — used
+        by the elastic-shuffle experiment, which stores ``orders`` on only
+        two nodes to create a shuffle bottleneck (paper Section 6.4.2)."""
+        if storage_nodes <= 0:
+            raise ValueError("storage_nodes must be positive")
+        self.catalog = catalog
+        self.storage_nodes = storage_nodes
+        self.scheme = dict(PAPER_SPLIT_SCHEME if scheme is None else scheme)
+        self.node_overrides = dict(node_overrides or {})
+        self._splits: dict[str, list[TableSplit]] = {}
+
+    def splits(self, table_name: str) -> list[TableSplit]:
+        """All splits of ``table_name`` (computed once, then cached)."""
+        key = table_name.lower()
+        if key not in self._splits:
+            self._splits[key] = self._partition(self.catalog.table(key))
+        return self._splits[key]
+
+    def _nodes_for(self, table: Table) -> list[int]:
+        if table.name in self.node_overrides:
+            nodes = self.node_overrides[table.name]
+            if any(n < 0 or n >= self.storage_nodes for n in nodes):
+                raise ValueError(f"node override out of range for {table.name}")
+            return list(nodes)
+        node_count, _ = self.scheme.get(table.name, (None, 1))
+        if node_count is None:
+            node_count = self.storage_nodes
+        node_count = min(node_count, self.storage_nodes)
+        return list(range(node_count))
+
+    def _partition(self, table: Table) -> list[TableSplit]:
+        nodes = self._nodes_for(table)
+        _, per_node = self.scheme.get(table.name, (None, 1))
+        total_splits = max(1, len(nodes) * per_node)
+        rows = table.num_rows
+        bytes_per_row = table.size_bytes / max(rows, 1)
+        splits: list[TableSplit] = []
+        for i in range(total_splits):
+            start = rows * i // total_splits
+            stop = rows * (i + 1) // total_splits
+            if start >= stop and rows > 0:
+                continue
+            splits.append(
+                TableSplit(
+                    table=table.name,
+                    split_id=i,
+                    storage_node=nodes[i % len(nodes)],
+                    row_start=start,
+                    row_stop=stop,
+                    size_bytes=int((stop - start) * bytes_per_row),
+                )
+            )
+        if not splits:  # empty table still needs one (empty) split
+            splits.append(TableSplit(table.name, 0, nodes[0], 0, 0, 0))
+        return splits
+
+    def setup_report(self) -> list[dict[str, str]]:
+        """Rows for the paper's Table 1 (partitioning scheme summary)."""
+        rows = []
+        for name in self.scheme:
+            if not self.catalog.has_table(name):
+                continue
+            table = self.catalog.table(name)
+            splits = self.splits(name)
+            nodes = len({s.storage_node for s in splits})
+            per_node = len(splits) // max(nodes, 1)
+            rows.append(
+                {
+                    "table": name.capitalize(),
+                    "partitioning": f"{nodes} node{'s' if nodes > 1 else ''}, "
+                    f"{per_node} split/node",
+                    "table_size": format_bytes(table.size_bytes),
+                    "split_size": format_bytes(max(s.size_bytes for s in splits)),
+                }
+            )
+        return rows

@@ -1,0 +1,51 @@
+"""In-memory tables: named columnar data registered in a catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pages import Page, Schema
+
+
+@dataclass
+class Table:
+    """A fully materialised table (schema + parallel column arrays)."""
+
+    name: str
+    schema: Schema
+    columns: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.schema):
+            raise ValueError(
+                f"table {self.name}: {len(self.columns)} columns for "
+                f"{len(self.schema)}-field schema"
+            )
+        lengths = {len(c) for c in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(f"table {self.name}: ragged columns {lengths}")
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated on-disk size (CSV-ish), used for split accounting."""
+        return self.page(0, self.num_rows).size_bytes
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[self.schema.index_of(name)]
+
+    def page(self, start: int, stop: int) -> Page:
+        """A page view over rows [start, stop)."""
+        stop = min(stop, self.num_rows)
+        return Page(self.schema, [c[start:stop] for c in self.columns])
+
+    def to_page(self) -> Page:
+        return self.page(0, self.num_rows)
+
+    def head(self, n: int = 5) -> list[tuple]:
+        return self.page(0, min(n, self.num_rows)).rows()

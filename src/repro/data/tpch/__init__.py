@@ -1,0 +1,13 @@
+"""TPC-H schemas, deterministic generator, and benchmark query texts."""
+
+from .generator import TpchGenerator
+from .queries import QUERIES, STANDALONE_BENCHMARK
+from .schema import TPCH_SCHEMAS, row_count
+
+__all__ = [
+    "QUERIES",
+    "STANDALONE_BENCHMARK",
+    "TPCH_SCHEMAS",
+    "TpchGenerator",
+    "row_count",
+]

@@ -1,0 +1,311 @@
+"""TPC-H query texts in the SQL dialect supported by the engine.
+
+``QUERIES`` holds the twelve TPC-H queries used by the paper's standalone
+benchmark (Figure 20) plus the auxiliary queries of the evaluation:
+``q2j`` (the two-way join of Section 4.5 / Figure 15) and ``qshuffle``
+(the shuffle-bottleneck query of Section 6.4.2).
+"""
+
+from __future__ import annotations
+
+Q1 = """
+select
+    l_returnflag, l_linestatus,
+    sum(l_quantity) as sum_qty,
+    sum(l_extendedprice) as sum_base_price,
+    sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+    sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+    avg(l_quantity) as avg_qty,
+    avg(l_extendedprice) as avg_price,
+    avg(l_discount) as avg_disc,
+    count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-12-01' - interval '90' day
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus
+"""
+
+Q2 = """
+select
+    s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+from part, supplier, partsupp, nation, region
+where p_partkey = ps_partkey
+  and s_suppkey = ps_suppkey
+  and p_size = 15
+  and p_type like '%BRASS'
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = 'EUROPE'
+  and ps_supplycost = (
+        select min(ps_supplycost)
+        from partsupp, supplier, nation, region
+        where p_partkey = ps_partkey
+          and s_suppkey = ps_suppkey
+          and s_nationkey = n_nationkey
+          and n_regionkey = r_regionkey
+          and r_name = 'EUROPE'
+  )
+order by s_acctbal desc, n_name, s_name, p_partkey
+limit 100
+"""
+
+Q3 = """
+select
+    l_orderkey,
+    sum(l_extendedprice * (1 - l_discount)) as revenue,
+    o_orderdate, o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = 'BUILDING'
+  and c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate < date '1995-03-15'
+  and l_shipdate > date '1995-03-15'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate
+limit 10
+"""
+
+Q4 = """
+select o_orderpriority, count(*) as order_count
+from orders
+where o_orderdate >= date '1993-07-01'
+  and o_orderdate < date '1993-07-01' + interval '3' month
+  and exists (
+        select * from lineitem
+        where l_orderkey = o_orderkey and l_commitdate < l_receiptdate
+  )
+group by o_orderpriority
+order by o_orderpriority
+"""
+
+Q5 = """
+select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and l_suppkey = s_suppkey
+  and c_nationkey = s_nationkey
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = 'ASIA'
+  and o_orderdate >= date '1994-01-01'
+  and o_orderdate < date '1994-01-01' + interval '1' year
+group by n_name
+order by revenue desc
+"""
+
+Q6 = """
+select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= date '1994-01-01'
+  and l_shipdate < date '1994-01-01' + interval '1' year
+  and l_discount between 0.05 and 0.07
+  and l_quantity < 24
+"""
+
+Q7 = """
+select supp_nation, cust_nation, l_year, sum(volume) as revenue
+from (
+    select
+        n1.n_name as supp_nation,
+        n2.n_name as cust_nation,
+        extract(year from l_shipdate) as l_year,
+        l_extendedprice * (1 - l_discount) as volume
+    from supplier, lineitem, orders, customer, nation n1, nation n2
+    where s_suppkey = l_suppkey
+      and o_orderkey = l_orderkey
+      and c_custkey = o_custkey
+      and s_nationkey = n1.n_nationkey
+      and c_nationkey = n2.n_nationkey
+      and ((n1.n_name = 'FRANCE' and n2.n_name = 'GERMANY')
+        or (n1.n_name = 'GERMANY' and n2.n_name = 'FRANCE'))
+      and l_shipdate between date '1995-01-01' and date '1996-12-31'
+) as shipping
+group by supp_nation, cust_nation, l_year
+order by supp_nation, cust_nation, l_year
+"""
+
+Q8 = """
+select o_year,
+       sum(case when nation = 'BRAZIL' then volume else 0 end) / sum(volume)
+           as mkt_share
+from (
+    select
+        extract(year from o_orderdate) as o_year,
+        l_extendedprice * (1 - l_discount) as volume,
+        n2.n_name as nation
+    from part, supplier, lineitem, orders, customer, nation n1, nation n2,
+         region
+    where p_partkey = l_partkey
+      and s_suppkey = l_suppkey
+      and l_orderkey = o_orderkey
+      and o_custkey = c_custkey
+      and c_nationkey = n1.n_nationkey
+      and n1.n_regionkey = r_regionkey
+      and r_name = 'AMERICA'
+      and s_nationkey = n2.n_nationkey
+      and o_orderdate between date '1995-01-01' and date '1996-12-31'
+      and p_type = 'ECONOMY ANODIZED STEEL'
+) as all_nations
+group by o_year
+order by o_year
+"""
+
+Q10 = """
+select
+    c_custkey, c_name,
+    sum(l_extendedprice * (1 - l_discount)) as revenue,
+    c_acctbal, n_name, c_address, c_phone, c_comment
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate >= date '1993-10-01'
+  and o_orderdate < date '1993-10-01' + interval '3' month
+  and l_returnflag = 'R'
+  and c_nationkey = n_nationkey
+group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+order by revenue desc
+limit 20
+"""
+
+Q12 = """
+select l_shipmode,
+       sum(case when o_orderpriority = '1-URGENT'
+                  or o_orderpriority = '2-HIGH' then 1 else 0 end)
+           as high_line_count,
+       sum(case when o_orderpriority <> '1-URGENT'
+                 and o_orderpriority <> '2-HIGH' then 1 else 0 end)
+           as low_line_count
+from orders, lineitem
+where o_orderkey = l_orderkey
+  and l_shipmode in ('MAIL', 'SHIP')
+  and l_commitdate < l_receiptdate
+  and l_shipdate < l_commitdate
+  and l_receiptdate >= date '1994-01-01'
+  and l_receiptdate < date '1994-01-01' + interval '1' year
+group by l_shipmode
+order by l_shipmode
+"""
+
+Q14 = """
+select 100.00 * sum(case when p_type like 'PROMO%'
+                         then l_extendedprice * (1 - l_discount)
+                         else 0 end)
+       / sum(l_extendedprice * (1 - l_discount)) as promo_revenue
+from lineitem, part
+where l_partkey = p_partkey
+  and l_shipdate >= date '1995-09-01'
+  and l_shipdate < date '1995-09-01' + interval '1' month
+"""
+
+Q19 = """
+select sum(l_extendedprice * (1 - l_discount)) as revenue
+from lineitem, part
+where (p_partkey = l_partkey
+       and p_brand = 'Brand#12'
+       and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+       and l_quantity >= 1 and l_quantity <= 11
+       and p_size between 1 and 5
+       and l_shipmode in ('AIR', 'REG AIR')
+       and l_shipinstruct = 'DELIVER IN PERSON')
+   or (p_partkey = l_partkey
+       and p_brand = 'Brand#23'
+       and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+       and l_quantity >= 10 and l_quantity <= 20
+       and p_size between 1 and 10
+       and l_shipmode in ('AIR', 'REG AIR')
+       and l_shipinstruct = 'DELIVER IN PERSON')
+   or (p_partkey = l_partkey
+       and p_brand = 'Brand#34'
+       and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+       and l_quantity >= 20 and l_quantity <= 30
+       and p_size between 1 and 15
+       and l_shipmode in ('AIR', 'REG AIR')
+       and l_shipinstruct = 'DELIVER IN PERSON')
+"""
+
+Q9 = """
+select nation, o_year, sum(amount) as sum_profit
+from (
+    select
+        n_name as nation,
+        extract(year from o_orderdate) as o_year,
+        l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount
+    from part, supplier, lineitem, partsupp, orders, nation
+    where s_suppkey = l_suppkey
+      and ps_suppkey = l_suppkey
+      and ps_partkey = l_partkey
+      and p_partkey = l_partkey
+      and o_orderkey = l_orderkey
+      and s_nationkey = n_nationkey
+      and p_name like '%green%'
+) as profit
+group by nation, o_year
+order by nation, o_year desc
+"""
+
+Q17 = """
+select sum(l_extendedprice) / 7.0 as avg_yearly
+from lineitem, part
+where p_partkey = l_partkey
+  and p_brand = 'Brand#23'
+  and p_container = 'MED BOX'
+  and l_quantity < (
+        select 0.2 * avg(l_quantity) from lineitem where l_partkey = p_partkey
+  )
+"""
+
+Q18 = """
+select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity)
+from customer, orders, lineitem
+where o_orderkey in (
+        select l_orderkey from lineitem
+        group by l_orderkey having sum(l_quantity) > 212
+  )
+  and c_custkey = o_custkey
+  and o_orderkey = l_orderkey
+group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+order by o_totalprice desc, o_orderdate
+limit 100
+"""
+
+#: The paper's two-way join of Section 4.5 (Figure 15), used in the
+#: partitioned-hash-join DOP-switching evaluation (Section 6.4.1).
+Q2J = """
+select count(l_orderkey)
+from lineitem inner join orders on l_orderkey = o_orderkey
+"""
+
+#: The shuffle-bottleneck query of Section 6.4.2 (Figures 27/28).
+QSHUFFLE = """
+select count(o_orderkey)
+from orders join customer on o_custkey = c_custkey
+where c_nationkey = 9
+"""
+
+#: The example query of the paper's Section 2 (Figure 4 plan).
+QEXAMPLE = """
+select l_orderkey
+from lineitem
+inner join orders on l_orderkey = o_orderkey
+inner join customer on c_custkey = o_custkey
+where o_orderdate < date '1994-03-05'
+"""
+
+#: The 12 TPC-H queries of the standalone benchmark (Figure 20).
+STANDALONE_BENCHMARK = {
+    "Q1": Q1, "Q2": Q2, "Q3": Q3, "Q4": Q4, "Q5": Q5, "Q6": Q6,
+    "Q7": Q7, "Q8": Q8, "Q10": Q10, "Q12": Q12, "Q14": Q14, "Q19": Q19,
+}
+
+QUERIES = dict(STANDALONE_BENCHMARK)
+QUERIES.update(
+    {
+        "Q9": Q9,
+        "Q17": Q17,
+        "Q18": Q18,
+        "Q2J": Q2J,
+        "QSHUFFLE": QSHUFFLE,
+        "QEXAMPLE": QEXAMPLE,
+    }
+)

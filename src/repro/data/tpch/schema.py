@@ -1,0 +1,127 @@
+"""TPC-H table schemas (all 8 tables, full column sets)."""
+
+from __future__ import annotations
+
+from ...pages import ColumnType, Schema
+
+_I = ColumnType.INT64
+_F = ColumnType.FLOAT64
+_S = ColumnType.STRING
+_D = ColumnType.DATE
+
+REGION = Schema.of(
+    ("r_regionkey", _I),
+    ("r_name", _S),
+    ("r_comment", _S),
+)
+
+NATION = Schema.of(
+    ("n_nationkey", _I),
+    ("n_name", _S),
+    ("n_regionkey", _I),
+    ("n_comment", _S),
+)
+
+SUPPLIER = Schema.of(
+    ("s_suppkey", _I),
+    ("s_name", _S),
+    ("s_address", _S),
+    ("s_nationkey", _I),
+    ("s_phone", _S),
+    ("s_acctbal", _F),
+    ("s_comment", _S),
+)
+
+PART = Schema.of(
+    ("p_partkey", _I),
+    ("p_name", _S),
+    ("p_mfgr", _S),
+    ("p_brand", _S),
+    ("p_type", _S),
+    ("p_size", _I),
+    ("p_container", _S),
+    ("p_retailprice", _F),
+    ("p_comment", _S),
+)
+
+PARTSUPP = Schema.of(
+    ("ps_partkey", _I),
+    ("ps_suppkey", _I),
+    ("ps_availqty", _I),
+    ("ps_supplycost", _F),
+    ("ps_comment", _S),
+)
+
+CUSTOMER = Schema.of(
+    ("c_custkey", _I),
+    ("c_name", _S),
+    ("c_address", _S),
+    ("c_nationkey", _I),
+    ("c_phone", _S),
+    ("c_acctbal", _F),
+    ("c_mktsegment", _S),
+    ("c_comment", _S),
+)
+
+ORDERS = Schema.of(
+    ("o_orderkey", _I),
+    ("o_custkey", _I),
+    ("o_orderstatus", _S),
+    ("o_totalprice", _F),
+    ("o_orderdate", _D),
+    ("o_orderpriority", _S),
+    ("o_clerk", _S),
+    ("o_shippriority", _I),
+    ("o_comment", _S),
+)
+
+LINEITEM = Schema.of(
+    ("l_orderkey", _I),
+    ("l_partkey", _I),
+    ("l_suppkey", _I),
+    ("l_linenumber", _I),
+    ("l_quantity", _F),
+    ("l_extendedprice", _F),
+    ("l_discount", _F),
+    ("l_tax", _F),
+    ("l_returnflag", _S),
+    ("l_linestatus", _S),
+    ("l_shipdate", _D),
+    ("l_commitdate", _D),
+    ("l_receiptdate", _D),
+    ("l_shipinstruct", _S),
+    ("l_shipmode", _S),
+    ("l_comment", _S),
+)
+
+TPCH_SCHEMAS: dict[str, Schema] = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "customer": CUSTOMER,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+#: Base row counts at scale factor 1 (region/nation are fixed-size).
+BASE_ROW_COUNTS: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    # lineitem is ~6M at SF1 but derived from orders (1..7 lines each).
+}
+
+
+def row_count(table: str, scale: float) -> int:
+    """Row count of ``table`` at scale factor ``scale`` (min 1 row)."""
+    if table in ("region", "nation"):
+        return BASE_ROW_COUNTS[table]
+    if table == "lineitem":
+        raise ValueError("lineitem row count is derived from orders")
+    return max(1, int(BASE_ROW_COUNTS[table] * scale))

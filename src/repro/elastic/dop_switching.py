@@ -1,0 +1,158 @@
+"""DOP switching for partitioned hash joins (paper Section 4.5, Figure 16b).
+
+Changing the parallelism of a partitioned-join stage requires rebuilding
+the distributed hash table.  Rather than re-balancing the existing one
+(which would disrupt in-flight probes), the build side *rebuilds from the
+upstream stage's intermediate data cache* into a brand-new task group:
+
+1. a new task group of the target size is created,
+2. the build-side child stage's shuffle buffers switch to the new
+   buffer-ID group and replay their page caches (the *shuffle* phase of
+   Table 2), feeding the new hash tables (the *build* phase),
+3. once every new hash table is ready, the probe-side child's shuffle
+   buffers switch to the new group and the old group is closed with end
+   signals — the probe continues on the new group without interruption.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..buffers import ShuffleOutputBuffer
+from ..cluster.scheduler import RPC_CREATE_TASK, RPC_UPDATE_LINK
+from ..cluster.stage import StageExecution
+from ..errors import TuningRejected
+from ..exec.splits import RemoteSplit
+from ..exec.task import Task
+from .tuning import TuningResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+    from .dynamic_scheduler import DynamicScheduler
+
+
+def switch_dop(
+    ds: "DynamicScheduler",
+    query: "QueryExecution",
+    stage: StageExecution,
+    target: int,
+    result: TuningResult,
+    on_complete: Callable[[TuningResult], None] | None = None,
+) -> list[Task]:
+    fragment = stage.fragment
+    if not stage.is_partitioned_join:
+        raise TuningRejected(
+            f"stage {stage.id} is not a partitioned hash join", reason="not-partitioned"
+        )
+    build_children = [query.stages[c] for c in fragment.build_children]
+    probe_children = [
+        query.stages[c]
+        for c in fragment.children
+        if c not in fragment.build_children
+    ]
+    for child in build_children:
+        if not all(
+            isinstance(t.output_buffer, ShuffleOutputBuffer) for t in child.tasks
+        ):
+            raise TuningRejected("build child is not hash-partitioned", reason="shape")
+        if not all(t.output_buffer.cache_enabled for t in child.tasks):
+            raise TuningRejected(
+                "DOP switching needs the intermediate data cache (Section 4.5); "
+                "it is disabled on this engine",
+                reason="no-cache",
+            )
+
+    old_group = list(stage.active_group)
+    kernel = ds.kernel
+    issued_at = kernel.now
+
+    # 1. Create the new task group.
+    stage.task_groups.append([])
+    new_tasks = [ds.scheduler.create_task(query, stage) for _ in range(target)]
+    new_ids = [t.task_id.seq for t in new_tasks]
+    requests = target * RPC_CREATE_TASK
+    task_dop = max(1, stage.task_dop)
+
+    # 2. Wire parents (downstream) for the new group.
+    for parent_id in query.plan.parents_of(stage.id):
+        parent = query.stages[parent_id]
+        for parent_task in parent.active_group:
+            for task in new_tasks:
+                task.output_buffer.add_consumer(parent_task.task_id.seq)
+                parent_task.add_upstream(
+                    stage.id, RemoteSplit(task, parent_task.task_id.seq)
+                )
+                requests += RPC_UPDATE_LINK
+
+    # 3. Build side: switch the shuffle buffers to the new group and
+    #    replay the intermediate data cache into the new hash tables.
+    shuffle_pending = 0
+    shuffle_done_at = [issued_at]
+
+    def one_shuffle_drained() -> None:
+        nonlocal shuffle_pending
+        shuffle_pending -= 1
+        shuffle_done_at[0] = max(shuffle_done_at[0], kernel.now)
+        if shuffle_pending == 0:
+            result.shuffle_seconds = shuffle_done_at[0] - issued_at
+
+    def start_build_switch() -> None:
+        nonlocal shuffle_pending
+        for child in build_children:
+            for upstream in child.tasks:
+                buffer: ShuffleOutputBuffer = upstream.output_buffer
+                buffer.switch_group(new_ids, replay_cache=True)
+                for task in new_tasks:
+                    task.add_upstream(child.id, RemoteSplit(upstream, task.task_id.seq))
+                shuffle_pending += 1
+                if buffer._pending_shuffles == 0:
+                    one_shuffle_drained()
+                else:
+                    buffer.on_drained.add(one_shuffle_drained)
+        for task in new_tasks:
+            task.start(task_dop)
+
+    # 4. When every new hash table is ready, switch the probe side.
+    bridges = []
+
+    def maybe_finish() -> None:
+        if not all(b.ready for b in bridges):
+            return
+        ready_at = kernel.now
+        result.build_seconds = max(0.0, ready_at - issued_at - result.shuffle_seconds)
+        for child in probe_children:
+            for upstream in child.tasks:
+                buffer = upstream.output_buffer
+                if isinstance(buffer, ShuffleOutputBuffer):
+                    buffer.switch_group(new_ids, replay_cache=False)
+                    buffer.end_group([t.task_id.seq for t in old_group])
+                else:  # arbitrary probe distribution: just retire old readers
+                    for task in new_tasks:
+                        buffer.add_consumer(task.task_id.seq)
+                    for old in old_group:
+                        buffer.end_consumer(old.task_id.seq)
+                for task in new_tasks:
+                    task.add_upstream(child.id, RemoteSplit(upstream, task.task_id.seq))
+        ds.rpc.charge(RPC_UPDATE_LINK * max(1, len(probe_children)))
+        result.completed_at = kernel.now
+        if on_complete is not None:
+            on_complete(result)
+
+    def watch_bridges() -> None:
+        for task in new_tasks:
+            for bridge in task.bridges:
+                bridges.append(bridge)
+                if not bridge.ready:
+                    bridge.on_ready.add(
+                        lambda: (ds.mark_build_ready(query, stage), maybe_finish())
+                    )
+                else:
+                    ds.mark_build_ready(query, stage)
+        maybe_finish()
+
+    def begin() -> None:
+        start_build_switch()
+        watch_bridges()
+
+    ds.rpc.after_requests(requests, begin)
+    return new_tasks

@@ -1,0 +1,66 @@
+"""The dynamic optimizer: classifies tuning requests and drives the
+dynamic scheduler (paper Figure 8).
+
+Given an accepted tuning request it determines which mechanism applies —
+intra-task driver tuning, intra-stage task tuning, or DOP switching for
+partitioned hash joins — and invokes the corresponding dynamic-scheduler
+operation, recording the request marker (the red dashed lines of the
+evaluation figures) and the state-transfer result.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..cluster.stage import StageExecution
+from ..errors import TuningRejected
+from .dynamic_scheduler import DynamicScheduler
+from .tuning import TuningKind, TuningRequest, TuningResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+
+
+class DynamicOptimizer:
+    def __init__(self, dynamic_scheduler: DynamicScheduler):
+        self.ds = dynamic_scheduler
+        self.kernel = dynamic_scheduler.kernel
+        self.history: list[TuningResult] = []
+
+    def apply(
+        self,
+        query: "QueryExecution",
+        request: TuningRequest,
+        on_complete: Callable[[TuningResult], None] | None = None,
+    ) -> TuningResult:
+        stage = query.stage(request.stage)
+        result = TuningResult(request, accepted=True, issued_at=self.kernel.now)
+        if query.tracker is not None:
+            query.tracker.mark("tuning", stage.id, request.describe())
+
+        if request.kind is TuningKind.TASK_DOP:
+            result.details["drivers"] = self.ds.set_task_dop(query, stage, request.target)
+            result.completed_at = self.kernel.now
+        elif self._needs_switch(stage, request):
+            self.ds.switch_stage_dop(query, stage, request.target, result, on_complete)
+        elif request.kind is TuningKind.STAGE_DOP:
+            current = stage.stage_dop
+            if request.target > current:
+                tasks = self.ds.add_stage_tasks(query, stage, request.target - current)
+                result.details["added"] = [str(t.task_id) for t in tasks]
+            elif request.target < current:
+                tasks = self.ds.remove_stage_tasks(query, stage, current - request.target)
+                result.details["removed"] = [str(t.task_id) for t in tasks]
+            else:
+                raise TuningRejected("stage already at target DOP", reason="noop")
+            result.completed_at = self.kernel.now
+        else:
+            raise TuningRejected(f"unknown tuning kind {request.kind}", reason="kind")
+
+        self.history.append(result)
+        return result
+
+    def _needs_switch(self, stage: StageExecution, request: TuningRequest) -> bool:
+        if request.kind is TuningKind.DOP_SWITCH:
+            return True
+        return request.kind is TuningKind.STAGE_DOP and stage.is_partitioned_join

@@ -1,0 +1,76 @@
+"""The dynamic scheduler: runtime task/driver lifecycle operations.
+
+Wraps the initial :class:`~repro.cluster.scheduler.Scheduler` with the
+runtime operations the paper's dynamic optimizer invokes: spawning and
+terminating tasks and drivers while a query runs, and the partitioned-join
+task-group switch.  All control-plane work is charged to the RPC tracker.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..cluster.scheduler import Scheduler
+from ..cluster.stage import StageExecution
+from ..exec.task import Task
+from ..sim import SimKernel
+from . import dop_switching, intra_stage, intra_task
+from .tuning import TuningResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+
+
+class DynamicScheduler:
+    def __init__(self, kernel: SimKernel, scheduler: Scheduler):
+        self.kernel = kernel
+        self.scheduler = scheduler
+        self.rpc = scheduler.rpc
+
+    # -- intra-task (Section 4.3) --------------------------------------
+    def set_task_dop(
+        self, query: "QueryExecution", stage: StageExecution, target: int
+    ) -> dict:
+        return intra_task.set_task_dop(query, stage, target)
+
+    # -- intra-stage (Section 4.4) --------------------------------------
+    def add_stage_tasks(
+        self, query: "QueryExecution", stage: StageExecution, count: int
+    ) -> list[Task]:
+        return intra_stage.add_tasks(self, query, stage, count)
+
+    def remove_stage_tasks(
+        self, query: "QueryExecution", stage: StageExecution, count: int
+    ) -> list[Task]:
+        return intra_stage.remove_tasks(self, query, stage, count)
+
+    # -- DOP switching (Section 4.5) --------------------------------------
+    def switch_stage_dop(
+        self,
+        query: "QueryExecution",
+        stage: StageExecution,
+        target: int,
+        result: TuningResult,
+        on_complete: Callable[[TuningResult], None] | None = None,
+    ) -> list[Task]:
+        return dop_switching.switch_dop(self, query, stage, target, result, on_complete)
+
+    # -- instrumentation hooks ----------------------------------------------
+    def mark_build_ready(self, query: "QueryExecution", stage: StageExecution) -> None:
+        stage.build_ready_times.append(self.kernel.now)
+        if query.tracker is not None:
+            query.tracker.mark("build_ready", stage.id)
+
+    def watch_builds(
+        self, query: "QueryExecution", stage: StageExecution, tasks: list[Task]
+    ) -> None:
+        """Record a build-ready marker when each new task's hash table is
+        rebuilt (the yellow dashed lines of Figures 24-26)."""
+        for task in tasks:
+            for bridge in task.bridges:
+                if bridge.ready:
+                    self.mark_build_ready(query, stage)
+                else:
+                    bridge.on_ready.add(
+                        lambda q=query, s=stage: self.mark_build_ready(q, s)
+                    )

@@ -1,0 +1,125 @@
+"""Intra-stage runtime DOP tuning (paper Section 4.4, Figure 14).
+
+Increasing a stage's DOP: (1) generate a new task, (2) hand its address to
+the parent-stage tasks, (3) set the child-stage task addresses on the new
+task.  Decreasing: send end signals to the task output buffers of the
+child stages; end pages relay through the victim task, the parents retire
+its address, and the task is destroyed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..buffers import OutputMode, ShuffleOutputBuffer
+from ..cluster.scheduler import RPC_CREATE_TASK, RPC_UPDATE_LINK
+from ..cluster.stage import StageExecution
+from ..errors import TuningRejected
+from ..exec.splits import RemoteSplit
+from ..exec.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+    from .dynamic_scheduler import DynamicScheduler
+
+
+def add_tasks(
+    ds: "DynamicScheduler",
+    query: "QueryExecution",
+    stage: StageExecution,
+    count: int,
+) -> list[Task]:
+    """Spawn ``count`` new tasks for a stage whose inputs are not
+    hash-partitioned (broadcast-join stages, scan stages, shuffle stages)."""
+    for child_id in stage.fragment.children:
+        child = query.stages[child_id]
+        if (
+            child.fragment.output.mode is OutputMode.HASH
+            and not stage.is_partitioned_join
+        ):
+            raise TuningRejected(
+                f"stage {stage.id} reads hash-partitioned input; use DOP switching",
+                reason="needs-switch",
+            )
+
+    task_dop = max(1, stage.task_dop)
+    requests = 0
+    new_tasks: list[Task] = []
+    for _ in range(count):
+        task = ds.scheduler.create_task(query, stage)
+        new_tasks.append(task)
+        requests += RPC_CREATE_TASK
+        requests += _wire_new_task(ds, query, stage, task)
+
+    def start() -> None:
+        for task in new_tasks:
+            task.start(task_dop)
+
+    ds.rpc.after_requests(requests, start)
+    ds.watch_builds(query, stage, new_tasks)
+    return new_tasks
+
+
+def _wire_new_task(
+    ds: "DynamicScheduler",
+    query: "QueryExecution",
+    stage: StageExecution,
+    task: Task,
+) -> int:
+    """Steps 2 and 3 of Figure 14: link the new task to parents/children."""
+    requests = 0
+    seq = task.task_id.seq
+
+    # Step 2: give the new task's address to the parent-stage tasks.
+    for parent_id in query.plan.parents_of(stage.id):
+        parent = query.stages[parent_id]
+        if isinstance(task.output_buffer, ShuffleOutputBuffer):
+            # Producing side of a partitioned exchange: the new task
+            # partitions across the existing consumer group.
+            task.output_buffer.set_group(
+                [t.task_id.seq for t in parent.active_group]
+            )
+            requests += RPC_UPDATE_LINK
+        for parent_task in parent.active_group:
+            task.output_buffer.add_consumer(parent_task.task_id.seq)
+            parent_task.add_upstream(stage.id, RemoteSplit(task, parent_task.task_id.seq))
+            requests += RPC_UPDATE_LINK
+
+    # Step 3: set the child-stage task addresses on the new task.
+    for child_id in stage.fragment.children:
+        child = query.stages[child_id]
+        for upstream in child.tasks:  # including finished ones: their
+            # broadcast caches replay the full build side to the new task.
+            upstream.output_buffer.add_consumer(seq)
+            task.add_upstream(child_id, RemoteSplit(upstream, seq))
+            requests += RPC_UPDATE_LINK
+    return requests
+
+
+def remove_tasks(
+    ds: "DynamicScheduler",
+    query: "QueryExecution",
+    stage: StageExecution,
+    count: int,
+) -> list[Task]:
+    """Shut down ``count`` tasks via end signals (keeps at least one)."""
+    active = stage.active_group
+    victims = active[max(1, len(active) - count) :] if len(active) > 1 else []
+    victims = victims[:count]
+    requests = 0
+    for task in victims:
+        if stage.fragment.is_source:
+            # Scan tasks: end signals go to each driver; unread splits are
+            # returned to the split feed for the survivors.
+            for runtime in task.pipelines:
+                for driver in runtime.drivers:
+                    driver.request_end()
+            requests += RPC_UPDATE_LINK
+        else:
+            for child_id in stage.fragment.children:
+                child = query.stages[child_id]
+                for upstream in child.tasks:
+                    upstream.output_buffer.end_consumer(task.task_id.seq)
+                    requests += RPC_UPDATE_LINK
+    ds.rpc.charge(requests)
+    return victims

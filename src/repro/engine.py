@@ -1,0 +1,159 @@
+"""AccordionEngine: the public facade of the library.
+
+Bundles the simulated cluster, catalog, split layout, coordinator, runtime
+DOP tuning module, and auto-tuner behind a small API:
+
+>>> from repro import AccordionEngine
+>>> engine = AccordionEngine.tpch(scale=0.01)
+>>> result = engine.execute("select count(*) from lineitem")
+>>> result.rows
+[(60175,)]
+
+``submit()`` returns a live query handle whose DOP can be tuned while the
+simulation advances (``engine.run_for`` / ``engine.run_until_done``) —
+the intra-query runtime elasticity that is the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .autotune import ElasticQuery
+from .cluster import Cluster, Coordinator, QueryExecution, QueryOptions
+from .config import EngineConfig, presto_config, prestissimo_config
+from .data import Catalog, SplitLayout
+from .errors import ExecutionError
+from .pages import Page
+from .sim import SimKernel
+
+
+@dataclass
+class QueryResult:
+    """Materialised result of a finished query."""
+
+    rows: list[tuple]
+    columns: list[str]
+    elapsed_seconds: float
+    initialization_seconds: float
+    query: QueryExecution
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+class AccordionEngine:
+    """A complete Accordion deployment on a simulated cluster."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: EngineConfig | None = None,
+        split_scheme: dict | None = None,
+        node_overrides: dict[str, list[int]] | None = None,
+        combined_nodes: bool = False,
+    ):
+        self.config = config or EngineConfig()
+        self.kernel = SimKernel()
+        self.catalog = catalog
+        self.cluster = Cluster(self.kernel, self.config.cluster, combined=combined_nodes)
+        self.split_layout = SplitLayout(
+            catalog,
+            storage_nodes=self.config.cluster.storage_nodes,
+            scheme=split_scheme,
+            node_overrides=node_overrides,
+        )
+        self.coordinator = Coordinator(
+            self.kernel, self.cluster, catalog, self.split_layout, self.config
+        )
+        self._elastic: dict[int, ElasticQuery] = {}
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def tpch(
+        cls,
+        scale: float = 0.01,
+        config: EngineConfig | None = None,
+        seed: int = 20250622,
+        **kwargs,
+    ) -> "AccordionEngine":
+        """Engine over a generated TPC-H database at ``scale``."""
+        return cls(Catalog.tpch(scale, seed), config=config, **kwargs)
+
+    @classmethod
+    def presto_baseline(cls, catalog: Catalog, **kwargs) -> "AccordionEngine":
+        """Presto baseline mode: fixed buffers, no elasticity (Figure 20)."""
+        return cls(catalog, config=presto_config(), **kwargs)
+
+    @classmethod
+    def prestissimo_baseline(cls, catalog: Catalog, **kwargs) -> "AccordionEngine":
+        return cls(catalog, config=prestissimo_config(), **kwargs)
+
+    # -- query execution ----------------------------------------------------
+    def submit(self, sql: str, options: QueryOptions | None = None) -> QueryExecution:
+        """Submit a query; advance the simulation to make it progress."""
+        return self.coordinator.submit(sql, options)
+
+    def execute(
+        self,
+        sql: str,
+        options: QueryOptions | None = None,
+        max_virtual_seconds: float = 1e7,
+    ) -> QueryResult:
+        """Submit and run to completion."""
+        query = self.submit(sql, options)
+        self.run_until_done(query, max_virtual_seconds)
+        return self.result_of(query)
+
+    def result_of(self, query: QueryExecution) -> QueryResult:
+        if not query.finished:
+            raise ExecutionError(f"query {query.id} has not finished")
+        page: Page = query.result()
+        return QueryResult(
+            rows=page.rows(),
+            columns=page.schema.names(),
+            elapsed_seconds=query.elapsed,
+            initialization_seconds=query.initialization_seconds,
+            query=query,
+        )
+
+    # -- runtime elasticity ----------------------------------------------------
+    def elastic(self, query: QueryExecution) -> ElasticQuery:
+        """The runtime DOP tuning handle for a submitted query.
+
+        Only available when the engine runs in Accordion mode; baseline
+        modes (Presto/Prestissimo) have elasticity disabled.
+        """
+        if not self.config.elasticity_enabled:
+            raise ExecutionError(
+                f"engine mode {self.config.engine_name!r} does not support IQRE"
+            )
+        if query.id not in self._elastic:
+            self._elastic[query.id] = ElasticQuery(
+                query,
+                self.cluster,
+                self.coordinator.scheduler,
+                collector_period=self.config.collector_period,
+            )
+        return self._elastic[query.id]
+
+    # -- simulation control ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def run_until_done(self, query: QueryExecution, max_virtual_seconds: float = 1e7) -> None:
+        deadline = self.kernel.now + max_virtual_seconds
+        self.kernel.run(until=deadline, stop_when=lambda: query.finished)
+        if not query.finished:
+            raise ExecutionError(
+                f"query {query.id} did not finish within {max_virtual_seconds} "
+                f"virtual seconds\n{query.describe()}"
+            )
+
+    def run_for(self, virtual_seconds: float) -> None:
+        """Advance the simulation by a fixed amount of virtual time."""
+        self.kernel.run(until=self.kernel.now + virtual_seconds)
+
+    def run_until(self, virtual_time: float) -> None:
+        self.kernel.run(until=virtual_time)

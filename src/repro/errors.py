@@ -1,0 +1,69 @@
+"""Exception hierarchy for the Accordion engine.
+
+Every error raised by the library derives from :class:`AccordionError` so
+applications can catch engine failures with a single ``except`` clause while
+still being able to distinguish user errors (bad SQL, bad tuning request)
+from internal invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class AccordionError(Exception):
+    """Base class for all errors raised by the repro/Accordion library."""
+
+
+class SqlError(AccordionError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+
+class AnalysisError(SqlError):
+    """Raised during semantic analysis (unknown table/column, type mismatch...)."""
+
+
+class PlanningError(AccordionError):
+    """Raised when the optimizer or physical planner hits an unsupported shape."""
+
+
+class SchedulingError(AccordionError):
+    """Raised when the (dynamic) scheduler cannot honour a placement request."""
+
+
+class TuningRejected(AccordionError):
+    """Raised when the DOP tuning request filter rejects a request.
+
+    Mirrors the paper's request filter (Section 5.2): requests against
+    finished queries/stages and requests whose estimated remaining time is
+    smaller than the hash-table rebuild time are rejected rather than
+    executed.
+    """
+
+    def __init__(self, message: str, reason: str = "filtered"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class ExecutionError(AccordionError):
+    """Raised when a query fails at runtime inside an operator."""
+
+
+class InvariantViolation(AccordionError):
+    """Internal engine invariant broken; indicates a bug, not a user error."""
+
+
+class ScriptError(AccordionError):
+    """Raised by the experiment scripting language front end (Section 6.1)."""

@@ -1,0 +1,17 @@
+"""Execution layer: tasks, drivers, operators, splits, exchange clients."""
+
+from .driver import Driver, DriverState
+from .exchange_client import ExchangeClient
+from .splits import RemoteSplit, SplitFeed, SystemSplit
+from .task import Task, TaskId
+
+__all__ = [
+    "Driver",
+    "DriverState",
+    "ExchangeClient",
+    "RemoteSplit",
+    "SplitFeed",
+    "SystemSplit",
+    "Task",
+    "TaskId",
+]

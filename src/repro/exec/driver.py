@@ -1,0 +1,180 @@
+"""Drivers: physical operator sequences, the unit of scheduling.
+
+A driver executes quanta on its node's simulated cores: each quantum takes
+one page from the source, pushes it through the transform chain, and
+delivers the outputs to the sink.  Drivers block on empty sources, full
+sinks, and not-yet-ready join bridges, and are woken through waiter lists.
+
+Scheduling follows Presto's multi-level feedback queue: a driver's
+priority level grows with its accumulated CPU time, so fresh drivers
+(e.g. ones just created by an intra-task DOP increase) get cores quickly —
+this is why the paper measures sub-millisecond driver spawn overhead and
+throughput steps within ~110 ms of a tuning action.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from ..pages import Page
+from .operators.base import SinkOperator, SourceOperator, TransformOperator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task import Task
+
+#: Accumulated-CPU thresholds for the multi-level feedback queue.
+_MLFQ_LEVELS = (0.1, 1.0, 10.0)
+
+
+class DriverState(enum.Enum):
+    CREATED = "created"
+    QUEUED = "queued"     # waiting for a core
+    RUNNING = "running"   # holding a core for the current quantum
+    BLOCKED = "blocked"   # waiting on a buffer/bridge condition
+    FINISHED = "finished"
+
+
+class Driver:
+    def __init__(
+        self,
+        task: "Task",
+        pipeline_id: int,
+        driver_id: int,
+        source: SourceOperator,
+        transforms: list[TransformOperator],
+        sink: SinkOperator,
+    ):
+        self.task = task
+        self.pipeline_id = pipeline_id
+        self.driver_id = driver_id
+        self.source = source
+        self.transforms = transforms
+        self.sink = sink
+        self.state = DriverState.CREATED
+        self.cpu_time = 0.0
+        self.quanta = 0
+        #: Set by the dynamic scheduler to shut this driver down (end
+        #: signal, Section 4.3); the next quantum injects an end page.
+        self.end_requested = False
+        self._end_seen = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        self._enqueue()
+
+    def request_end(self) -> None:
+        self.end_requested = True
+        if self.state is DriverState.BLOCKED:
+            self._enqueue()
+
+    @property
+    def finished(self) -> bool:
+        return self.state is DriverState.FINISHED
+
+    def _priority(self) -> float:
+        for level, threshold in enumerate(_MLFQ_LEVELS):
+            if self.cpu_time < threshold:
+                return float(level)
+        return float(len(_MLFQ_LEVELS))
+
+    def _enqueue(self) -> None:
+        if self.state in (DriverState.QUEUED, DriverState.FINISHED):
+            return
+        self.state = DriverState.QUEUED
+        self.task.node.cpu.acquire(self._run_quantum, priority=self._priority())
+
+    def _block_on(self, waiters) -> tuple[float, callable]:
+        self.state = DriverState.BLOCKED
+        waiters.add(self._wake)
+        overhead = self.task.cost.quantum_overhead
+        return overhead, lambda: None
+
+    def _wake(self) -> None:
+        if self.state is DriverState.BLOCKED:
+            self._enqueue()
+
+    # -- quantum execution ----------------------------------------------------
+    def _run_quantum(self) -> tuple[float, callable]:
+        """Runs with a core granted; returns (cost, commit)."""
+        self.state = DriverState.RUNNING
+        self.quanta += 1
+
+        if self.end_requested and not self._end_seen:
+            page: Page | None = Page.end(signal="shutdown")
+            cost = 0.0
+        else:
+            # Block on a not-ready transform (join probe before build done).
+            for op in self.transforms:
+                waiters = op.waits_on()
+                if waiters is not None:
+                    return self._block_on(waiters)
+            if self.sink.is_full:
+                return self._block_on(self.sink.waiters())
+            page, cost = self.source.poll()
+            if page is None:
+                return self._block_on(self.source.waiters())
+
+        outputs, chain_cost, finished = self._run_chain(page)
+        cost += chain_cost + self.task.cost.quantum_overhead
+        cost += self.sink.cost_of(outputs)
+        self.cpu_time += cost
+
+        def commit() -> None:
+            if outputs:
+                self.sink.deliver(outputs)
+            if finished:
+                self._finish()
+            else:
+                self._enqueue()
+
+        return cost, commit
+
+    def _run_chain(self, page: Page) -> tuple[list[Page], float, bool]:
+        """Push ``page`` (possibly an end page) through the transforms."""
+        if page.is_end:
+            self._end_seen = True
+        pages = [page]
+        cost = 0.0
+        finished = False
+        for index, op in enumerate(self.transforms):
+            next_pages: list[Page] = []
+            for p in pages:
+                outs, c = op.process(p)
+                cost += c
+                next_pages.extend(outs)
+            pages = next_pages
+            if op.done_early and not self._end_seen:
+                # LIMIT satisfied: start the end relay from here without
+                # draining the source.
+                self._end_seen = True
+                end_outs, c = self._relay_end(index + 1)
+                cost += c
+                pages = [p for p in pages if not p.is_end] + end_outs
+                break
+        data_pages = [p for p in pages if not p.is_end]
+        # An end page always traverses the whole remaining chain within one
+        # quantum (stateful operators flush, then relay), so seeing the end
+        # means the relay completed and the driver is done.
+        finished = self._end_seen
+        return data_pages, cost, finished
+
+    def _relay_end(self, start_index: int) -> tuple[list[Page], float]:
+        pages: list[Page] = [Page.end()]
+        cost = 0.0
+        for op in self.transforms[start_index:]:
+            next_pages: list[Page] = []
+            for p in pages:
+                outs, c = op.process(p)
+                cost += c
+                next_pages.extend(outs)
+            pages = next_pages
+        return [p for p in pages if not p.is_end], cost
+
+    def _finish(self) -> None:
+        self.state = DriverState.FINISHED
+        shutdown = getattr(self.source, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+        self.sink.driver_finished()
+        self.task.driver_finished(self)

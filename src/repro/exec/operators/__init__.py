@@ -1,0 +1,31 @@
+"""Physical operators."""
+
+from .aggregation import FinalAggOperator, PartialAggOperator
+from .base import SinkOperator, SourceOperator, TransformOperator
+from .basic import FilterOperator, LimitOperator, ProjectOperator
+from .join import HashJoinProbeOperator, JoinBridge, JoinBuildSink
+from .sinks import CoordinatorSink, LocalExchangeSink, TaskOutputSink
+from .sorting import SortOperator, TopNOperator
+from .sources import ExchangeSource, LocalExchangeSource, ScanSource
+
+__all__ = [
+    "CoordinatorSink",
+    "ExchangeSource",
+    "FilterOperator",
+    "FinalAggOperator",
+    "HashJoinProbeOperator",
+    "JoinBridge",
+    "JoinBuildSink",
+    "LimitOperator",
+    "LocalExchangeSink",
+    "LocalExchangeSource",
+    "PartialAggOperator",
+    "ProjectOperator",
+    "ScanSource",
+    "SinkOperator",
+    "SortOperator",
+    "SourceOperator",
+    "TaskOutputSink",
+    "TopNOperator",
+    "TransformOperator",
+]

@@ -1,0 +1,292 @@
+"""Two-stage hash aggregation (paper Section 4.1).
+
+``PartialAggOperator`` pre-aggregates per driver; its state is flushed
+downstream whenever it grows past a limit (and on end pages), which is why
+the paper classifies it as *stateless* — the state can be destroyed and
+reconstructed, so stages containing it remain DOP-tunable.
+
+``FinalAggOperator`` merges partial states; it is stateful and its stage
+runs with parallelism fixed at 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ...config import CostModel
+from ...errors import ExecutionError
+from ...pages import ColumnType, Page, PageBuilder, Schema
+from ...sql.expressions import AggregateCall
+from ...sql.functions import (
+    group_codes,
+    grouped_count,
+    grouped_max,
+    grouped_min,
+    grouped_sum,
+    partial_fields,
+)
+from .base import TransformOperator
+
+#: Aggregate over zero rows (engine-wide convention; see reference.py).
+def _empty_value(function: str, result_type: ColumnType):
+    if function == "count":
+        return 0
+    if function == "sum":
+        return 0 if result_type is ColumnType.INT64 else 0.0
+    return float("nan")
+
+
+def _state_width(agg: AggregateCall) -> int:
+    arg_type = agg.arg.type if agg.arg is not None else None
+    return len(partial_fields(agg.function, arg_type))
+
+
+class _HashAggState:
+    """Shared machinery: a dict from group-key tuple to flat state list."""
+
+    def __init__(self, aggregates: list[AggregateCall]):
+        self.aggregates = aggregates
+        self.widths = [_state_width(a) for a in aggregates]
+        self.offsets: list[int] = []
+        total = 0
+        for w in self.widths:
+            self.offsets.append(total)
+            total += w
+        self.state_width = total
+        self.groups: dict[tuple, list] = {}
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def state_for(self, key: tuple) -> list:
+        state = self.groups.get(key)
+        if state is None:
+            state = [None] * self.state_width
+            self.groups[key] = state
+        return state
+
+    def merge_value(self, state: list, agg_index: int, values: tuple) -> None:
+        """Merge one group's partial contribution ``values`` into ``state``."""
+        agg = self.aggregates[agg_index]
+        offset = self.offsets[agg_index]
+        fn = agg.function
+        if fn in ("sum", "count"):
+            current = state[offset]
+            state[offset] = values[0] if current is None else current + values[0]
+        elif fn == "avg":
+            if state[offset] is None:
+                state[offset] = values[0]
+                state[offset + 1] = values[1]
+            else:
+                state[offset] += values[0]
+                state[offset + 1] += values[1]
+        elif fn == "min":
+            current = state[offset]
+            state[offset] = values[0] if current is None or values[0] < current else current
+        elif fn == "max":
+            current = state[offset]
+            state[offset] = values[0] if current is None or values[0] > current else current
+        else:  # pragma: no cover - analyzer rejects unknown aggregates
+            raise ExecutionError(f"unknown aggregate {fn}")
+
+    def drain(self) -> Iterator[tuple[tuple, list]]:
+        groups, self.groups = self.groups, {}
+        yield from groups.items()
+
+
+def _per_group_partials(
+    agg: AggregateCall, page: Page, codes: np.ndarray, ngroups: int
+) -> list[tuple]:
+    """Per-group partial contribution tuples for one input page."""
+    if agg.function == "count":
+        counts = grouped_count(codes, ngroups)
+        return [(int(c),) for c in counts]
+    values = agg.arg.evaluate(page)
+    if agg.function == "sum":
+        sums = grouped_sum(codes, values, ngroups)
+        return [(v,) for v in sums.tolist()]
+    if agg.function == "avg":
+        sums = grouped_sum(codes, values.astype(np.float64, copy=False), ngroups)
+        counts = grouped_count(codes, ngroups)
+        return list(zip(sums.tolist(), counts.tolist()))
+    if agg.function == "min":
+        return [(v,) for v in grouped_min(codes, values, ngroups).tolist()]
+    if agg.function == "max":
+        return [(v,) for v in grouped_max(codes, values, ngroups).tolist()]
+    raise ExecutionError(f"unknown aggregate {agg.function}")
+
+
+class PartialAggOperator(TransformOperator):
+    name = "partial_aggregation"
+
+    def __init__(
+        self,
+        cost: CostModel,
+        group_keys: list[int],
+        aggregates: list[AggregateCall],
+        output_schema: Schema,
+        row_limit: int = 4096,
+        group_limit: int = 100_000,
+    ):
+        super().__init__(cost)
+        self.group_keys = group_keys
+        self.output_schema = output_schema
+        self.row_limit = row_limit
+        self.group_limit = group_limit
+        self.state = _HashAggState(aggregates)
+        self.rows_in = 0
+
+    def process(self, page: Page) -> tuple[list[Page], float]:
+        if page.is_end:
+            pages = self._flush()
+            self.finished = True
+            cpu = self.cpu(sum(p.num_rows for p in pages), self.cost.partial_agg_row_cost)
+            return pages + [page], cpu
+        self.rows_in += page.num_rows
+        cpu = self.cpu(page.num_rows, self.cost.partial_agg_row_cost)
+        key_cols = [page.columns[k] for k in self.group_keys]
+        if key_cols:
+            codes, uniques = group_codes(key_cols)
+            ngroups = len(uniques[0])
+            keys = list(zip(*[u.tolist() for u in uniques]))
+        else:
+            codes = np.zeros(page.num_rows, dtype=np.int64)
+            ngroups = 1
+            keys = [()]
+        partials = [
+            _per_group_partials(agg, page, codes, ngroups)
+            for agg in self.state.aggregates
+        ]
+        for gi, key in enumerate(keys):
+            state = self.state.state_for(key)
+            for ai in range(len(self.state.aggregates)):
+                self.state.merge_value(state, ai, partials[ai][gi])
+        out: list[Page] = []
+        if len(self.state) > self.group_limit:
+            out = self._flush()
+            cpu += self.cpu(sum(p.num_rows for p in out), self.cost.partial_agg_row_cost)
+        return out, cpu
+
+    def _flush(self) -> list[Page]:
+        if not len(self.state):
+            return []
+        builder = PageBuilder(self.output_schema, self.row_limit)
+        pages: list[Page] = []
+        rows = []
+        for key, state in self.state.drain():
+            rows.append(tuple(key) + tuple(_fill_state(self.state, state)))
+            if len(rows) >= self.row_limit:
+                builder.append_rows(rows)
+                rows = []
+                page = builder.flush()
+                if page is not None:
+                    pages.append(page)
+        if rows:
+            builder.append_rows(rows)
+        page = builder.flush()
+        if page is not None:
+            pages.append(page)
+        return pages
+
+
+def _fill_state(state_machine: _HashAggState, state: list) -> list:
+    """Replace never-touched state cells with neutral values."""
+    out = list(state)
+    for ai, agg in enumerate(state_machine.aggregates):
+        offset = state_machine.offsets[ai]
+        width = state_machine.widths[ai]
+        if out[offset] is None:
+            if agg.function in ("sum", "count"):
+                out[offset] = 0
+            elif agg.function == "avg":
+                out[offset] = 0.0
+                out[offset + 1] = 0
+            else:
+                out[offset] = _empty_value(agg.function, agg.result_type)
+        if width == 2 and out[offset + 1] is None:
+            out[offset + 1] = 0
+    return out
+
+
+class FinalAggOperator(TransformOperator):
+    """Merges partial aggregation pages into final results (stateful)."""
+
+    name = "final_aggregation"
+
+    def __init__(
+        self,
+        cost: CostModel,
+        num_keys: int,
+        aggregates: list[AggregateCall],
+        output_schema: Schema,
+        row_limit: int = 4096,
+    ):
+        super().__init__(cost)
+        self.num_keys = num_keys
+        self.output_schema = output_schema
+        self.row_limit = row_limit
+        self.state = _HashAggState(aggregates)
+        self.rows_in = 0
+
+    def process(self, page: Page) -> tuple[list[Page], float]:
+        if page.is_end:
+            pages = self._final_pages()
+            self.finished = True
+            cpu = self.cpu(sum(p.num_rows for p in pages), self.cost.final_agg_row_cost)
+            return pages + [page], cpu
+        self.rows_in += page.num_rows
+        cpu = self.cpu(page.num_rows, self.cost.final_agg_row_cost)
+        k = self.num_keys
+        key_cols = [c.tolist() for c in page.columns[:k]]
+        keys = list(zip(*key_cols)) if key_cols else [()] * page.num_rows
+        state_cols = [c.tolist() for c in page.columns[k:]]
+        for row_index, key in enumerate(keys):
+            state = self.state.state_for(key)
+            for ai in range(len(self.state.aggregates)):
+                offset = self.state.offsets[ai]
+                width = self.state.widths[ai]
+                values = tuple(
+                    state_cols[offset + j][row_index] for j in range(width)
+                )
+                self.state.merge_value(state, ai, values)
+        return [], cpu
+
+    def _final_pages(self) -> list[Page]:
+        rows = []
+        if not len(self.state) and self.num_keys == 0:
+            # Global aggregate over empty input still yields one row.
+            rows.append(
+                tuple(
+                    _empty_value(a.function, a.result_type)
+                    for a in self.state.aggregates
+                )
+            )
+        else:
+            for key, state in self.state.drain():
+                rows.append(tuple(key) + tuple(self._finalize(state)))
+        if not rows:
+            return []
+        builder = PageBuilder(self.output_schema, self.row_limit)
+        builder.append_rows(rows)
+        pages = builder.build_full_pages()
+        tail = builder.flush()
+        if tail is not None:
+            pages.append(tail)
+        return pages
+
+    def _finalize(self, state: list) -> list:
+        out = []
+        filled = _fill_state(self.state, state)
+        for ai, agg in enumerate(self.state.aggregates):
+            offset = self.state.offsets[ai]
+            if agg.function == "avg":
+                total, count = filled[offset], filled[offset + 1]
+                out.append(total / count if count else float("nan"))
+            else:
+                value = filled[offset]
+                if agg.result_type is ColumnType.INT64 and value is not None:
+                    value = int(value)
+                out.append(value)
+        return out

@@ -1,0 +1,100 @@
+"""Operator interfaces for driver execution.
+
+A driver's pipeline is ``source -> transforms -> sink``.  Each driver
+quantum takes one page from the source, pushes it through every transform,
+and delivers the resulting pages to the sink; the virtual CPU cost of the
+quantum is the sum of the costs reported by each step.
+
+End pages (:meth:`Page.is_end`) travel through the chain (the paper's
+"end page relay game", Figure 13): stateless transforms relay them
+immediately and enter the finished state; stateful transforms first flush
+their results, then relay.
+"""
+
+from __future__ import annotations
+
+from ...config import CostModel
+from ...pages import Page
+from ...buffers.elastic import WaiterList
+
+
+class TransformOperator:
+    """A mid-pipeline operator: one input page -> zero or more outputs."""
+
+    name = "transform"
+
+    def __init__(self, cost: CostModel):
+        self.cost = cost
+        self.finished = False
+        #: Set by operators that can complete early (LIMIT): the driver
+        #: starts the end-page relay from here without draining the source.
+        self.done_early = False
+
+    def cpu(self, rows: int, per_row: float) -> float:
+        return rows * per_row * self.cost.cpu_multiplier
+
+    def process(self, page: Page) -> tuple[list[Page], float]:
+        """Transform ``page``; returns (output pages, cpu cost).
+
+        ``page`` may be an end page: the operator must flush any state,
+        append the end page after its outputs, and set ``finished``.
+        """
+        raise NotImplementedError
+
+    def waits_on(self) -> WaiterList | None:
+        """Non-None when the operator cannot accept input yet (e.g. a join
+        probe waiting for the hash table); the driver blocks on the list."""
+        return None
+
+
+class SourceOperator:
+    """Head of a pipeline: produces pages from splits/exchanges."""
+
+    name = "source"
+
+    def poll(self) -> tuple[Page | None, float]:
+        """Next page and its cpu cost, or ``(None, 0)`` to block.
+
+        Returns an end page exactly once per driver when exhausted.
+        """
+        raise NotImplementedError
+
+    @property
+    def has_output(self) -> bool:
+        raise NotImplementedError
+
+    def waiters(self) -> WaiterList:
+        """Where to register for a wake-up when output may be available."""
+        raise NotImplementedError
+
+
+class SinkOperator:
+    """Tail of a pipeline: absorbs pages into buffers/bridges."""
+
+    name = "sink"
+    #: CPU cost per row absorbed (drivers charge it into the quantum).
+    row_cost_attr = "task_output_row_cost"
+
+    def cost_of(self, pages: list[Page]) -> float:
+        """CPU cost of absorbing ``pages`` (charged before delivery)."""
+        cost_model = getattr(self, "cost", None)
+        if cost_model is None:
+            return 0.0
+        rows = sum(p.num_rows for p in pages)
+        per_row = getattr(cost_model, self.row_cost_attr)
+        return rows * per_row * cost_model.cpu_multiplier
+
+    def deliver(self, pages: list[Page]) -> float:
+        """Absorb pages (end pages excluded); returns cpu cost."""
+        raise NotImplementedError
+
+    @property
+    def is_full(self) -> bool:
+        return False
+
+    def waiters(self) -> WaiterList | None:
+        """Where to wait when the sink is full (None = never blocks)."""
+        return None
+
+    def driver_finished(self) -> None:
+        """Called once when the owning driver completes its end relay."""

@@ -1,0 +1,203 @@
+"""Hash join: bridge (shared hash table), build sink, probe transform.
+
+One :class:`JoinBridge` exists per task.  Build pipelines feed it through
+:class:`JoinBuildSink`; once every build driver has finished, the bridge
+finalises the hash table, records the build duration (the ``T_build``
+measured by the evaluation, Sections 5.2/6.3), and wakes the probe drivers
+that were blocked on it.  Probe drivers share the read-only table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...buffers.elastic import WaiterList
+from ...config import CostModel
+from ...errors import ExecutionError
+from ...pages import Page, Schema, concat_pages
+from ...plan.logical import JoinType
+from ...sql.expressions import BoundExpr
+from .base import SinkOperator, TransformOperator
+
+
+class JoinBridge:
+    """Shared build-side state of one task's hash join."""
+
+    def __init__(
+        self,
+        kernel,
+        build_schema: Schema,
+        build_keys: list[int],
+        name: str = "bridge",
+    ):
+        self.kernel = kernel
+        self.build_schema = build_schema
+        self.build_keys = build_keys
+        self.name = name
+        self.pages: list[Page] = []
+        self.build_rows = 0
+        self.ready = False
+        self.on_ready = WaiterList()
+        self._producers = 0
+        self._finished_producers = 0
+        self.created_at = kernel.now
+        self.first_page_at: float | None = None
+        self.ready_at: float | None = None
+        self.table: dict[tuple, np.ndarray] = {}
+        self.build_page: Page | None = None
+
+    # -- build side -------------------------------------------------------
+    def register_producer(self) -> None:
+        self._producers += 1
+
+    def add_page(self, page: Page) -> None:
+        if self.ready:
+            raise ExecutionError(f"{self.name}: build page after finalize")
+        if self.first_page_at is None:
+            self.first_page_at = self.kernel.now
+        self.pages.append(page)
+        self.build_rows += page.num_rows
+
+    def producer_finished(self) -> None:
+        self._finished_producers += 1
+        if self._producers and self._finished_producers >= self._producers:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        self.build_page = concat_pages(self.build_schema, self.pages)
+        self.pages = []
+        keys = [self.build_page.columns[k].tolist() for k in self.build_keys]
+        buckets: dict[tuple, list[int]] = {}
+        if keys:
+            for i, key in enumerate(zip(*keys)):
+                buckets.setdefault(key, []).append(i)
+        self.table = {k: np.asarray(v, dtype=np.int64) for k, v in buckets.items()}
+        self.ready = True
+        self.ready_at = self.kernel.now
+        self.on_ready.notify_all()
+
+    @property
+    def build_seconds(self) -> float:
+        """T_build for this task: first build page to hash-table-ready.
+
+        Measures the reconstruction work itself (transfer + insert), not
+        the wait for the upstream stage to start producing — matching the
+        paper's red-line-to-yellow-line interval.
+        """
+        start = self.first_page_at if self.first_page_at is not None else self.created_at
+        if self.ready_at is None:
+            return self.kernel.now - start
+        return self.ready_at - start
+
+
+class JoinBuildSink(SinkOperator):
+    name = "hash_join_build"
+    row_cost_attr = "join_build_row_cost"
+
+    def __init__(self, cost: CostModel, bridge: JoinBridge):
+        self.cost = cost
+        self.bridge = bridge
+        bridge.register_producer()
+
+    def deliver(self, pages: list[Page]) -> float:
+        rows = 0
+        for page in pages:
+            self.bridge.add_page(page)
+            rows += page.num_rows
+        return rows * self.cost.join_build_row_cost * self.cost.cpu_multiplier
+
+    def driver_finished(self) -> None:
+        self.bridge.producer_finished()
+
+
+class HashJoinProbeOperator(TransformOperator):
+    name = "hash_join_probe"
+
+    def __init__(
+        self,
+        cost: CostModel,
+        bridge: JoinBridge,
+        join_type: JoinType,
+        probe_keys: list[int],
+        residual: BoundExpr | None,
+        output_schema: Schema,
+    ):
+        super().__init__(cost)
+        self.bridge = bridge
+        self.join_type = join_type
+        self.probe_keys = probe_keys
+        self.residual = residual
+        self.output_schema = output_schema
+        self.rows_probed = 0
+
+    def waits_on(self) -> WaiterList | None:
+        if not self.bridge.ready:
+            return self.bridge.on_ready
+        return None
+
+    def process(self, page: Page) -> tuple[list[Page], float]:
+        if page.is_end:
+            self.finished = True
+            return [page], 0.0
+        if not self.bridge.ready:
+            raise ExecutionError("probe ran before hash table was ready")
+        self.rows_probed += page.num_rows
+        cpu = self.cpu(page.num_rows, self.cost.join_probe_row_cost)
+
+        if self.join_type is JoinType.CROSS:
+            return self._cross(page, cpu)
+
+        keys = [page.columns[k].tolist() for k in self.probe_keys]
+        table = self.bridge.table
+        if self.join_type in (JoinType.SEMI, JoinType.ANTI):
+            want = self.join_type is JoinType.SEMI
+            mask = np.fromiter(
+                ((key in table) == want for key in zip(*keys)),
+                dtype=bool,
+                count=page.num_rows,
+            )
+            if not mask.any():
+                return [], cpu
+            return [page.mask(mask)], cpu
+
+        probe_idx: list[int] = []
+        build_chunks: list[np.ndarray] = []
+        for i, key in enumerate(zip(*keys)):
+            matches = table.get(key)
+            if matches is not None:
+                probe_idx.extend([i] * len(matches))
+                build_chunks.append(matches)
+        if not probe_idx:
+            return [], cpu
+        probe_rows = np.asarray(probe_idx, dtype=np.int64)
+        build_rows = np.concatenate(build_chunks)
+        cpu += self.cpu(len(probe_rows), self.cost.join_probe_row_cost)
+        out = self._combine(page, probe_rows, build_rows)
+        if self.residual is not None:
+            mask = self.residual.evaluate(out).astype(bool, copy=False)
+            if not mask.any():
+                return [], cpu
+            out = out.mask(mask)
+        return [out], cpu
+
+    def _combine(self, page: Page, probe_rows: np.ndarray, build_rows: np.ndarray) -> Page:
+        build_page = self.bridge.build_page
+        columns = [c[probe_rows] for c in page.columns]
+        columns += [c[build_rows] for c in build_page.columns]
+        return Page(self.output_schema, columns)
+
+    def _cross(self, page: Page, cpu: float) -> tuple[list[Page], float]:
+        build_page = self.bridge.build_page
+        nb = build_page.num_rows
+        if nb == 0:
+            return [], cpu
+        probe_rows = np.repeat(np.arange(page.num_rows), nb)
+        build_rows = np.tile(np.arange(nb), page.num_rows)
+        cpu += self.cpu(len(probe_rows), self.cost.join_probe_row_cost)
+        out = self._combine(page, probe_rows, build_rows)
+        if self.residual is not None:
+            mask = self.residual.evaluate(out).astype(bool, copy=False)
+            out = out.mask(mask)
+        if out.num_rows == 0:
+            return [], cpu
+        return [out], cpu

@@ -1,0 +1,73 @@
+"""Sink operators: task output, local-exchange sink, coordinator output."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...buffers import LocalExchange, TaskOutputBuffer
+from ...buffers.elastic import WaiterList
+from ...config import CostModel
+from ...pages import Page
+from .base import SinkOperator
+
+
+class TaskOutputSink(SinkOperator):
+    """Delivers pages to the task output buffer (the task output operator
+    of the paper — distribution itself is the buffer's job, Section 4.2.1)."""
+
+    name = "task_output"
+
+    def __init__(self, cost: CostModel, buffer: TaskOutputBuffer):
+        self.cost = cost
+        self.buffer = buffer
+
+    def deliver(self, pages: list[Page]) -> float:
+        rows = 0
+        for page in pages:
+            self.buffer.put(page)
+            rows += page.num_rows
+        return rows * self.cost.task_output_row_cost * self.cost.cpu_multiplier
+
+    @property
+    def is_full(self) -> bool:
+        return self.buffer.is_full
+
+    def waiters(self) -> WaiterList | None:
+        return self.buffer.not_full
+
+
+class LocalExchangeSink(SinkOperator):
+    name = "local_exchange_sink"
+    row_cost_attr = "local_exchange_row_cost"
+
+    def __init__(self, cost: CostModel, exchange: LocalExchange):
+        self.cost = cost
+        self.exchange = exchange
+        exchange.register_producer()
+
+    def deliver(self, pages: list[Page]) -> float:
+        rows = 0
+        for page in pages:
+            self.exchange.put(page)
+            rows += page.num_rows
+        return rows * self.cost.local_exchange_row_cost * self.cost.cpu_multiplier
+
+    def driver_finished(self) -> None:
+        self.exchange.producer_finished()
+
+
+class CoordinatorSink(SinkOperator):
+    """Stage-0 output operator: hands result pages to the coordinator."""
+
+    name = "output"
+
+    def __init__(self, cost: CostModel, collect: Callable[[Page], None]):
+        self.cost = cost
+        self.collect = collect
+
+    def deliver(self, pages: list[Page]) -> float:
+        rows = 0
+        for page in pages:
+            self.collect(page)
+            rows += page.num_rows
+        return rows * self.cost.task_output_row_cost * self.cost.cpu_multiplier

@@ -1,0 +1,164 @@
+"""Source operators: table scan, exchange, local-exchange source."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...buffers import LocalExchange
+from ...buffers.elastic import WaiterList
+from ...config import CostModel
+from ...pages import Page
+from ...sim import SimKernel, transfer
+from ..exchange_client import ExchangeClient
+from ..splits import SplitFeed, SystemSplit
+from .base import SourceOperator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...cluster.node import Node
+
+
+class ScanSource(SourceOperator):
+    """Reads table pages from system splits acquired morsel-style.
+
+    Splits local to the task's node are read directly; remote splits are
+    transferred over the storage node's NIC before processing (the driver
+    blocks for the transfer duration).
+    """
+
+    name = "table_scan"
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        cost: CostModel,
+        feed: SplitFeed,
+        node: "Node",
+        page_rows: int,
+        storage_nodes: dict[int, "Node"] | None = None,
+        column_indexes: tuple[int, ...] | None = None,
+    ):
+        self.kernel = kernel
+        self.cost = cost
+        self.feed = feed
+        self.node = node
+        self.page_rows = page_rows
+        self.column_indexes = column_indexes
+        self.storage_nodes = storage_nodes or {}
+        self.current: SystemSplit | None = None
+        self.offset = 0
+        self.rows_scanned = 0
+        self._ended = False
+        self._pending_page: Page | None = None
+        self._transfer_waiters = WaiterList()
+        self._transferring = False
+
+    # -- SourceOperator -----------------------------------------------------
+    def poll(self) -> tuple[Page | None, float]:
+        if self._pending_page is not None:
+            page, self._pending_page = self._pending_page, None
+            return page, self._page_cost(page)
+        if self._transferring:
+            return None, 0.0
+        while True:
+            if self.current is None:
+                self.current = self.feed.acquire(preferred_node=self.node.id)
+                self.offset = 0
+                if self.current is None:
+                    self._ended = True
+                    return Page.end(), 0.0
+            split = self.current
+            page = split.read(self.offset, self.page_rows, self.column_indexes)
+            self.offset += page.num_rows
+            if self.offset >= split.num_rows:
+                self.current = None
+            if page.num_rows == 0:
+                continue
+            break
+        self.rows_scanned += page.num_rows
+        self.feed.record_scan(page.num_rows, page.size_bytes)
+        storage = self.storage_nodes.get(split.storage_node)
+        if storage is not None and storage is not self.node and storage.id != self.node.id:
+            self._start_transfer(storage, page)
+            return None, 0.0
+        return page, self._page_cost(page)
+
+    def _page_cost(self, page: Page) -> float:
+        return page.num_rows * self.cost.scan_row_cost * self.cost.cpu_multiplier
+
+    def _start_transfer(self, storage: "Node", page: Page) -> None:
+        self._transferring = True
+
+        def commit() -> None:
+            self._transferring = False
+            self._pending_page = page
+            self._transfer_waiters.notify_all()
+
+        transfer(
+            self.kernel,
+            storage.nic,
+            self.node.nic,
+            page.size_bytes,
+            self.cost.network_latency,
+            commit,
+        )
+
+    @property
+    def has_output(self) -> bool:
+        return not self._transferring
+
+    def waiters(self) -> WaiterList:
+        return self._transfer_waiters
+
+    def shutdown(self) -> None:
+        """Return the unread remainder of the current split to the feed."""
+        if self.current is not None:
+            self.feed.release(self.current, self.offset)
+            self.current = None
+
+
+class ExchangeSource(SourceOperator):
+    """Pulls pages from the task's shared exchange client."""
+
+    name = "exchange"
+
+    def __init__(self, cost: CostModel, client: ExchangeClient):
+        self.cost = cost
+        self.client = client
+
+    def poll(self) -> tuple[Page | None, float]:
+        page = self.client.poll()
+        if page is None:
+            return None, 0.0
+        if page.is_end:
+            return page, 0.0
+        cpu = page.num_rows * self.cost.exchange_row_cost * self.cost.cpu_multiplier
+        return page, cpu
+
+    @property
+    def has_output(self) -> bool:
+        return self.client.has_output
+
+    def waiters(self) -> WaiterList:
+        return self.client.waiters()
+
+
+class LocalExchangeSource(SourceOperator):
+    name = "local_exchange_source"
+
+    def __init__(self, cost: CostModel, exchange: LocalExchange):
+        self.cost = cost
+        self.exchange = exchange
+
+    def poll(self) -> tuple[Page | None, float]:
+        page = self.exchange.poll()
+        if page is None:
+            return None, 0.0
+        cpu = page.num_rows * self.cost.local_exchange_row_cost * self.cost.cpu_multiplier
+        return page, cpu
+
+    @property
+    def has_output(self) -> bool:
+        return self.exchange.has_output
+
+    def waiters(self) -> WaiterList:
+        return self.exchange.not_empty

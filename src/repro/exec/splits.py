@@ -1,0 +1,118 @@
+"""Runtime splits.
+
+* :class:`SystemSplit` — a chunk of a base table on a storage node,
+  consumed by table-scan drivers.
+* :class:`RemoteSplit` — the address of an upstream task's output buffer
+  (task handle + buffer id), consumed by exchange clients.  The task's
+  *global remote split set* (paper Section 4.3, Figure 12a) lets newly
+  spawned drivers attach to all current upstreams without coordinator
+  involvement.
+* :class:`SplitFeed` — the per-stage pool of unassigned system splits;
+  scan drivers acquire splits morsel-style, preferring local ones, which
+  lets scan-stage DOP changes rebalance work naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..data import Table, TableSplit
+from ..pages import Page
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task import Task
+
+
+@dataclass(frozen=True)
+class SystemSplit:
+    """A scannable chunk of a table, resident on ``storage_node``."""
+
+    table: Table
+    info: TableSplit
+
+    @property
+    def storage_node(self) -> int:
+        return self.info.storage_node
+
+    @property
+    def num_rows(self) -> int:
+        return self.info.num_rows
+
+    def read(self, offset: int, rows: int, columns: tuple[int, ...] | None = None) -> Page:
+        start = self.info.row_start + offset
+        stop = min(start + rows, self.info.row_stop)
+        page = self.table.page(start, stop)
+        if columns is not None:
+            page = page.select(list(columns))
+        return page
+
+
+@dataclass(frozen=True)
+class RemoteSplit:
+    """Address of one upstream task's output (node URL + task id in the
+    paper; a direct task handle in the simulator)."""
+
+    upstream: "Task"
+    buffer_id: int
+
+    @property
+    def key(self) -> tuple:
+        return (self.upstream.task_id, self.buffer_id)
+
+
+class SplitFeed:
+    """Unassigned system splits of one table-scan stage."""
+
+    def __init__(self, splits: list[SystemSplit]):
+        self._pending: list[SystemSplit] = list(splits)
+        self.total_rows = sum(s.num_rows for s in splits)
+        self.total_bytes = sum(s.info.size_bytes for s in splits)
+        self.rows_scanned = 0
+        self.bytes_scanned = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def acquire(self, preferred_node: int | None = None) -> SystemSplit | None:
+        """Take one split, preferring splits local to ``preferred_node``."""
+        if not self._pending:
+            return None
+        if preferred_node is not None:
+            for i, split in enumerate(self._pending):
+                if split.storage_node == preferred_node:
+                    return self._pending.pop(i)
+        return self._pending.pop(0)
+
+    def release(self, split: SystemSplit, offset: int) -> None:
+        """Return the unread remainder of a split (task shutdown path)."""
+        if offset >= split.num_rows:
+            return
+        remainder = TableSplit(
+            table=split.info.table,
+            split_id=split.info.split_id,
+            storage_node=split.info.storage_node,
+            row_start=split.info.row_start + offset,
+            row_stop=split.info.row_stop,
+            size_bytes=int(
+                split.info.size_bytes
+                * (split.num_rows - offset)
+                / max(1, split.num_rows)
+            ),
+        )
+        self._pending.append(SystemSplit(split.table, remainder))
+
+    def record_scan(self, rows: int, nbytes: int) -> None:
+        self.rows_scanned += rows
+        self.bytes_scanned += nbytes
+
+    @property
+    def rows_remaining(self) -> int:
+        return max(0, self.total_rows - self.rows_scanned)
+
+    @property
+    def progress(self) -> float:
+        if self.total_rows == 0:
+            return 1.0
+        return min(1.0, self.rows_scanned / self.total_rows)

@@ -1,0 +1,351 @@
+"""Tasks: the smallest unit of distributed execution.
+
+A task instantiates one fragment on one node: it creates the shared
+structures (output buffer, exchange clients, local exchanges, join
+bridges), generates drivers from the pipeline specs, and tracks their
+lifecycle.  The task context exposes the runtime counters that the
+coordinator's information collector aggregates into the query-stage-task
+tree (paper Section 5.1, Figure 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..buffers import (
+    LocalExchange,
+    OutputMode,
+    SharedOutputBuffer,
+    ShuffleOutputBuffer,
+    TaskOutputBuffer,
+)
+from ..config import EngineConfig
+from ..errors import SchedulingError
+from ..pages import Page
+from ..plan.physical import (
+    PFilterNode,
+    PFinalAggNode,
+    PJoinNode,
+    PLimitNode,
+    PNode,
+    PPartialAggNode,
+    PProjectNode,
+    PSortNode,
+    PTopNNode,
+)
+from ..plan.pipelines import FragmentLayout, PipelineSpec
+from ..sim import SimKernel
+from .driver import Driver
+from .exchange_client import ExchangeClient
+from .operators.aggregation import FinalAggOperator, PartialAggOperator
+from .operators.base import SinkOperator, SourceOperator, TransformOperator
+from .operators.basic import FilterOperator, LimitOperator, ProjectOperator
+from .operators.join import HashJoinProbeOperator, JoinBridge, JoinBuildSink
+from .operators.sinks import CoordinatorSink, LocalExchangeSink, TaskOutputSink
+from .operators.sorting import SortOperator, TopNOperator
+from .operators.sources import ExchangeSource, LocalExchangeSource, ScanSource
+from .splits import RemoteSplit, SplitFeed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+
+
+@dataclass(frozen=True, order=True)
+class TaskId:
+    stage: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"task{self.stage}_{self.seq}"
+
+
+class PipelineRuntime:
+    def __init__(self, spec: PipelineSpec):
+        self.spec = spec
+        self.drivers: list[Driver] = []
+        self.finished_drivers = 0
+
+    @property
+    def active_drivers(self) -> int:
+        return len(self.drivers) - self.finished_drivers
+
+    @property
+    def finished(self) -> bool:
+        return bool(self.drivers) and self.finished_drivers >= len(self.drivers)
+
+
+class Task:
+    def __init__(
+        self,
+        kernel: SimKernel,
+        config: EngineConfig,
+        layout: FragmentLayout,
+        seq: int,
+        node: "Node",
+        storage_nodes: dict[int, "Node"] | None = None,
+        split_feed: SplitFeed | None = None,
+        collect_output: Callable[[Page], None] | None = None,
+        on_finished: Callable[["Task"], None] | None = None,
+    ):
+        self.kernel = kernel
+        self.config = config
+        self.cost = config.cost
+        self.layout = layout
+        self.fragment = layout.fragment
+        self.task_id = TaskId(self.fragment.id, seq)
+        self.node = node
+        self.storage_nodes = storage_nodes or {}
+        self.split_feed = split_feed
+        self.collect_output = collect_output
+        self.on_finished = on_finished
+        self.created_at = kernel.now
+        self.finished_at: float | None = None
+        self.finished = False
+
+        self.output_buffer = self._make_output_buffer()
+        self.exchange_clients: dict[int, ExchangeClient] = {
+            child: ExchangeClient(
+                kernel,
+                config.buffers,
+                self.cost,
+                node,
+                name=f"{self.task_id}.x{child}",
+            )
+            for child in layout.exchange_children
+        }
+        self.local_exchanges = [
+            LocalExchange(f"{self.task_id}.lx{i}")
+            for i in range(layout.local_exchanges)
+        ]
+        self.bridges = [
+            JoinBridge(kernel, b.build_schema, list(b.build_keys), f"{self.task_id}.b{b.id}")
+            for b in layout.bridges
+        ]
+        self._bridge_by_join = {
+            id(spec.join): i for i, spec in enumerate(layout.bridges)
+        }
+        self.pipelines = [PipelineRuntime(spec) for spec in layout.pipelines]
+        node.task_count += 1
+
+    # ------------------------------------------------------------------
+    def _make_output_buffer(self) -> TaskOutputBuffer:
+        spec = self.fragment.output
+        cache = spec.cache and self.config.intermediate_data_cache
+        name = f"{self.task_id}.out"
+        if spec.mode is OutputMode.HASH:
+            return ShuffleOutputBuffer(
+                self.kernel,
+                self.config.buffers,
+                key_positions=list(spec.keys),
+                cpu=self.node.cpu,
+                cost=self.cost,
+                cache_pages=cache,
+                name=name,
+            )
+        return SharedOutputBuffer(
+            self.kernel, self.config.buffers, spec.mode, cache_pages=cache, name=name
+        )
+
+    # ------------------------------------------------------------------
+    # wiring (called by the scheduler / dynamic scheduler)
+    # ------------------------------------------------------------------
+    def add_upstream(self, child_fragment: int, split: RemoteSplit) -> None:
+        """Register an upstream task in the global remote split set."""
+        client = self.exchange_clients.get(child_fragment)
+        if client is None:
+            raise SchedulingError(
+                f"{self.task_id} has no exchange for stage {child_fragment}"
+            )
+        client.add_split(split)
+
+    # ------------------------------------------------------------------
+    # driver management
+    # ------------------------------------------------------------------
+    def start(self, task_dop: int) -> None:
+        for runtime in self.pipelines:
+            count = task_dop if runtime.spec.tunable else 1
+            for _ in range(max(1, count)):
+                self._spawn_driver(runtime)
+
+    def add_drivers(self, pipeline_id: int, count: int) -> int:
+        """Intra-task DOP increase (Section 4.3). Returns drivers created."""
+        runtime = self._pipeline(pipeline_id)
+        if runtime.finished or self.finished:
+            return 0
+        for _ in range(count):
+            self._spawn_driver(runtime)
+        return count
+
+    def remove_drivers(self, pipeline_id: int, count: int) -> int:
+        """Intra-task DOP decrease via end signals (Section 4.3)."""
+        runtime = self._pipeline(pipeline_id)
+        candidates = [
+            d for d in runtime.drivers if not d.finished and not d.end_requested
+        ]
+        # Always keep at least one driver alive.
+        removable = max(0, min(count, len(candidates) - 1))
+        for driver in candidates[:removable]:
+            driver.request_end()
+        return removable
+
+    def driver_count(self, pipeline_id: int | None = None) -> int:
+        if pipeline_id is not None:
+            return self._pipeline(pipeline_id).active_drivers
+        return sum(p.active_drivers for p in self.pipelines)
+
+    def _pipeline(self, pipeline_id: int) -> PipelineRuntime:
+        for runtime in self.pipelines:
+            if runtime.spec.id == pipeline_id:
+                return runtime
+        raise SchedulingError(f"{self.task_id}: no pipeline {pipeline_id}")
+
+    @property
+    def tunable_pipeline(self) -> PipelineRuntime:
+        """The pipeline targeted by task-DOP tuning (the output pipeline)."""
+        return self.pipelines[-1]
+
+    def _spawn_driver(self, runtime: PipelineRuntime) -> Driver:
+        spec = runtime.spec
+        driver = Driver(
+            task=self,
+            pipeline_id=spec.id,
+            driver_id=len(runtime.drivers),
+            source=self._make_source(spec),
+            transforms=[self._make_transform(n) for n in spec.transforms],
+            sink=self._make_sink(spec),
+        )
+        runtime.drivers.append(driver)
+        driver.start()
+        return driver
+
+    def _make_source(self, spec: PipelineSpec) -> SourceOperator:
+        src = spec.source
+        if src.kind == "scan":
+            if self.split_feed is None:
+                raise SchedulingError(f"{self.task_id}: scan task without split feed")
+            return ScanSource(
+                self.kernel,
+                self.cost,
+                self.split_feed,
+                self.node,
+                self.config.page_row_limit,
+                self.storage_nodes,
+                column_indexes=src.column_indexes,
+            )
+        if src.kind == "exchange":
+            return ExchangeSource(self.cost, self.exchange_clients[src.child_fragment])
+        if src.kind == "local_exchange":
+            return LocalExchangeSource(
+                self.cost, self.local_exchanges[src.local_exchange]
+            )
+        raise SchedulingError(f"unknown source kind {src.kind}")
+
+    def _make_sink(self, spec: PipelineSpec) -> SinkOperator:
+        sink = spec.sink
+        if sink.kind == "task_output":
+            return TaskOutputSink(self.cost, self.output_buffer)
+        if sink.kind == "local_exchange":
+            return LocalExchangeSink(self.cost, self.local_exchanges[sink.local_exchange])
+        if sink.kind == "join_build":
+            return JoinBuildSink(self.cost, self.bridges[sink.bridge])
+        if sink.kind == "coordinator":
+            if self.collect_output is None:
+                raise SchedulingError(f"{self.task_id}: no output collector")
+            return CoordinatorSink(self.cost, self.collect_output)
+        raise SchedulingError(f"unknown sink kind {sink.kind}")
+
+    def _make_transform(self, node: PNode) -> TransformOperator:
+        if isinstance(node, PFilterNode):
+            return FilterOperator(self.cost, node.predicate)
+        if isinstance(node, PProjectNode):
+            return ProjectOperator(self.cost, node.exprs, node.schema)
+        if isinstance(node, PPartialAggNode):
+            return PartialAggOperator(
+                self.cost,
+                node.group_keys,
+                node.aggregates,
+                node.schema,
+                row_limit=self.config.page_row_limit,
+                group_limit=self.config.partial_agg_group_limit,
+            )
+        if isinstance(node, PFinalAggNode):
+            return FinalAggOperator(
+                self.cost,
+                len(node.group_keys),
+                node.aggregates,
+                node.schema,
+                row_limit=self.config.page_row_limit,
+            )
+        if isinstance(node, PJoinNode):
+            bridge = self.bridges[self._bridge_by_join[id(node)]]
+            return HashJoinProbeOperator(
+                self.cost,
+                bridge,
+                node.join_type,
+                node.probe_keys,
+                node.residual,
+                node.schema,
+            )
+        if isinstance(node, PTopNNode):
+            return TopNOperator(
+                self.cost, node.schema, node.count, node.sort_keys, node.partial,
+                row_limit=self.config.page_row_limit,
+            )
+        if isinstance(node, PSortNode):
+            return SortOperator(
+                self.cost, node.schema, node.sort_keys,
+                row_limit=self.config.page_row_limit,
+            )
+        if isinstance(node, PLimitNode):
+            return LimitOperator(self.cost, node.count, node.partial)
+        raise SchedulingError(f"no operator for {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def driver_finished(self, driver: Driver) -> None:
+        runtime = self._pipeline(driver.pipeline_id)
+        runtime.finished_drivers += 1
+        if all(p.finished for p in self.pipelines) and not self.finished:
+            self._finish()
+
+    def _finish(self) -> None:
+        # A shuffle output buffer may still hold in-flight partitioning
+        # work; the task stays alive (and its stage tunable) until the
+        # shuffle executors drain.
+        pending = getattr(self.output_buffer, "_pending_shuffles", 0)
+        if pending:
+            self.output_buffer.on_drained.add(self._finish)
+            return
+        self.finished = True
+        self.finished_at = self.kernel.now
+        self.node.task_count -= 1
+        self.output_buffer.task_finished()
+        if self.on_finished is not None:
+            self.on_finished(self)
+
+    # ------------------------------------------------------------------
+    # runtime information (task context, Figure 18)
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        exchange_turnups = sum(
+            c.buffer.turn_up_counter for c in self.exchange_clients.values()
+        )
+        return {
+            "task": str(self.task_id),
+            "node": self.node.id,
+            "rows_out": self.output_buffer.rows_out,
+            "bytes_out": self.output_buffer.bytes_out,
+            "rows_received": sum(
+                c.rows_received for c in self.exchange_clients.values()
+            ),
+            "exchange_turn_up": exchange_turnups,
+            "output_turn_up": self.output_buffer.capacity.turn_up_counter,
+            "drivers": self.driver_count(),
+            "finished": self.finished,
+            "build_seconds": max(
+                (b.build_seconds for b in self.bridges), default=0.0
+            ),
+            "builds_ready": all(b.ready for b in self.bridges),
+        }

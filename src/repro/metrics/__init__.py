@@ -1,0 +1,15 @@
+"""Metrics: time series, throughput tracking, report rendering."""
+
+from .report import render_curve_points, render_series, render_table
+from .throughput import Marker, StageSeries, ThroughputTracker
+from .timeseries import TimeSeries
+
+__all__ = [
+    "Marker",
+    "StageSeries",
+    "ThroughputTracker",
+    "TimeSeries",
+    "render_curve_points",
+    "render_series",
+    "render_table",
+]

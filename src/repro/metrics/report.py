@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results (tables and curve series).
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .timeseries import TimeSeries
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                cell = f"{cell:.2f}"
+            columns[i].append(str(cell))
+    widths = [max(len(v) for v in col) for col in columns]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in range(1, len(columns[0])):
+        lines.append(
+            " | ".join(columns[i][r].ljust(widths[i]) for i in range(len(columns)))
+        )
+    return "\n".join(lines)
+
+
+def render_series(series: TimeSeries, width: int = 60, label: str | None = None) -> str:
+    """ASCII sparkline of a time series (throughput curves)."""
+    if not series.values:
+        return f"{label or series.name}: (empty)"
+    peak = max(series.values) or 1.0
+    blocks = " .:-=+*#%@"
+    chars = []
+    for value in series.values[: width]:
+        idx = min(len(blocks) - 1, int(value / peak * (len(blocks) - 1)))
+        chars.append(blocks[idx])
+    head = label or series.name
+    return f"{head} (peak={peak:.0f}): |{''.join(chars)}|"
+
+
+def render_curve_points(
+    series: TimeSeries, step: float = 5.0, fmt: str = "{:.0f}"
+) -> list[tuple[float, str]]:
+    """Downsample a series to roughly one point per ``step`` seconds."""
+    out = []
+    next_time = series.times[0] if series.times else 0.0
+    for t, v in zip(series.times, series.values):
+        if t >= next_time:
+            out.append((round(t, 2), fmt.format(v)))
+            next_time = t + step
+    return out

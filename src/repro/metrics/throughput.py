@@ -1,0 +1,92 @@
+"""Per-stage throughput tracking (the curves of Figures 23-30).
+
+Samples each stage's cumulative output rows on a fixed virtual-time period
+while the query runs, and records event markers:
+
+* ``tuning`` markers — the red dashed lines (a DOP adjustment request),
+* ``build_ready`` markers — the yellow dashed lines (hash table rebuilt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..sim import SimKernel
+from .timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+
+
+@dataclass
+class Marker:
+    time: float
+    kind: str  # "tuning" | "build_ready" | "rejected" | "constraint"
+    stage: int
+    label: str = ""
+
+
+@dataclass
+class StageSeries:
+    rows: TimeSeries
+    received: TimeSeries
+    dop: TimeSeries
+    task_dop: TimeSeries
+
+
+class ThroughputTracker:
+    def __init__(self, kernel: SimKernel, query: "QueryExecution", period: float = 1.0):
+        self.kernel = kernel
+        self.query = query
+        self.period = period
+        self.stages: dict[int, StageSeries] = {}
+        self.markers: list[Marker] = []
+        self._stopped = False
+        for stage_id in query.stages:
+            self.stages[stage_id] = StageSeries(
+                rows=TimeSeries(f"stage{stage_id}.rows"),
+                received=TimeSeries(f"stage{stage_id}.received"),
+                dop=TimeSeries(f"stage{stage_id}.dop"),
+                task_dop=TimeSeries(f"stage{stage_id}.task_dop"),
+            )
+        self._sample()
+
+    def _sample(self) -> None:
+        if self._stopped:
+            return
+        now = self.kernel.now
+        for stage_id, series in self.stages.items():
+            stage = self.query.stages[stage_id]
+            series.rows.append(now, stage.rows_out())
+            series.received.append(now, stage.rows_received())
+            series.dop.append(now, stage.stage_dop)
+            series.task_dop.append(now, stage.task_dop)
+        if self.query.finished:
+            self._stopped = True
+            return
+        self.kernel.schedule(self.period, self._sample)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- markers ----------------------------------------------------------
+    def mark(self, kind: str, stage: int, label: str = "") -> None:
+        self.markers.append(Marker(self.kernel.now, kind, stage, label))
+
+    def throughput(self, stage_id: int) -> TimeSeries:
+        """Output rows/second series for one stage."""
+        return self.stages[stage_id].rows.rates()
+
+    def processing_rate(self, stage_id: int) -> TimeSeries:
+        """Input rows/second series — the paper's per-stage throughput
+        curves for stages whose output is deferred (e.g. join + partial
+        aggregation stages).  Scan stages have no exchange input; their
+        output rate is the processing rate."""
+        stage = self.query.stages[stage_id]
+        if stage.fragment.is_source:
+            return self.stages[stage_id].rows.rates()
+        return self.stages[stage_id].received.rates()
+
+    def markers_of(self, kind: str) -> list[Marker]:
+        return [m for m in self.markers if m.kind == kind]

@@ -1,0 +1,147 @@
+"""Columnar pages — the unit of data flow between operators and tasks.
+
+A page holds a batch of rows as parallel numpy column arrays.  Besides
+ordinary data pages the engine uses *end pages* (paper Section 4.3):
+
+* ``PageKind.END`` — "no more data will follow"; relayed operator-to-
+  operator to close drivers gracefully (the "end page relay game").
+* An end page carries an optional ``signal`` tag so components can tell a
+  normal bottom-up completion apart from an elastic shutdown requested by
+  the dynamic scheduler; both are handled identically by operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .schema import ColumnType, Schema
+
+#: Estimated bytes per string cell used for page accounting (avg TPC-H).
+_STRING_CELL_BYTES = 24
+#: Fixed per-page metadata overhead in bytes.
+_PAGE_OVERHEAD_BYTES = 64
+
+
+class PageKind(enum.Enum):
+    DATA = "data"
+    END = "end"
+
+
+class Page:
+    """An immutable batch of rows in columnar layout."""
+
+    __slots__ = ("schema", "columns", "kind", "signal", "_size")
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Sequence[np.ndarray],
+        kind: PageKind = PageKind.DATA,
+        signal: str | None = None,
+    ):
+        if kind is PageKind.DATA and len(columns) != len(schema):
+            raise ValueError(
+                f"page has {len(columns)} columns but schema has {len(schema)}"
+            )
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.kind = kind
+        self.signal = signal
+        self._size: int | None = None
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def end(cls, schema: Schema | None = None, signal: str | None = None) -> "Page":
+        """An end page (optionally tagged with the elastic shutdown signal)."""
+        return cls(schema or Schema(()), (), kind=PageKind.END, signal=signal)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence]) -> "Page":
+        """Build a page from an iterable of row tuples (test convenience)."""
+        rows = list(rows)
+        cols = []
+        for i, field in enumerate(schema):
+            cols.append(field.type.coerce([r[i] for r in rows]))
+        return cls(schema, cols)
+
+    @classmethod
+    def from_dict(cls, schema: Schema, data: dict[str, Iterable]) -> "Page":
+        cols = [f.type.coerce(data[f.name]) for f in schema]
+        return cls(schema, cols)
+
+    # -- basic accessors ------------------------------------------------
+    @property
+    def is_end(self) -> bool:
+        return self.kind is PageKind.END
+
+    @property
+    def num_rows(self) -> int:
+        return 0 if self.is_end or not self.columns else len(self.columns[0])
+
+    def column(self, ref: int | str) -> np.ndarray:
+        if isinstance(ref, str):
+            ref = self.schema.index_of(ref)
+        return self.columns[ref]
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated wire size of the page (used by buffers and the NIC)."""
+        if self._size is None:
+            total = _PAGE_OVERHEAD_BYTES
+            n = self.num_rows
+            for field, col in zip(self.schema, self.columns):
+                width = field.type.fixed_width
+                if width is None:
+                    total += n * _STRING_CELL_BYTES
+                else:
+                    total += n * width
+            self._size = total
+        return self._size
+
+    # -- row-level views (tests / result collection) ---------------------
+    def rows(self) -> list[tuple]:
+        """Materialise the page as a list of python row tuples."""
+        if self.is_end or not self.columns:
+            return []
+        cols = [c.tolist() for c in self.columns]
+        return list(zip(*cols))
+
+    # -- transformations -------------------------------------------------
+    def select(self, indexes: Sequence[int]) -> "Page":
+        """Positional column projection."""
+        return Page(self.schema.select(indexes), [self.columns[i] for i in indexes])
+
+    def mask(self, keep: np.ndarray) -> "Page":
+        """Row filter by boolean mask."""
+        return Page(self.schema, [c[keep] for c in self.columns])
+
+    def take(self, indices: np.ndarray) -> "Page":
+        """Row gather by integer indices."""
+        return Page(self.schema, [c[indices] for c in self.columns])
+
+    def slice(self, start: int, stop: int) -> "Page":
+        return Page(self.schema, [c[start:stop] for c in self.columns])
+
+    def with_columns(self, schema: Schema, columns: Sequence[np.ndarray]) -> "Page":
+        """Replace schema+columns, keeping row count (projection output)."""
+        return Page(schema, columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_end:
+            tag = f" signal={self.signal}" if self.signal else ""
+            return f"Page(END{tag})"
+        return f"Page({self.num_rows} rows x {len(self.columns)} cols)"
+
+
+def concat_pages(schema: Schema, pages: Sequence[Page]) -> Page:
+    """Concatenate data pages into one page (used by sorts and caches)."""
+    data_pages = [p for p in pages if not p.is_end and p.num_rows > 0]
+    if not data_pages:
+        return Page(schema, [f.type.coerce([]) for f in schema])
+    cols = []
+    for i in range(len(schema)):
+        cols.append(np.concatenate([p.columns[i] for p in data_pages]))
+    return Page(schema, cols)

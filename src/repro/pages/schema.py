@@ -1,0 +1,133 @@
+"""Column types and schemas for the columnar page format.
+
+Accordion exchanges data between operators and tasks as columnar pages
+(the paper uses Apache Arrow record batches; we use numpy arrays with an
+explicit logical type layer on top).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+    #: Days since 1970-01-01, stored as int64 (TPC-H date columns).
+    DATE = "date"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The physical numpy dtype used to store this logical type."""
+        if self in (ColumnType.INT64, ColumnType.DATE):
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT64:
+            return np.dtype(np.float64)
+        if self is ColumnType.BOOL:
+            return np.dtype(np.bool_)
+        return np.dtype(object)
+
+    @property
+    def fixed_width(self) -> int | None:
+        """Bytes per value for fixed-width types, ``None`` for strings."""
+        if self is ColumnType.STRING:
+            return None
+        return self.numpy_dtype.itemsize
+
+    def coerce(self, values: Iterable) -> np.ndarray:
+        """Build a column array of this type from arbitrary values."""
+        if self is ColumnType.STRING:
+            return np.array(list(values), dtype=object)
+        return np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=self.numpy_dtype)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INT64, ColumnType.FLOAT64, ColumnType.DATE)
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column in a schema."""
+
+    name: str
+    type: ColumnType
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.name}:{self.type.value}"
+
+
+class Schema:
+    """An ordered collection of :class:`Field` with name lookup.
+
+    Schemas are immutable; transformations return new schemas.
+    """
+
+    __slots__ = ("fields", "_index")
+
+    def __init__(self, fields: Iterable[Field]):
+        self.fields: tuple[Field, ...] = tuple(fields)
+        self._index: dict[str, int] = {}
+        for i, f in enumerate(self.fields):
+            # Keep the first occurrence on duplicate names (joins may
+            # produce duplicates; positional access remains unambiguous).
+            self._index.setdefault(f.name, i)
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, ColumnType]) -> "Schema":
+        """Convenience constructor: ``Schema.of(("a", INT64), ...)``."""
+        return cls(Field(name, typ) for name, typ in pairs)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Schema({', '.join(map(repr, self.fields))})"
+
+    def names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def types(self) -> list[ColumnType]:
+        return [f.type for f in self.fields]
+
+    def index_of(self, name: str) -> int:
+        """Position of column ``name``; raises ``KeyError`` if absent."""
+        return self._index[name]
+
+    def field(self, ref: int | str) -> Field:
+        if isinstance(ref, str):
+            ref = self.index_of(ref)
+        return self.fields[ref]
+
+    def contains(self, name: str) -> bool:
+        return name in self._index
+
+    def select(self, indexes: Iterable[int]) -> "Schema":
+        """Schema of a positional projection."""
+        return Schema(self.fields[i] for i in indexes)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a row-wise concatenation (join output)."""
+        return Schema(self.fields + other.fields)
+
+    def rename(self, names: Iterable[str]) -> "Schema":
+        names = list(names)
+        if len(names) != len(self.fields):
+            raise ValueError("rename arity mismatch")
+        return Schema(Field(n, f.type) for n, f in zip(names, self.fields))

@@ -1,0 +1,31 @@
+"""Query planning: logical plans, optimizer, physical plans, fragments."""
+
+from .logical import (
+    JoinType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopN,
+)
+from .logical_planner import LogicalPlanner
+from .optimizer import prune_columns
+
+__all__ = [
+    "JoinType",
+    "LogicalAggregate",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalLimit",
+    "LogicalNode",
+    "LogicalPlanner",
+    "LogicalProject",
+    "LogicalScan",
+    "LogicalSort",
+    "LogicalTopN",
+    "prune_columns",
+]

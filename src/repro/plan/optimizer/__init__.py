@@ -1,0 +1,14 @@
+"""Optimizer rules: statistics, join ordering, projection pruning."""
+
+from .join_order import JoinEdge, JoinStep, order_joins
+from .rules import prune_columns
+from .stats import estimate_rows, predicate_selectivity
+
+__all__ = [
+    "JoinEdge",
+    "JoinStep",
+    "estimate_rows",
+    "order_joins",
+    "predicate_selectivity",
+    "prune_columns",
+]

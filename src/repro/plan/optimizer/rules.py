@@ -1,0 +1,160 @@
+"""Projection pruning: narrow every subplan to the columns actually used.
+
+Scans otherwise produce all 16 lineitem columns; pruning them early is the
+single most important data-volume optimization in the engine (it shrinks
+pages, exchange traffic, and operator costs).
+"""
+
+from __future__ import annotations
+
+from ...errors import PlanningError
+from ...pages import Schema
+from ...sql.expressions import AggregateCall, InputRef
+from ..expr_utils import input_refs, remap_expr
+from ..logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopN,
+)
+
+
+def prune_columns(root: LogicalNode) -> LogicalNode:
+    """Return an equivalent plan whose nodes only carry needed columns."""
+    plan, mapping = _prune(root, set(range(len(root.schema))))
+    # The root keeps all its columns, so the mapping must be the identity.
+    if any(k != v for k, v in mapping.items()):
+        raise PlanningError("root projection was unexpectedly reordered")
+    return plan
+
+
+def _prune(node: LogicalNode, required: set[int]) -> tuple[LogicalNode, dict[int, int]]:
+    """Prune ``node`` to ``required`` output positions.
+
+    Returns ``(new_node, mapping)`` where ``mapping`` sends old output
+    positions (for the required subset) to new positions.
+    """
+    required = set(required)
+    if not required:
+        required = {0} if len(node.schema) else set()
+
+    if isinstance(node, LogicalScan):
+        keep = sorted(required)
+        mapping = {old: new for new, old in enumerate(keep)}
+        schema = node.schema.select(keep)
+        indexes = tuple(node.column_indexes[i] for i in keep)
+        return LogicalScan(node.table, schema, indexes), mapping
+
+    if isinstance(node, LogicalFilter):
+        child_required = required | input_refs(node.predicate)
+        child, child_map = _prune(node.child, child_required)
+        predicate = remap_expr(node.predicate, child_map)
+        mapping = {old: child_map[old] for old in required}
+        return LogicalFilter(child, predicate), mapping
+
+    if isinstance(node, LogicalProject):
+        keep = sorted(required)
+        child_required: set[int] = set()
+        for i in keep:
+            child_required |= input_refs(node.exprs[i])
+        child, child_map = _prune(node.child, child_required)
+        exprs = [remap_expr(node.exprs[i], child_map) for i in keep]
+        schema = node.schema.select(keep)
+        mapping = {old: new for new, old in enumerate(keep)}
+        return LogicalProject(child, exprs, schema), mapping
+
+    if isinstance(node, LogicalJoin):
+        left_width = len(node.left.schema)
+        semi = node.join_type.value in ("semi", "anti")
+        left_required = {i for i in required if i < left_width}
+        right_required = (
+            set() if semi else {i - left_width for i in required if i >= left_width}
+        )
+        left_required |= set(node.left_keys)
+        right_required |= set(node.right_keys)
+        if node.residual is not None:
+            for ref in input_refs(node.residual):
+                if ref < left_width:
+                    left_required.add(ref)
+                else:
+                    right_required.add(ref - left_width)
+        left, left_map = _prune(node.left, left_required)
+        right, right_map = _prune(node.right, right_required)
+        new_left_width = len(left.schema)
+        combined_map = {old: new for old, new in left_map.items()}
+        for old, new in right_map.items():
+            combined_map[old + left_width] = new + new_left_width
+        residual = (
+            remap_expr(node.residual, combined_map)
+            if node.residual is not None
+            else None
+        )
+        new_node = LogicalJoin(
+            left,
+            right,
+            node.join_type,
+            [left_map[k] for k in node.left_keys],
+            [right_map[k] for k in node.right_keys],
+            residual,
+        )
+        if semi:
+            mapping = {old: left_map[old] for old in required}
+        else:
+            mapping = {old: combined_map[old] for old in required}
+        return new_node, mapping
+
+    if isinstance(node, LogicalAggregate):
+        # Keep all group keys (partitioning depends on them); prune unused
+        # aggregates.
+        n_keys = len(node.group_keys)
+        keep_aggs = sorted(
+            {i - n_keys for i in required if i >= n_keys} | (set() if node.aggregates else set())
+        )
+        if not node.aggregates:
+            keep_aggs = []
+        child_required = set(node.group_keys)
+        for i in keep_aggs:
+            arg = node.aggregates[i].arg
+            if arg is not None:
+                child_required |= input_refs(arg)
+        child, child_map = _prune(node.child, child_required)
+        aggregates = []
+        for i in keep_aggs:
+            agg = node.aggregates[i]
+            arg = remap_expr(agg.arg, child_map) if agg.arg is not None else None
+            aggregates.append(AggregateCall(agg.function, arg, agg.result_type))
+        group_keys = [child_map[k] for k in node.group_keys]
+        keep_fields = list(range(n_keys)) + [n_keys + i for i in keep_aggs]
+        schema = Schema(node.schema.fields[i] for i in keep_fields)
+        mapping: dict[int, int] = {i: i for i in range(n_keys)}
+        for new_i, old_agg in enumerate(keep_aggs):
+            mapping[n_keys + old_agg] = n_keys + new_i
+        mapping = {old: mapping[old] for old in required if old in mapping}
+        for key in range(n_keys):
+            mapping.setdefault(key, key)
+        return (
+            LogicalAggregate(child, group_keys, aggregates, schema),
+            {old: mapping[old] for old in required},
+        )
+
+    if isinstance(node, (LogicalSort, LogicalTopN)):
+        keys = {k for k, _ in node.sort_keys}
+        child, child_map = _prune(node.child, required | keys)
+        sort_keys = [(child_map[k], asc) for k, asc in node.sort_keys]
+        mapping = {old: child_map[old] for old in required}
+        if isinstance(node, LogicalSort):
+            return LogicalSort(child, sort_keys), mapping
+        return LogicalTopN(child, node.count, sort_keys), mapping
+
+    if isinstance(node, LogicalLimit):
+        child, child_map = _prune(node.child, required)
+        return LogicalLimit(child, node.count), {
+            old: child_map[old] for old in required
+        }
+
+    raise PlanningError(f"no pruning rule for {type(node).__name__}")

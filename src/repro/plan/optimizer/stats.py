@@ -1,0 +1,101 @@
+"""Heuristic cardinality estimation for join ordering and join-mode choice.
+
+Accordion's optimizer only needs rough relative sizes: which side of a
+join is smaller (build-side selection, broadcast-vs-partitioned choice)
+and which join order avoids blowing up intermediates.  The estimates here
+are the classic textbook selectivity constants applied to bound predicate
+trees.
+"""
+
+from __future__ import annotations
+
+from ...data import Catalog
+from ...sql.expressions import (
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    BoundExpr,
+    Comparison,
+    Constant,
+    InSet,
+    IsNull,
+    LikeMatch,
+)
+from ..logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopN,
+)
+
+EQUALITY_SELECTIVITY = 0.05
+RANGE_SELECTIVITY = 0.3
+IN_SELECTIVITY = 0.2
+LIKE_SELECTIVITY = 0.25
+DEFAULT_SELECTIVITY = 0.5
+AGGREGATE_REDUCTION = 0.1
+
+
+def predicate_selectivity(predicate: BoundExpr) -> float:
+    """Estimated fraction of rows satisfying ``predicate``."""
+    if isinstance(predicate, BoolAnd):
+        result = 1.0
+        for term in predicate.terms:
+            result *= predicate_selectivity(term)
+        return result
+    if isinstance(predicate, BoolOr):
+        total = 0.0
+        for term in predicate.terms:
+            total += predicate_selectivity(term)
+        return min(1.0, total)
+    if isinstance(predicate, BoolNot):
+        return max(0.0, 1.0 - predicate_selectivity(predicate.operand))
+    if isinstance(predicate, Comparison):
+        if predicate.op == "=":
+            return EQUALITY_SELECTIVITY
+        if predicate.op == "<>":
+            return 1.0 - EQUALITY_SELECTIVITY
+        return RANGE_SELECTIVITY
+    if isinstance(predicate, InSet):
+        return min(1.0, IN_SELECTIVITY * max(1, len(predicate.options)) / 4)
+    if isinstance(predicate, LikeMatch):
+        return LIKE_SELECTIVITY
+    if isinstance(predicate, IsNull):
+        return 0.0 if not predicate.negated else 1.0
+    if isinstance(predicate, Constant):
+        return 1.0 if predicate.value else 0.0
+    return DEFAULT_SELECTIVITY
+
+
+def estimate_rows(node: LogicalNode, catalog: Catalog) -> float:
+    """Estimated output row count of a logical subplan."""
+    if isinstance(node, LogicalScan):
+        return float(max(1, catalog.table(node.table).num_rows))
+    if isinstance(node, LogicalFilter):
+        return estimate_rows(node.child, catalog) * predicate_selectivity(node.predicate)
+    if isinstance(node, LogicalProject):
+        return estimate_rows(node.child, catalog)
+    if isinstance(node, LogicalAggregate):
+        base = estimate_rows(node.child, catalog)
+        if not node.group_keys:
+            return 1.0
+        return max(1.0, base * AGGREGATE_REDUCTION)
+    if isinstance(node, LogicalJoin):
+        left = estimate_rows(node.left, catalog)
+        right = estimate_rows(node.right, catalog)
+        if not node.left_keys:
+            return left * right  # cross join
+        # FK-join approximation: result is about the size of the bigger input.
+        return max(left, right)
+    if isinstance(node, (LogicalSort,)):
+        return estimate_rows(node.child, catalog)
+    if isinstance(node, LogicalTopN):
+        return float(min(node.count, estimate_rows(node.child, catalog)))
+    if isinstance(node, LogicalLimit):
+        return float(min(node.count, estimate_rows(node.child, catalog)))
+    raise TypeError(f"no estimator for {type(node).__name__}")

@@ -1,0 +1,230 @@
+"""Naive single-node reference executor (correctness oracle).
+
+Evaluates a logical plan directly over whole in-memory tables, with
+straightforward dict-based joins and aggregations.  The distributed engine
+must produce exactly the same rows under *any* DOP tuning schedule — the
+test suite's central invariant (elasticity never changes answers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .data import Catalog
+from .errors import ExecutionError
+from .pages import ColumnType, Page, Schema
+from .plan.logical import (
+    JoinType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopN,
+)
+from .sql.expressions import AggregateCall
+from .sql.functions import (
+    group_codes,
+    grouped_count,
+    grouped_max,
+    grouped_min,
+    grouped_sum,
+)
+
+
+def empty_aggregate_value(call: AggregateCall):
+    """Value of an aggregate over zero rows (engine-wide convention).
+
+    Standard SQL yields NULL for sum/avg/min/max over empty input; this
+    engine is NULL-free, so it uses 0 for sums/counts and NaN for the rest
+    (documented deviation, consistent across reference and distributed
+    executors).
+    """
+    if call.function == "count":
+        return 0
+    if call.function == "sum":
+        return 0 if call.result_type is ColumnType.INT64 else 0.0
+    return float("nan")
+
+
+def execute_reference(plan: LogicalNode, catalog: Catalog) -> Page:
+    """Evaluate ``plan`` against ``catalog`` and return one result page."""
+    return _Reference(catalog).run(plan)
+
+
+class _Reference:
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def run(self, node: LogicalNode) -> Page:
+        method = getattr(self, f"_run_{type(node).__name__}", None)
+        if method is None:
+            raise ExecutionError(f"reference executor: no rule for {type(node).__name__}")
+        return method(node)
+
+    # -- leaves -----------------------------------------------------------
+    def _run_LogicalScan(self, node: LogicalScan) -> Page:
+        table = self.catalog.table(node.table)
+        columns = [table.columns[i] for i in node.column_indexes]
+        return Page(node.schema, columns)
+
+    # -- row transforms -----------------------------------------------------
+    def _run_LogicalFilter(self, node: LogicalFilter) -> Page:
+        child = self.run(node.child)
+        mask = node.predicate.evaluate(child).astype(bool, copy=False)
+        return child.mask(mask)
+
+    def _run_LogicalProject(self, node: LogicalProject) -> Page:
+        child = self.run(node.child)
+        return Page(node.schema, [e.evaluate(child) for e in node.exprs])
+
+    # -- joins -----------------------------------------------------------
+    def _run_LogicalJoin(self, node: LogicalJoin) -> Page:
+        left = self.run(node.left)
+        right = self.run(node.right)
+        if node.join_type is JoinType.CROSS:
+            return self._cross(node, left, right)
+
+        build_keys = _key_rows(right, node.right_keys)
+        table: dict[tuple, list[int]] = {}
+        for i, key in enumerate(build_keys):
+            table.setdefault(key, []).append(i)
+
+        probe_keys = _key_rows(left, node.left_keys)
+        if node.join_type in (JoinType.SEMI, JoinType.ANTI):
+            want = node.join_type is JoinType.SEMI
+            mask = np.fromiter(
+                ((key in table) == want for key in probe_keys),
+                dtype=bool,
+                count=len(probe_keys),
+            )
+            return left.mask(mask)
+
+        left_idx: list[int] = []
+        right_idx: list[int] = []
+        for i, key in enumerate(probe_keys):
+            for j in table.get(key, ()):
+                left_idx.append(i)
+                right_idx.append(j)
+        combined = _concat_rows(node.schema, left, right, left_idx, right_idx)
+        if node.residual is not None:
+            mask = node.residual.evaluate(combined).astype(bool, copy=False)
+            combined = combined.mask(mask)
+        return combined
+
+    def _cross(self, node: LogicalJoin, left: Page, right: Page) -> Page:
+        nl, nr = left.num_rows, right.num_rows
+        left_idx = np.repeat(np.arange(nl), nr)
+        right_idx = np.tile(np.arange(nr), nl)
+        combined = _concat_rows(node.schema, left, right, left_idx, right_idx)
+        if node.residual is not None:
+            mask = node.residual.evaluate(combined).astype(bool, copy=False)
+            combined = combined.mask(mask)
+        return combined
+
+    # -- aggregation -----------------------------------------------------
+    def _run_LogicalAggregate(self, node: LogicalAggregate) -> Page:
+        child = self.run(node.child)
+        keys = [child.columns[k] for k in node.group_keys]
+        if not node.group_keys:
+            values = []
+            for agg in node.aggregates:
+                values.append(_global_aggregate(agg, child))
+            return Page.from_rows(node.schema, [tuple(values)])
+
+        if child.num_rows == 0:
+            return Page(node.schema, [f.type.coerce([]) for f in node.schema])
+
+        codes, unique_keys = group_codes(keys)
+        ngroups = len(unique_keys[0]) if unique_keys else 0
+        columns = list(unique_keys)
+        for agg in node.aggregates:
+            columns.append(_grouped_aggregate(agg, child, codes, ngroups))
+        return Page(node.schema, columns)
+
+    # -- ordering -----------------------------------------------------------
+    def _run_LogicalSort(self, node: LogicalSort) -> Page:
+        child = self.run(node.child)
+        return child.take(sort_indices(child, node.sort_keys))
+
+    def _run_LogicalTopN(self, node: LogicalTopN) -> Page:
+        child = self.run(node.child)
+        order = sort_indices(child, node.sort_keys)[: node.count]
+        return child.take(order)
+
+    def _run_LogicalLimit(self, node: LogicalLimit) -> Page:
+        child = self.run(node.child)
+        return child.slice(0, node.count)
+
+
+# ---------------------------------------------------------------------------
+# shared helpers (also used by the distributed operators and tests)
+# ---------------------------------------------------------------------------
+def _key_rows(page: Page, keys: list[int]) -> list[tuple]:
+    cols = [page.columns[k].tolist() for k in keys]
+    return list(zip(*cols)) if cols else [() for _ in range(page.num_rows)]
+
+
+def _concat_rows(schema: Schema, left: Page, right: Page, left_idx, right_idx) -> Page:
+    left_idx = np.asarray(left_idx, dtype=np.int64)
+    right_idx = np.asarray(right_idx, dtype=np.int64)
+    columns = [c[left_idx] for c in left.columns]
+    columns += [c[right_idx] for c in right.columns]
+    return Page(schema, columns)
+
+
+def _global_aggregate(agg: AggregateCall, page: Page):
+    if page.num_rows == 0:
+        return empty_aggregate_value(agg)
+    if agg.function == "count":
+        return page.num_rows
+    values = agg.arg.evaluate(page)
+    if agg.function == "sum":
+        total = values.sum()
+        return int(total) if agg.result_type is ColumnType.INT64 else float(total)
+    if agg.function == "avg":
+        return float(values.mean())
+    if agg.function == "min":
+        return values.min()
+    if agg.function == "max":
+        return values.max()
+    raise ExecutionError(f"unknown aggregate {agg.function}")
+
+
+def _grouped_aggregate(
+    agg: AggregateCall, page: Page, codes: np.ndarray, ngroups: int
+) -> np.ndarray:
+    if agg.function == "count" and agg.arg is None:
+        return grouped_count(codes, ngroups)
+    values = agg.arg.evaluate(page) if agg.arg is not None else None
+    if agg.function == "count":
+        return grouped_count(codes, ngroups)
+    if agg.function == "sum":
+        return grouped_sum(codes, values, ngroups)
+    if agg.function == "avg":
+        sums = grouped_sum(codes, values.astype(np.float64), ngroups)
+        counts = grouped_count(codes, ngroups)
+        return sums / counts
+    if agg.function == "min":
+        return grouped_min(codes, values, ngroups)
+    if agg.function == "max":
+        return grouped_max(codes, values, ngroups)
+    raise ExecutionError(f"unknown aggregate {agg.function}")
+
+
+def sort_indices(page: Page, sort_keys: list[tuple[int, bool]]) -> np.ndarray:
+    """Stable multi-key sort; supports mixed asc/desc and string keys."""
+    order = np.arange(page.num_rows)
+    # Apply keys from least to most significant; each pass is stable.
+    for index, ascending in reversed(sort_keys):
+        column = page.columns[index][order]
+        if column.dtype == object:
+            inner = sorted(range(len(order)), key=lambda i: column[i], reverse=not ascending)
+            order = order[np.asarray(inner, dtype=np.int64)]
+        else:
+            key = column if ascending else -column
+            order = order[np.argsort(key, kind="stable")]
+    return order

@@ -1,0 +1,14 @@
+"""Experiment scripting language and executor (paper Section 6.1)."""
+
+from .executor import ActionLog, ScriptExecutor, ScriptResult, run_script
+from .lang import parse_script, parse_stage, parse_time
+
+__all__ = [
+    "ActionLog",
+    "ScriptExecutor",
+    "ScriptResult",
+    "parse_script",
+    "parse_stage",
+    "parse_time",
+    "run_script",
+]

@@ -1,0 +1,188 @@
+"""The built-in experiment scripting language (paper Section 6.1).
+
+Accordion ships a small script language for controlling query initiation
+and parallelism adjustments at specified virtual times; the evaluation
+uses it to drive every throughput experiment.  Line-oriented grammar::
+
+    # comments and blank lines are ignored
+    submit q3 Q3 stage_dop=1 task_dop=1
+    submit qj "select count(*) from lineitem" join=partitioned
+    at 10s ac q3 S3 2          # add task DOP of stage 3 to 2
+    at 40s ap q3 S1 4          # add stage DOP of stage 1 to 4
+    at 60s rp q3 S1 2          # reduce stage DOP of stage 1 to 2
+    at 5s  constraint q3 S1 30s
+    at 5s  tune_once q3 S1 20s
+    monitor q3 period=2s
+    run until q3 done max=5000s
+    run for 10s
+
+``submit`` options: ``stage_dop``, ``task_dop``, ``scan_dop``,
+``join`` (auto|broadcast|partitioned), ``shuffle`` (comma-separated table
+names), and ``sN`` per-stage DOP overrides (e.g. ``s1=10``).
+The query argument is either a named TPC-H query (Q1..Q19, Q2J, QSHUFFLE)
+or a quoted SQL string.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass, field
+
+from ..errors import ScriptError
+
+_TIME_RE = re.compile(r"^(\d+(?:\.\d+)?)(s|ms)?$")
+_STAGE_RE = re.compile(r"^[sS](\d+)$")
+
+
+def parse_time(text: str) -> float:
+    match = _TIME_RE.match(text)
+    if not match:
+        raise ScriptError(f"bad time value: {text!r}")
+    value = float(match.group(1))
+    if match.group(2) == "ms":
+        value /= 1000.0
+    return value
+
+
+def parse_stage(text: str) -> int:
+    match = _STAGE_RE.match(text)
+    if not match:
+        raise ScriptError(f"bad stage reference: {text!r} (expected S<number>)")
+    return int(match.group(1))
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubmitCommand:
+    name: str
+    query: str  # named query or raw SQL
+    options: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TuneCommand:
+    time: float
+    verb: str  # ac | ap | rp
+    query: str
+    stage: int
+    target: int
+
+
+@dataclass(frozen=True)
+class ConstraintCommand:
+    time: float
+    query: str
+    stage: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class TuneOnceCommand:
+    time: float
+    query: str
+    stage: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class MonitorCommand:
+    query: str
+    period: float = 2.0
+
+
+@dataclass(frozen=True)
+class RunForCommand:
+    seconds: float
+
+
+@dataclass(frozen=True)
+class RunUntilDoneCommand:
+    query: str
+    max_seconds: float = 1e6
+
+
+Command = (
+    SubmitCommand
+    | TuneCommand
+    | ConstraintCommand
+    | TuneOnceCommand
+    | MonitorCommand
+    | RunForCommand
+    | RunUntilDoneCommand
+)
+
+
+def parse_script(text: str) -> list[Command]:
+    commands: list[Command] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            tokens = shlex.split(line, comments=True)
+            if not tokens:
+                continue
+            commands.append(_parse_line(tokens))
+        except ScriptError as exc:
+            raise ScriptError(f"line {lineno}: {exc}") from None
+        except ValueError as exc:
+            raise ScriptError(f"line {lineno}: {exc}") from None
+    return commands
+
+
+def _parse_line(tokens: list[str]) -> Command:
+    head = tokens[0].lower()
+    if head == "submit":
+        if len(tokens) < 3:
+            raise ScriptError("submit needs a name and a query")
+        options = {}
+        for item in tokens[3:]:
+            if "=" not in item:
+                raise ScriptError(f"bad submit option {item!r} (expected key=value)")
+            key, value = item.split("=", 1)
+            options[key.lower()] = value
+        return SubmitCommand(tokens[1], tokens[2], options)
+    if head == "at":
+        if len(tokens) < 3:
+            raise ScriptError("at needs a time and an action")
+        time = parse_time(tokens[1])
+        verb = tokens[2].lower()
+        if verb in ("ac", "ap", "rp"):
+            if len(tokens) != 6:
+                raise ScriptError(f"{verb} needs: {verb} <query> S<stage> <target>")
+            return TuneCommand(time, verb, tokens[3], parse_stage(tokens[4]), int(tokens[5]))
+        if verb == "constraint":
+            if len(tokens) != 6:
+                raise ScriptError("constraint needs: constraint <query> S<stage> <seconds>")
+            return ConstraintCommand(time, tokens[3], parse_stage(tokens[4]), parse_time(tokens[5]))
+        if verb == "tune_once":
+            if len(tokens) != 6:
+                raise ScriptError("tune_once needs: tune_once <query> S<stage> <seconds>")
+            return TuneOnceCommand(time, tokens[3], parse_stage(tokens[4]), parse_time(tokens[5]))
+        raise ScriptError(f"unknown action {verb!r}")
+    if head == "monitor":
+        if len(tokens) < 2:
+            raise ScriptError("monitor needs a query name")
+        period = 2.0
+        for item in tokens[2:]:
+            if item.startswith("period="):
+                period = parse_time(item.split("=", 1)[1])
+            else:
+                raise ScriptError(f"unknown monitor option {item!r}")
+        return MonitorCommand(tokens[1], period)
+    if head == "run":
+        if len(tokens) >= 3 and tokens[1] == "for":
+            return RunForCommand(parse_time(tokens[2]))
+        if len(tokens) >= 4 and tokens[1] == "until" and tokens[3] == "done":
+            max_seconds = 1e6
+            for item in tokens[4:]:
+                if item.startswith("max="):
+                    max_seconds = parse_time(item.split("=", 1)[1])
+                else:
+                    raise ScriptError(f"unknown run option {item!r}")
+            return RunUntilDoneCommand(tokens[2], max_seconds)
+        raise ScriptError("run needs 'for <time>' or 'until <query> done'")
+    raise ScriptError(f"unknown command {head!r}")

@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate (virtual clock, CPU, NIC)."""
+
+from .kernel import Event, SimKernel
+from .resources import CpuPool, NicQueue, transfer
+
+__all__ = ["CpuPool", "Event", "NicQueue", "SimKernel", "transfer"]

@@ -1,0 +1,125 @@
+"""Discrete-event simulation kernel with a virtual clock.
+
+The engine substitutes the paper's 21-node AWS cluster with a simulated
+cluster.  All engine components take their notion of time from a
+:class:`SimKernel`: events are callbacks scheduled at virtual timestamps,
+and ``run()`` advances the clock from event to event.  The simulation is
+fully deterministic — ties are broken by an insertion sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class Event:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {state})"
+
+
+class SimKernel:
+    """A priority-queue event loop over virtual time."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` after ``delay`` virtual seconds (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute virtual ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        event = Event(time, next(self._seq), fn)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at the current virtual time, after pending same-time
+        events already queued (FIFO among equal timestamps)."""
+        return self.schedule_at(self.now, fn)
+
+    # -- execution ----------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def step(self) -> bool:
+        """Process the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.fn()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        stop_when: Callable[[], bool] | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``stop_when()`` becomes true (checked between events).
+
+        When ``until`` is given and the queue drains earlier, the clock is
+        advanced to ``until`` so periodic wall-clock measurements stay
+        consistent.
+        """
+        processed = 0
+        while True:
+            if stop_when is not None and stop_when():
+                return
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events (livelock?)"
+                )
+            next_event = self._peek()
+            if next_event is None:
+                if until is not None and self.now < until:
+                    self.now = until
+                return
+            if until is not None and next_event.time > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+
+    def _peek(self) -> Event | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None

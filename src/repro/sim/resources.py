@@ -1,0 +1,197 @@
+"""Simulated hardware resources: CPU core pools and NIC links.
+
+Each simulated node owns a :class:`CpuPool` (drivers and shuffle executors
+occupy cores for the virtual duration of their work) and a :class:`NicQueue`
+(page transfers occupy link bandwidth).  Contention on these resources is
+what makes DOP tuning behave like the paper: adding drivers helps until a
+node's cores saturate; shuffling from too few nodes makes the NIC/CPU of
+those nodes the bottleneck.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable
+
+from .kernel import SimKernel
+
+
+class CpuPool:
+    """A fixed number of cores executing queued work items.
+
+    Work is submitted as ``(cost_seconds, priority, fn)``; ``fn`` fires when
+    the item has held a core for ``cost_seconds``.  Lower priority values run
+    first (the task executor uses this for its multi-level feedback queue).
+    Utilization is tracked as a cumulative busy-core-seconds integral so the
+    auto-tuner can estimate spare CPU capacity (paper Section 5.3).
+    """
+
+    def __init__(self, kernel: SimKernel, cores: int, name: str = "cpu"):
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.kernel = kernel
+        self.cores = cores
+        self.name = name
+        self._queue: list[tuple[float, int, tuple]] = []
+        self._seq = itertools.count()
+        self.busy = 0
+        self._busy_integral = 0.0
+        self._last_change = 0.0
+
+    # -- utilization accounting -----------------------------------------
+    def _account(self) -> None:
+        now = self.kernel.now
+        self._busy_integral += self.busy * (now - self._last_change)
+        self._last_change = now
+
+    def busy_core_seconds(self) -> float:
+        """Cumulative busy integral up to the current virtual time."""
+        self._account()
+        return self._busy_integral
+
+    def utilization_between(self, mark: float, mark_time: float) -> float:
+        """Average utilization in [0, 1] since a previous sample.
+
+        ``mark`` is a prior ``busy_core_seconds()`` reading taken at virtual
+        time ``mark_time``; the result is the mean fraction of cores busy
+        from then to now.
+        """
+        elapsed = self.kernel.now - mark_time
+        if elapsed <= 0:
+            return self.busy / self.cores
+        return (self.busy_core_seconds() - mark) / (elapsed * self.cores)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle_cores(self) -> int:
+        return self.cores - self.busy
+
+    # -- execution ----------------------------------------------------------
+    def submit(self, cost: float, fn: Callable[[], None], priority: float = 0.0) -> None:
+        """Queue a work item of known cost; ``fn`` runs after holding a
+        core for ``cost`` virtual seconds."""
+        if cost < 0:
+            raise ValueError("cost must be >= 0")
+        self._push(priority, ("submit", cost, fn))
+
+    def acquire(
+        self,
+        run: Callable[[], tuple[float, Callable[[], None]]],
+        priority: float = 0.0,
+    ) -> None:
+        """Grant a core, *then* determine the work.
+
+        ``run`` executes once a core is granted and returns
+        ``(cost, commit)``; the core is held for ``cost`` virtual seconds
+        and ``commit`` fires when it is released.  Drivers use this so that
+        input is consumed only when they are actually scheduled.
+        """
+        self._push(priority, ("acquire", 0.0, run))
+
+    def _push(self, priority: float, item) -> None:
+        heapq.heappush(self._queue, (priority, next(self._seq), item))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self.busy < self.cores and self._queue:
+            _, _, (kind, cost, fn) = heapq.heappop(self._queue)
+            if kind == "acquire":
+                cost, fn = fn()
+                if cost < 0:
+                    raise ValueError("cost must be >= 0")
+            self._account()
+            self.busy += 1
+            self.kernel.schedule(cost, lambda fn=fn: self._complete(fn))
+
+    def _complete(self, fn: Callable[[], None]) -> None:
+        self._account()
+        self.busy -= 1
+        try:
+            fn()
+        finally:
+            self._dispatch()
+
+
+class NicQueue:
+    """A full-duplex network link with finite bandwidth.
+
+    Transfers occupy the link serially per direction: a transfer of ``n``
+    bytes holds the queue for ``n / bytes_per_second`` virtual seconds.
+    """
+
+    def __init__(self, kernel: SimKernel, bytes_per_second: float, name: str = "nic"):
+        if bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.kernel = kernel
+        self.bytes_per_second = bytes_per_second
+        self.name = name
+        self._pending: deque[tuple[float, Callable[[], None]]] = deque()
+        self._active = False
+        self.bytes_transferred = 0.0
+        self._busy_integral = 0.0
+
+    def occupy(self, nbytes: float, fn: Callable[[], None]) -> None:
+        """Hold the link for ``nbytes`` worth of time, then call ``fn``."""
+        duration = nbytes / self.bytes_per_second
+        self._pending.append((duration, fn))
+        self.bytes_transferred += nbytes
+        self._drain()
+
+    def _drain(self) -> None:
+        if self._active or not self._pending:
+            return
+        duration, fn = self._pending.popleft()
+        self._active = True
+        self._busy_integral += duration
+
+        def done() -> None:
+            self._active = False
+            try:
+                fn()
+            finally:
+                self._drain()
+
+        self.kernel.schedule(duration, done)
+
+    def busy_seconds(self) -> float:
+        """Cumulative link-busy virtual seconds granted so far."""
+        return self._busy_integral
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending) + (1 if self._active else 0)
+
+
+def transfer(
+    kernel: SimKernel,
+    src: NicQueue,
+    dst: NicQueue,
+    nbytes: float,
+    latency: float,
+    fn: Callable[[], None],
+) -> None:
+    """Move ``nbytes`` from ``src`` to ``dst``: both NICs are occupied and
+    ``fn`` fires after the slower of the two plus fixed ``latency``.
+
+    Loopback transfers (``src is dst``) skip the NIC entirely — intra-node
+    data movement does not consume network bandwidth.
+    """
+    if src is dst:
+        kernel.schedule(latency, fn)
+        return
+
+    remaining = 2
+
+    def one_side_done() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            kernel.schedule(latency, fn)
+
+    src.occupy(nbytes, one_side_done)
+    dst.occupy(nbytes, one_side_done)

@@ -1,0 +1,6 @@
+"""SQL front end: lexer, parser, analyzer, bound expressions."""
+
+from .lexer import tokenize
+from .parser import parse, parse_expression
+
+__all__ = ["parse", "parse_expression", "tokenize"]

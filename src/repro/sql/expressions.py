@@ -1,0 +1,381 @@
+"""Bound (resolved, typed) expressions with vectorized evaluation.
+
+The analyzer lowers AST expressions to this IR.  Every node knows its
+:class:`~repro.pages.ColumnType` and evaluates against a page to a numpy
+array of ``page.num_rows`` values.  The engine's data contains no NULLs
+(TPC-H), so evaluation uses two-valued logic; ``IsNull`` exists for
+completeness and checks for ``None`` cells in object columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..pages import ColumnType, Page
+
+
+class BoundExpr:
+    """Base class: a typed, vectorized expression over a page."""
+
+    __slots__ = ()
+    type: ColumnType
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["BoundExpr"]:
+        return ()
+
+    def walk(self):
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def _object_array(values: list) -> np.ndarray:
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr
+
+
+@dataclass(frozen=True)
+class InputRef(BoundExpr):
+    """Reference to a column of the input page by position."""
+
+    index: int
+    type: ColumnType
+    name: str = ""
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        return page.columns[self.index]
+
+    def __str__(self) -> str:
+        return f"${self.index}" + (f"[{self.name}]" if self.name else "")
+
+
+@dataclass(frozen=True)
+class Constant(BoundExpr):
+    value: object
+    type: ColumnType
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        n = page.num_rows
+        if self.type is ColumnType.STRING:
+            out = np.empty(n, dtype=object)
+            out[:] = self.value
+            return out
+        return np.full(n, self.value, dtype=self.type.numpy_dtype)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+_ARITH_FNS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(BoundExpr):
+    op: str
+    left: BoundExpr
+    right: BoundExpr
+    type: ColumnType
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        lhs = self.left.evaluate(page)
+        rhs = self.right.evaluate(page)
+        if self.op == "||":
+            return _object_array([f"{a}{b}" for a, b in zip(lhs.tolist(), rhs.tolist())])
+        fn = _ARITH_FNS.get(self.op)
+        if fn is None:
+            raise ExecutionError(f"unsupported arithmetic operator {self.op}")
+        if self.op == "/" and self.type is ColumnType.FLOAT64:
+            lhs = lhs.astype(np.float64, copy=False)
+        result = fn(lhs, rhs)
+        return result.astype(self.type.numpy_dtype, copy=False)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Negate(BoundExpr):
+    operand: BoundExpr
+    type: ColumnType
+
+    def children(self):
+        return (self.operand,)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        return -self.operand.evaluate(page)
+
+
+@dataclass(frozen=True)
+class Comparison(BoundExpr):
+    op: str  # = <> < <= > >=
+    left: BoundExpr
+    right: BoundExpr
+    type: ColumnType = ColumnType.BOOL
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        lhs = self.left.evaluate(page)
+        rhs = self.right.evaluate(page)
+        if lhs.dtype == object or rhs.dtype == object:
+            return self._compare_objects(lhs, rhs)
+        if self.op == "=":
+            return lhs == rhs
+        if self.op == "<>":
+            return lhs != rhs
+        if self.op == "<":
+            return lhs < rhs
+        if self.op == "<=":
+            return lhs <= rhs
+        if self.op == ">":
+            return lhs > rhs
+        if self.op == ">=":
+            return lhs >= rhs
+        raise ExecutionError(f"unsupported comparison {self.op}")
+
+    def _compare_objects(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        a = lhs.tolist()
+        b = rhs.tolist()
+        op = self.op
+        if op == "=":
+            return np.fromiter((x == y for x, y in zip(a, b)), dtype=bool, count=len(a))
+        if op == "<>":
+            return np.fromiter((x != y for x, y in zip(a, b)), dtype=bool, count=len(a))
+        if op == "<":
+            return np.fromiter((x < y for x, y in zip(a, b)), dtype=bool, count=len(a))
+        if op == "<=":
+            return np.fromiter((x <= y for x, y in zip(a, b)), dtype=bool, count=len(a))
+        if op == ">":
+            return np.fromiter((x > y for x, y in zip(a, b)), dtype=bool, count=len(a))
+        return np.fromiter((x >= y for x, y in zip(a, b)), dtype=bool, count=len(a))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BoolAnd(BoundExpr):
+    terms: tuple[BoundExpr, ...]
+    type: ColumnType = ColumnType.BOOL
+
+    def children(self):
+        return self.terms
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        result = self.terms[0].evaluate(page).astype(bool, copy=True)
+        for term in self.terms[1:]:
+            result &= term.evaluate(page).astype(bool, copy=False)
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(map(str, self.terms)) + ")"
+
+
+@dataclass(frozen=True)
+class BoolOr(BoundExpr):
+    terms: tuple[BoundExpr, ...]
+    type: ColumnType = ColumnType.BOOL
+
+    def children(self):
+        return self.terms
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        result = self.terms[0].evaluate(page).astype(bool, copy=True)
+        for term in self.terms[1:]:
+            result |= term.evaluate(page).astype(bool, copy=False)
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(map(str, self.terms)) + ")"
+
+
+@dataclass(frozen=True)
+class BoolNot(BoundExpr):
+    operand: BoundExpr
+    type: ColumnType = ColumnType.BOOL
+
+    def children(self):
+        return (self.operand,)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        return ~self.operand.evaluate(page).astype(bool, copy=False)
+
+
+@dataclass(frozen=True)
+class InSet(BoundExpr):
+    value: BoundExpr
+    options: frozenset
+    type: ColumnType = ColumnType.BOOL
+
+    def children(self):
+        return (self.value,)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        arr = self.value.evaluate(page)
+        if arr.dtype == object:
+            opts = self.options
+            return np.fromiter(
+                (v in opts for v in arr.tolist()), dtype=bool, count=len(arr)
+            )
+        return np.isin(arr, np.array(sorted(self.options)))
+
+
+@dataclass(frozen=True)
+class LikeMatch(BoundExpr):
+    value: BoundExpr
+    pattern: str
+    negated: bool = False
+    type: ColumnType = ColumnType.BOOL
+
+    def children(self):
+        return (self.value,)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        from .functions import like_matcher
+
+        match = like_matcher(self.pattern)
+        arr = self.value.evaluate(page)
+        result = np.fromiter(
+            (match(v) for v in arr.tolist()), dtype=bool, count=len(arr)
+        )
+        return ~result if self.negated else result
+
+    def __str__(self) -> str:
+        return f"({self.value} LIKE {self.pattern!r})"
+
+
+@dataclass(frozen=True)
+class IsNull(BoundExpr):
+    value: BoundExpr
+    negated: bool = False
+    type: ColumnType = ColumnType.BOOL
+
+    def children(self):
+        return (self.value,)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        arr = self.value.evaluate(page)
+        if arr.dtype == object:
+            result = np.fromiter(
+                (v is None for v in arr.tolist()), dtype=bool, count=len(arr)
+            )
+        else:
+            result = np.zeros(len(arr), dtype=bool)
+        return ~result if self.negated else result
+
+
+@dataclass(frozen=True)
+class CaseWhen(BoundExpr):
+    whens: tuple[tuple[BoundExpr, BoundExpr], ...]
+    default: BoundExpr | None
+    type: ColumnType
+
+    def children(self):
+        kids: list[BoundExpr] = []
+        for cond, value in self.whens:
+            kids.extend((cond, value))
+        if self.default is not None:
+            kids.append(self.default)
+        return tuple(kids)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        n = page.num_rows
+        dtype = self.type.numpy_dtype
+        if self.type is ColumnType.STRING:
+            result = np.empty(n, dtype=object)
+            result[:] = None
+        else:
+            result = np.zeros(n, dtype=dtype)
+        decided = np.zeros(n, dtype=bool)
+        for cond, value in self.whens:
+            mask = cond.evaluate(page).astype(bool, copy=False) & ~decided
+            if mask.any():
+                result[mask] = value.evaluate(page)[mask]
+            decided |= mask
+        if self.default is not None:
+            rest = ~decided
+            if rest.any():
+                result[rest] = self.default.evaluate(page)[rest]
+        return result
+
+
+@dataclass(frozen=True)
+class ExtractDatePart(BoundExpr):
+    unit: str  # year | month | day
+    source: BoundExpr
+    type: ColumnType = ColumnType.INT64
+
+    def children(self):
+        return (self.source,)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        days = self.source.evaluate(page).astype("datetime64[D]")
+        if self.unit == "year":
+            return days.astype("datetime64[Y]").astype(np.int64) + 1970
+        if self.unit == "month":
+            months = days.astype("datetime64[M]").astype(np.int64)
+            return months % 12 + 1
+        if self.unit == "day":
+            months = days.astype("datetime64[M]")
+            return (days - months).astype(np.int64) + 1
+        raise ExecutionError(f"unsupported EXTRACT unit {self.unit}")
+
+    def __str__(self) -> str:
+        return f"EXTRACT({self.unit} FROM {self.source})"
+
+
+@dataclass(frozen=True)
+class Cast(BoundExpr):
+    value: BoundExpr
+    type: ColumnType
+
+    def children(self):
+        return (self.value,)
+
+    def evaluate(self, page: Page) -> np.ndarray:
+        arr = self.value.evaluate(page)
+        if self.type is ColumnType.STRING:
+            return _object_array([str(v) for v in arr.tolist()])
+        return arr.astype(self.type.numpy_dtype)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate call descriptors (consumed by aggregation operators)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggregateCall:
+    """One aggregate in an Aggregate plan node, e.g. ``sum(expr)``.
+
+    ``arg`` is ``None`` for ``count(*)``.  ``avg`` is decomposed by the
+    two-stage aggregation model into (sum, count) partials merged by the
+    final aggregation (paper Section 4.1).
+    """
+
+    function: str  # sum | count | avg | min | max
+    arg: BoundExpr | None
+    result_type: ColumnType
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        head = f"{self.function}(distinct " if self.distinct else f"{self.function}("
+        return f"{head}{inner})"

@@ -1,0 +1,232 @@
+"""Scalar helpers and aggregate function semantics.
+
+This module centralises:
+
+* LIKE pattern compilation (with fast paths for prefix/suffix/contains),
+* type rules for arithmetic and aggregates,
+* the partial/final decomposition used by the two-stage aggregation model
+  (paper Section 4.1): ``partial_fields`` describes the state columns a
+  partial aggregation emits and ``merge functions`` describe how the final
+  aggregation combines them,
+* vectorized hashing used for shuffle partitioning.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..pages import ColumnType
+
+AGGREGATE_FUNCTIONS = frozenset({"sum", "count", "avg", "min", "max"})
+
+
+# ---------------------------------------------------------------------------
+# LIKE
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=256)
+def like_matcher(pattern: str) -> Callable[[str], bool]:
+    """Compile a SQL LIKE pattern to a predicate over python strings."""
+    if "_" not in pattern:
+        body = pattern.strip("%")
+        if "%" not in body:
+            leading = pattern.startswith("%")
+            trailing = pattern.endswith("%")
+            if leading and trailing:
+                return lambda s, b=body: b in s
+            if trailing and not leading:
+                return lambda s, b=body: s.startswith(b)
+            if leading and not trailing:
+                return lambda s, b=body: s.endswith(b)
+            return lambda s, b=body: s == b
+    regex = re.compile(
+        "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$",
+        re.DOTALL,
+    )
+    return lambda s, r=regex: r.match(s) is not None
+
+
+# ---------------------------------------------------------------------------
+# Type rules
+# ---------------------------------------------------------------------------
+def arithmetic_result_type(op: str, left: ColumnType, right: ColumnType) -> ColumnType:
+    """Result type of ``left op right``; raises on nonsense combinations."""
+    if op == "||":
+        return ColumnType.STRING
+    numeric = (ColumnType.INT64, ColumnType.FLOAT64)
+    if left is ColumnType.DATE and right is ColumnType.INT64 and op in ("+", "-"):
+        return ColumnType.DATE  # date +- days
+    if left in numeric and right in numeric:
+        if op == "/":
+            return ColumnType.FLOAT64
+        if ColumnType.FLOAT64 in (left, right):
+            return ColumnType.FLOAT64
+        return ColumnType.INT64
+    raise AnalysisError(f"cannot apply {op} to {left.value} and {right.value}")
+
+
+def comparable(left: ColumnType, right: ColumnType) -> bool:
+    numeric = (ColumnType.INT64, ColumnType.FLOAT64)
+    if left is right:
+        return True
+    if left in numeric and right in numeric:
+        return True
+    return {left, right} == {ColumnType.DATE, ColumnType.INT64}
+
+
+def aggregate_result_type(function: str, arg_type: ColumnType | None) -> ColumnType:
+    if function == "count":
+        return ColumnType.INT64
+    if arg_type is None:
+        raise AnalysisError(f"{function} requires an argument")
+    if function == "avg":
+        return ColumnType.FLOAT64
+    if function in ("min", "max"):
+        return arg_type
+    if function == "sum":
+        if arg_type is ColumnType.FLOAT64:
+            return ColumnType.FLOAT64
+        if arg_type is ColumnType.INT64:
+            return ColumnType.INT64
+        raise AnalysisError(f"cannot sum {arg_type.value}")
+    raise AnalysisError(f"unknown aggregate {function}")
+
+
+def partial_fields(function: str, arg_type: ColumnType | None) -> list[ColumnType]:
+    """State column types emitted by partial aggregation for one call.
+
+    ``avg`` carries (sum, count); everything else carries one value.
+    """
+    if function == "count":
+        return [ColumnType.INT64]
+    if function == "avg":
+        return [ColumnType.FLOAT64, ColumnType.INT64]
+    return [aggregate_result_type(function, arg_type)]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized grouped reduction primitives
+# ---------------------------------------------------------------------------
+def grouped_sum(codes: np.ndarray, values: np.ndarray, ngroups: int) -> np.ndarray:
+    out = np.bincount(codes, weights=values.astype(np.float64, copy=False), minlength=ngroups)
+    if values.dtype == np.int64:
+        return out.astype(np.int64)
+    return out
+
+
+def grouped_count(codes: np.ndarray, ngroups: int) -> np.ndarray:
+    return np.bincount(codes, minlength=ngroups).astype(np.int64)
+
+
+def grouped_min(codes: np.ndarray, values: np.ndarray, ngroups: int) -> np.ndarray:
+    if values.dtype == object:
+        out: list = [None] * ngroups
+        for code, value in zip(codes.tolist(), values.tolist()):
+            if out[code] is None or value < out[code]:
+                out[code] = value
+        arr = np.empty(ngroups, dtype=object)
+        arr[:] = out
+        return arr
+    out_arr = np.full(ngroups, _max_init(values.dtype), dtype=values.dtype)
+    np.minimum.at(out_arr, codes, values)
+    return out_arr
+
+
+def grouped_max(codes: np.ndarray, values: np.ndarray, ngroups: int) -> np.ndarray:
+    if values.dtype == object:
+        out: list = [None] * ngroups
+        for code, value in zip(codes.tolist(), values.tolist()):
+            if out[code] is None or value > out[code]:
+                out[code] = value
+        arr = np.empty(ngroups, dtype=object)
+        arr[:] = out
+        return arr
+    out_arr = np.full(ngroups, _min_init(values.dtype), dtype=values.dtype)
+    np.maximum.at(out_arr, codes, values)
+    return out_arr
+
+
+def _max_init(dtype: np.dtype):
+    if np.issubdtype(dtype, np.integer):
+        return np.iinfo(dtype).max
+    return np.inf
+
+
+def _min_init(dtype: np.dtype):
+    if np.issubdtype(dtype, np.integer):
+        return np.iinfo(dtype).min
+    return -np.inf
+
+
+def group_codes(key_columns: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Assign a dense group code to each row given its key columns.
+
+    Returns ``(codes, unique_key_columns)`` where ``codes[i]`` indexes into
+    the unique key arrays.  Works for any mix of numeric and object columns.
+    """
+    if not key_columns:
+        n = 0
+        return np.zeros(n, dtype=np.int64), []
+    if len(key_columns) == 1:
+        uniques, codes = np.unique(key_columns[0], return_inverse=True)
+        return codes.astype(np.int64), [uniques]
+    per_col_codes = []
+    per_col_uniques = []
+    for col in key_columns:
+        uniq, inv = np.unique(col, return_inverse=True)
+        per_col_codes.append(inv.astype(np.int64))
+        per_col_uniques.append(uniq)
+    combined = per_col_codes[0]
+    for inv, uniq in zip(per_col_codes[1:], per_col_uniques[1:]):
+        combined = combined * len(uniq) + inv
+    final_uniques, codes = np.unique(combined, return_inverse=True)
+    # Map combined codes back to one representative row per group.
+    first_row = np.zeros(len(final_uniques), dtype=np.int64)
+    seen = np.full(len(final_uniques), -1, dtype=np.int64)
+    order = np.arange(len(codes))
+    # reverse pass keeps the first occurrence
+    seen[codes[::-1]] = order[::-1]
+    first_row = seen
+    unique_cols = [col[first_row] for col in key_columns]
+    return codes.astype(np.int64), unique_cols
+
+
+# ---------------------------------------------------------------------------
+# Hash partitioning
+# ---------------------------------------------------------------------------
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def hash_columns(columns: list[np.ndarray]) -> np.ndarray:
+    """Stable vectorized 64-bit hash of row keys for shuffle partitioning."""
+    if not columns:
+        raise ValueError("hash_columns needs at least one column")
+    n = len(columns[0])
+    acc = np.zeros(n, dtype=np.uint64)
+    for col in columns:
+        if col.dtype == object:
+            # crc32 keeps shuffle partitioning deterministic across
+            # processes (hash() is randomized per interpreter run).
+            h = np.fromiter(
+                (zlib.crc32(str(v).encode("utf-8")) for v in col.tolist()),
+                dtype=np.uint64,
+                count=n,
+            )
+        else:
+            h = col.view(np.uint64) if col.dtype == np.int64 else col.astype(np.float64).view(np.uint64)
+        with np.errstate(over="ignore"):
+            acc = (acc ^ h) * _MIX
+            acc ^= acc >> np.uint64(29)
+    return acc
+
+
+def partition_assignments(columns: list[np.ndarray], partitions: int) -> np.ndarray:
+    """Partition index per row (hash mod partitions)."""
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    return (hash_columns(columns) % np.uint64(partitions)).astype(np.int64)

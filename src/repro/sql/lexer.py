@@ -1,0 +1,109 @@
+"""Hand-written SQL lexer."""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, SYMBOLS, Token, TokenType
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens, ending with a single EOF token.
+
+    Supports ``--`` line comments, single-quoted strings with ``''``
+    escaping, integer/decimal numbers, identifiers (case-insensitive;
+    keywords are upper-cased), and the operator set in ``SYMBOLS``.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(sql)
+
+    def here(pos: int) -> tuple[int, int]:
+        return line, pos - line_start + 1
+
+    while i < n:
+        ch = sql[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    ln, col = here(start)
+                    raise LexError("unterminated string literal", start, ln, col)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(sql[i])
+                i += 1
+            ln, col = here(start)
+            tokens.append(Token(TokenType.STRING, "".join(parts), start, ln, col))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+                if sql[i] == ".":
+                    # ``1.`` followed by an identifier is a qualified name,
+                    # not a decimal — only consume the dot before a digit.
+                    if i + 1 >= n or not sql[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            # Scientific notation: 1e9, 2.5E-3.
+            if i < n and sql[i] in "eE":
+                j = i + 1
+                if j < n and sql[j] in "+-":
+                    j += 1
+                if j < n and sql[j].isdigit():
+                    seen_dot = True
+                    i = j
+                    while i < n and sql[i].isdigit():
+                        i += 1
+            ln, col = here(start)
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start, ln, col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            ln, col = here(start)
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start, ln, col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word.lower(), start, ln, col))
+            continue
+        matched = False
+        for sym in SYMBOLS:
+            if sql.startswith(sym, i):
+                ln, col = here(i)
+                tokens.append(Token(TokenType.SYMBOL, sym, i, ln, col))
+                i += len(sym)
+                matched = True
+                break
+        if not matched:
+            ln, col = here(i)
+            raise LexError(f"unexpected character {ch!r}", i, ln, col)
+
+    ln, col = here(i)
+    tokens.append(Token(TokenType.EOF, "", i, ln, col))
+    return tokens

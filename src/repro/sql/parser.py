@@ -1,0 +1,412 @@
+"""Recursive-descent SQL parser producing the AST in :mod:`repro.sql.ast`."""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+_AGGREGATE_KEYWORDS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(sql: str) -> ast.SelectStatement:
+    """Parse a single SELECT statement."""
+    parser = Parser(tokenize(sql))
+    stmt = parser.parse_select()
+    parser.expect_symbol_optional(";")
+    parser.expect_eof()
+    return stmt
+
+
+def parse_expression(sql: str) -> ast.ExprNode:
+    """Parse a standalone expression (used by tests and the script DSL)."""
+    parser = Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(f"{message} at line {tok.line}, column {tok.column} (near {tok.value!r})")
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        if self.current.type is TokenType.KEYWORD and self.current.value in words:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.accept_keyword(word)
+        if token is None:
+            raise self.error(f"expected {word}")
+        return token
+
+    def accept_symbol(self, *symbols: str) -> Token | None:
+        if self.current.type is TokenType.SYMBOL and self.current.value in symbols:
+            return self.advance()
+        return None
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.accept_symbol(symbol)
+        if token is None:
+            raise self.error(f"expected {symbol!r}")
+        return token
+
+    def expect_symbol_optional(self, symbol: str) -> None:
+        self.accept_symbol(symbol)
+
+    def expect_eof(self) -> None:
+        if self.current.type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+
+    def expect_ident(self) -> str:
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value
+        # Allow non-reserved-ish keywords as identifiers where unambiguous.
+        if self.current.type is TokenType.KEYWORD and self.current.value in ("YEAR", "MONTH", "DAY", "DATE"):
+            return self.advance().value.lower()
+        raise self.error("expected identifier")
+
+    # -- statement ----------------------------------------------------------
+    def parse_select(self) -> ast.SelectStatement:
+        self.expect_keyword("SELECT")
+        stmt = ast.SelectStatement()
+        if self.accept_keyword("DISTINCT"):
+            stmt.distinct = True
+        stmt.items = self._parse_select_items()
+        if self.accept_keyword("FROM"):
+            stmt.relations = self._parse_relations()
+        if self.accept_keyword("WHERE"):
+            stmt.where = self.parse_expr()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            stmt.group_by = self._parse_expr_list()
+        if self.accept_keyword("HAVING"):
+            stmt.having = self.parse_expr()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            stmt.order_by = self._parse_order_items()
+        if self.accept_keyword("LIMIT"):
+            token = self.current
+            if token.type is not TokenType.NUMBER or "." in token.value:
+                raise self.error("LIMIT expects an integer")
+            self.advance()
+            stmt.limit = int(token.value)
+        return stmt
+
+    def _parse_select_items(self) -> list[ast.SelectItem]:
+        items = []
+        while True:
+            if self.accept_symbol("*"):
+                items.append(ast.SelectItem(ast.ColumnName("*"), is_star=True))
+            else:
+                expr = self.parse_expr()
+                alias = None
+                if self.accept_keyword("AS"):
+                    alias = self.expect_ident()
+                elif self.current.type is TokenType.IDENT:
+                    alias = self.advance().value
+                items.append(ast.SelectItem(expr, alias))
+            if not self.accept_symbol(","):
+                return items
+
+    def _parse_expr_list(self) -> list[ast.ExprNode]:
+        exprs = [self.parse_expr()]
+        while self.accept_symbol(","):
+            exprs.append(self.parse_expr())
+        return exprs
+
+    def _parse_order_items(self) -> list[ast.OrderItem]:
+        items = []
+        while True:
+            expr = self.parse_expr()
+            ascending = True
+            if self.accept_keyword("DESC"):
+                ascending = False
+            else:
+                self.accept_keyword("ASC")
+            items.append(ast.OrderItem(expr, ascending))
+            if not self.accept_symbol(","):
+                return items
+
+    # -- relations ------------------------------------------------------------
+    def _parse_relations(self) -> list[ast.RelationNode]:
+        relations = [self._parse_joined_relation()]
+        while self.accept_symbol(","):
+            relations.append(self._parse_joined_relation())
+        return relations
+
+    def _parse_joined_relation(self) -> ast.RelationNode:
+        left = self._parse_primary_relation()
+        while True:
+            join_type = None
+            if self.accept_keyword("CROSS"):
+                self.expect_keyword("JOIN")
+                join_type = "cross"
+            elif self.accept_keyword("INNER"):
+                self.expect_keyword("JOIN")
+                join_type = "inner"
+            elif self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                join_type = "left"
+            elif self.accept_keyword("JOIN"):
+                join_type = "inner"
+            if join_type is None:
+                return left
+            right = self._parse_primary_relation()
+            condition = None
+            if join_type != "cross":
+                self.expect_keyword("ON")
+                condition = self.parse_expr()
+            left = ast.JoinRef(left, right, join_type, condition)
+
+    def _parse_primary_relation(self) -> ast.RelationNode:
+        if self.accept_symbol("("):
+            if self.current.matches_keyword("SELECT"):
+                query = self.parse_select()
+                self.expect_symbol(")")
+                self.accept_keyword("AS")
+                alias = self.expect_ident()
+                return ast.SubqueryRef(query, alias)
+            relation = self._parse_joined_relation()
+            self.expect_symbol(")")
+            return relation
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return ast.TableRef(name, alias)
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expr(self) -> ast.ExprNode:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.ExprNode:
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.ExprNode:
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.ExprNode:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.ExprNode:
+        if self.current.matches_keyword("EXISTS"):
+            self.advance()
+            self.expect_symbol("(")
+            query = self.parse_select()
+            self.expect_symbol(")")
+            return ast.ExistsSubquery(query)
+
+        left = self._parse_additive()
+        while True:
+            negated = False
+            if self.current.matches_keyword("NOT"):
+                nxt = self._tokens[self._pos + 1]
+                if nxt.type is TokenType.KEYWORD and nxt.value in ("IN", "BETWEEN", "LIKE"):
+                    self.advance()
+                    negated = True
+                else:
+                    return left
+            if self.accept_keyword("BETWEEN"):
+                low = self._parse_additive()
+                self.expect_keyword("AND")
+                high = self._parse_additive()
+                left = ast.BetweenOp(left, low, high, negated)
+                continue
+            if self.accept_keyword("IN"):
+                self.expect_symbol("(")
+                if self.current.matches_keyword("SELECT"):
+                    query = self.parse_select()
+                    self.expect_symbol(")")
+                    left = ast.InSubquery(left, query, negated)
+                else:
+                    options = tuple(self._parse_expr_list())
+                    self.expect_symbol(")")
+                    left = ast.InListOp(left, options, negated)
+                continue
+            if self.accept_keyword("LIKE"):
+                pattern = self.current
+                if pattern.type is not TokenType.STRING:
+                    raise self.error("LIKE expects a string pattern")
+                self.advance()
+                left = ast.LikeOp(left, pattern.value, negated)
+                continue
+            if self.accept_keyword("IS"):
+                negated = bool(self.accept_keyword("NOT"))
+                self.expect_keyword("NULL")
+                left = ast.IsNullOp(left, negated)
+                continue
+            if (
+                self.current.type is TokenType.SYMBOL
+                and self.current.value in _COMPARISON_OPS
+            ):
+                op = self.advance().value
+                if op == "!=":
+                    op = "<>"
+                if self.current.type is TokenType.SYMBOL and self.current.value == "(" and self._tokens[self._pos + 1].matches_keyword("SELECT"):
+                    self.advance()
+                    query = self.parse_select()
+                    self.expect_symbol(")")
+                    left = ast.BinaryOp(op, left, ast.ScalarSubquery(query))
+                else:
+                    left = ast.BinaryOp(op, left, self._parse_additive())
+                continue
+            return left
+
+    def _parse_additive(self) -> ast.ExprNode:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.accept_symbol("+", "-", "||")
+            if token is None:
+                return left
+            left = ast.BinaryOp(token.value, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.ExprNode:
+        left = self._parse_unary()
+        while True:
+            token = self.accept_symbol("*", "/", "%")
+            if token is None:
+                return left
+            left = ast.BinaryOp(token.value, left, self._parse_unary())
+
+    def _parse_unary(self) -> ast.ExprNode:
+        token = self.accept_symbol("-", "+")
+        if token is not None:
+            return ast.UnaryOp(token.value, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.ExprNode:
+        token = self.current
+
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return ast.NumberLiteral(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.StringLiteral(token.value)
+        if token.matches_keyword("TRUE"):
+            self.advance()
+            return ast.BooleanLiteral(True)
+        if token.matches_keyword("FALSE"):
+            self.advance()
+            return ast.BooleanLiteral(False)
+        if token.matches_keyword("NULL"):
+            self.advance()
+            return ast.NullLiteral()
+        if token.matches_keyword("DATE"):
+            self.advance()
+            lit = self.current
+            if lit.type is not TokenType.STRING:
+                raise self.error("DATE expects a string literal")
+            self.advance()
+            return ast.DateLiteral(lit.value)
+        if token.matches_keyword("INTERVAL"):
+            self.advance()
+            count_token = self.current
+            if count_token.type is not TokenType.STRING:
+                raise self.error("INTERVAL expects a quoted count")
+            self.advance()
+            unit_token = self.accept_keyword("DAY", "MONTH", "YEAR")
+            if unit_token is None:
+                raise self.error("INTERVAL expects DAY, MONTH or YEAR")
+            return ast.IntervalLiteral(int(count_token.value), unit_token.value.lower())
+        if token.matches_keyword("EXTRACT"):
+            self.advance()
+            self.expect_symbol("(")
+            unit_token = self.accept_keyword("YEAR", "MONTH", "DAY")
+            if unit_token is None:
+                raise self.error("EXTRACT expects YEAR, MONTH or DAY")
+            self.expect_keyword("FROM")
+            source = self.parse_expr()
+            self.expect_symbol(")")
+            return ast.ExtractExpr(unit_token.value.lower(), source)
+        if token.matches_keyword("CASE"):
+            return self._parse_case()
+        if token.matches_keyword("CAST"):
+            self.advance()
+            self.expect_symbol("(")
+            value = self.parse_expr()
+            self.expect_keyword("AS")
+            target = self.expect_ident()
+            self.expect_symbol(")")
+            return ast.CastExpr(value, target)
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATE_KEYWORDS:
+            return self._parse_function_call(token.value.lower())
+        if token.type is TokenType.SYMBOL and token.value == "(":
+            self.advance()
+            if self.current.matches_keyword("SELECT"):
+                query = self.parse_select()
+                self.expect_symbol(")")
+                return ast.ScalarSubquery(query)
+            expr = self.parse_expr()
+            self.expect_symbol(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            nxt = self._tokens[self._pos + 1]
+            if nxt.type is TokenType.SYMBOL and nxt.value == "(":
+                return self._parse_function_call(token.value)
+            self.advance()
+            if self.accept_symbol("."):
+                column = self.expect_ident()
+                return ast.ColumnName(column, qualifier=token.value)
+            return ast.ColumnName(token.value)
+        raise self.error("expected expression")
+
+    def _parse_case(self) -> ast.ExprNode:
+        self.expect_keyword("CASE")
+        whens: list[tuple[ast.ExprNode, ast.ExprNode]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expr()
+            self.expect_keyword("THEN")
+            value = self.parse_expr()
+            whens.append((cond, value))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expr()
+        self.expect_keyword("END")
+        return ast.CaseExpr(tuple(whens), default)
+
+    def _parse_function_call(self, name: str) -> ast.ExprNode:
+        self.advance()  # function name token
+        self.expect_symbol("(")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        if self.accept_symbol("*"):
+            self.expect_symbol(")")
+            return ast.FunctionCall(name, (), distinct=distinct, is_star=True)
+        args: tuple[ast.ExprNode, ...] = ()
+        if not (self.current.type is TokenType.SYMBOL and self.current.value == ")"):
+            args = tuple(self._parse_expr_list())
+        self.expect_symbol(")")
+        return ast.FunctionCall(name, args, distinct=distinct)

@@ -1,0 +1,44 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+#: Reserved words recognised by the parser (upper-cased).
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT AS ON JOIN INNER LEFT
+    RIGHT FULL OUTER CROSS AND OR NOT IN EXISTS BETWEEN LIKE IS NULL
+    TRUE FALSE CASE WHEN THEN ELSE END DISTINCT ASC DESC DATE INTERVAL
+    YEAR MONTH DAY EXTRACT COUNT SUM AVG MIN MAX CAST UNION ALL
+    """.split()
+)
+
+#: Multi-character operators, longest first so the lexer matches greedily.
+SYMBOLS = ["<>", "<=", ">=", "!=", "||", "(", ")", ",", ".", "+", "-", "*", "/", "%", "<", ">", "=", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+    line: int
+    column: int
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.value}, {self.value!r})"

@@ -1,0 +1,69 @@
+"""Small shared utilities (date <-> epoch-day conversion, formatting).
+
+TPC-H date columns are stored as int64 days since 1970-01-01 so that all
+date arithmetic stays vectorized; these helpers convert at the boundaries
+(SQL literals, CSV I/O, result rendering).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+def date_to_days(value: str | _dt.date) -> int:
+    """Convert ``YYYY-MM-DD`` (or a date object) to days since the epoch."""
+    if isinstance(value, str):
+        value = _dt.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Inverse of :func:`date_to_days`."""
+    return _EPOCH + _dt.timedelta(days=int(days))
+
+
+def days_to_str(days: int) -> str:
+    return days_to_date(days).isoformat()
+
+
+def add_months(days: int, months: int) -> int:
+    """Add calendar months to an epoch-day value (SQL ``INTERVAL n MONTH``)."""
+    date = days_to_date(days)
+    month_index = date.year * 12 + (date.month - 1) + months
+    year, month = divmod(month_index, 12)
+    month += 1
+    # Clamp the day-of-month like standard SQL interval arithmetic.
+    day = min(date.day, _days_in_month(year, month))
+    return date_to_days(_dt.date(year, month, day))
+
+
+def add_years(days: int, years: int) -> int:
+    return add_months(days, 12 * years)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        nxt = _dt.date(year + 1, 1, 1)
+    else:
+        nxt = _dt.date(year, month + 1, 1)
+    return (nxt - _dt.date(year, month, 1)).days
+
+
+def year_of_days(days: int) -> int:
+    """EXTRACT(YEAR FROM date) for an epoch-day value."""
+    return days_to_date(days).year
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte counts for reports (e.g. Table 1)."""
+    units = ["B", "KB", "MB", "GB", "TB"]
+    value = float(nbytes)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            if unit == "B":
+                return f"{value:.0f}{unit}"
+            return f"{value:.2f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+The heavyweight fixtures (generated TPC-H catalogs) are session-scoped;
+engines are cheap to build on top of a shared catalog.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import AccordionEngine, EngineConfig
+from repro.config import CostModel
+from repro.data import Catalog
+
+
+TEST_SCALE = 0.005
+TEST_SEED = 777
+
+
+@pytest.fixture(scope="session")
+def catalog() -> Catalog:
+    """A small shared TPC-H catalog (lineitem ~30k rows)."""
+    return Catalog.tpch(scale=TEST_SCALE, seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog() -> Catalog:
+    """A very small catalog for expensive (e.g. property-based) tests."""
+    return Catalog.tpch(scale=0.001, seed=TEST_SEED)
+
+
+def make_engine(catalog: Catalog, **config_kwargs) -> AccordionEngine:
+    config = EngineConfig(**config_kwargs) if config_kwargs else EngineConfig()
+    return AccordionEngine(catalog, config=config)
+
+
+def slow_engine(catalog: Catalog, multiplier: float = 1000.0, **kwargs) -> AccordionEngine:
+    """Engine whose queries run long enough for runtime tuning to act.
+
+    Pages are kept small so driver quanta stay well under a virtual second
+    at the stretched cost scale.
+    """
+    kwargs.setdefault("page_row_limit", 256)
+    config = EngineConfig(cost=CostModel().scaled(multiplier), **kwargs)
+    return AccordionEngine(catalog, config=config)
+
+
+@pytest.fixture()
+def engine(catalog) -> AccordionEngine:
+    return make_engine(catalog)
+
+
+def run_until_cond(engine: AccordionEngine, predicate, max_seconds: float = 1e6) -> None:
+    """Advance the simulation until ``predicate()`` holds (or fail)."""
+    engine.kernel.run(until=engine.now + max_seconds, stop_when=predicate)
+    assert predicate(), "condition not reached within the time limit"
+
+
+def builds_ready(query, stage_id: int):
+    """Predicate: every active task of the stage has its hash table built."""
+
+    def check() -> bool:
+        stage = query.stages[stage_id]
+        active = stage.active_group
+        return bool(active) and all(b.ready for t in active for b in t.bridges)
+
+    return check
+
+
+def norm_rows(rows, ndigits: int = 4):
+    """Normalise rows for set comparison (round floats, map NaN)."""
+    out = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append("nan" if math.isnan(value) else round(value, ndigits))
+            else:
+                cells.append(value)
+        out.append(tuple(cells))
+    return sorted(out)

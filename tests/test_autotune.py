@@ -1,0 +1,266 @@
+"""Tests for the auto-tuning layer: collector, progress, bottlenecks,
+what-if predictor, request filter, auto-tuner, DOP planner."""
+
+import pytest
+
+from repro import QueryOptions
+from repro.autotune import (
+    DopPlanner,
+    probe_scan_stage,
+    tuning_units,
+)
+from repro.data.tpch.queries import QUERIES
+from repro.errors import TuningRejected
+
+from conftest import builds_ready, norm_rows, run_until_cond, slow_engine
+
+
+def start_q3(catalog, **opts):
+    engine = slow_engine(catalog)
+    query = engine.submit(QUERIES["Q3"], QueryOptions(**opts) if opts else None)
+    return engine, query, engine.elastic(query)
+
+
+# -- collector -----------------------------------------------------------------
+def test_collector_samples_accumulate(catalog):
+    engine, query, elastic = start_q3(catalog)
+    engine.run_for(3.0)
+    samples = elastic.collector.samples
+    assert len(samples) >= 5
+    latest = samples[-1]
+    assert set(latest.stages) == set(query.stages)
+    assert latest.stages[2].scan_rows_remaining is not None
+    assert any(v > 0 for v in latest.cpu_utilization.values())
+    engine.run_until_done(query, 1e6)
+
+
+def test_collector_stops_after_query(catalog):
+    engine, query, elastic = start_q3(catalog)
+    engine.run_until_done(query, 1e6)
+    count = len(elastic.collector.samples)
+    engine.run_for(5.0)
+    assert len(elastic.collector.samples) == count
+
+
+def test_scan_consume_rate_positive_while_running(catalog):
+    engine, query, elastic = start_q3(catalog)
+    # The probe-side scan only streams once S1's hash table is built.
+    run_until_cond(engine, builds_ready(query, 1))
+    engine.run_for(3.0)
+    assert elastic.collector.scan_consume_rate(2) > 0
+    engine.run_until_done(query, 1e6)
+
+
+def test_cpu_headroom_bounds(catalog):
+    engine, query, elastic = start_q3(catalog)
+    engine.run_for(2.0)
+    used, idle = elastic.collector.cluster_cpu_headroom()
+    assert 0.0 <= used <= 1.0
+    assert 0.0 <= idle <= 1.0
+    assert used + idle == pytest.approx(1.0)
+    engine.run_until_done(query, 1e6)
+
+
+# -- progress -----------------------------------------------------------------
+def test_probe_scan_stage_follows_probe_chain(catalog):
+    engine, query, _ = start_q3(catalog)
+    assert probe_scan_stage(query, 1) == 2   # S1 <- lineitem scan
+    assert probe_scan_stage(query, 3) == 4   # S3 <- orders scan
+    assert probe_scan_stage(query, 0) == 2   # stage 0 via S1
+    assert probe_scan_stage(query, 2) == 2   # a scan is its own indicator
+    engine.run_until_done(query, 1e6)
+
+
+def test_remaining_time_decreases(catalog):
+    engine, query, elastic = start_q3(catalog)
+    run_until_cond(engine, builds_ready(query, 1))
+    # Let the streaming rate stabilise past the elastic-buffer ramp.
+    engine.run_for(6.0)
+    first = elastic.remaining_time(1)
+    engine.run_for(6.0)
+    second = elastic.remaining_time(1)
+    assert first is not None and second is not None
+    assert second < first
+    engine.run_until_done(query, 1e6)
+
+
+def test_remaining_time_zero_when_scan_done(catalog):
+    engine, query, elastic = start_q3(catalog)
+    engine.run_until_done(query, 1e6)
+    assert elastic.remaining_time(1) == 0.0
+
+
+# -- bottleneck localization -----------------------------------------------------
+def test_bottleneck_found_while_running(catalog):
+    engine, query, elastic = start_q3(catalog)
+    engine.run_for(5.0)
+    bottlenecks = elastic.bottlenecks()
+    assert bottlenecks, "a DOP-1 query must have a computational bottleneck"
+    assert all(b.kind in ("compute", "network") for b in bottlenecks)
+    engine.run_until_done(query, 1e6)
+
+
+def test_no_bottleneck_after_finish(catalog):
+    engine, query, elastic = start_q3(catalog)
+    engine.run_until_done(query, 1e6)
+    engine.run_for(3.0)
+    assert elastic.bottlenecks() == []
+
+
+# -- what-if predictor -----------------------------------------------------------
+def test_prediction_formula(catalog):
+    engine, query, elastic = start_q3(catalog)
+    run_until_cond(engine, builds_ready(query, 1))
+    engine.run_for(3.0)
+    pred = elastic.predict(1, 4)
+    assert pred is not None
+    assert pred.current_dop == 1
+    expected = max(0.0, pred.t_remain - pred.t_tuning) / pred.n_f + pred.t_tuning
+    assert pred.t_predicted == pytest.approx(expected)
+    assert pred.n_f <= 4.0
+    engine.run_until_done(query, 1e6)
+
+
+def test_prediction_accuracy_shape(catalog):
+    """The paper's Figure 29 check: predicted stage completion must land
+    near the actual one."""
+    engine, query, elastic = start_q3(catalog, initial_stage_dop=2, initial_task_dop=2)
+    run_until_cond(engine, builds_ready(query, 1))
+    engine.run_for(3.0)
+    pred = elastic.predict(1, 6)
+    if pred is None:
+        pytest.skip("no rate observable yet at this scale")
+    elastic.ap(1, 6)
+    predicted_finish = engine.now + pred.t_predicted
+    engine.run_until_done(query, 1e6)
+    actual_finish = max(t.finished_at for t in query.stages[1].tasks)
+    assert actual_finish == pytest.approx(predicted_finish, rel=0.6)
+
+
+def test_dop_time_list_monotone_headroom(catalog):
+    engine, query, elastic = start_q3(catalog)
+    run_until_cond(engine, builds_ready(query, 1))
+    engine.run_for(3.0)
+    predictions = elastic.whatif.dop_time_list(1, [1, 2, 4, 8])
+    assert len(predictions) == 4
+    times = [p.t_predicted for p in predictions]
+    assert times[0] >= times[-1]  # more DOP never predicts slower
+    engine.run_until_done(query, 1e6)
+
+
+def test_speedup_capped_by_cpu_headroom(catalog):
+    engine, query, elastic = start_q3(catalog)
+    run_until_cond(engine, builds_ready(query, 1))
+    engine.run_for(3.0)
+    pred = elastic.predict(1, 1000)
+    assert pred is not None
+    assert pred.n_f < 1000  # the paper's "no 1000x requests" guard
+    engine.run_until_done(query, 1e6)
+
+
+# -- request filter (behaviours not covered in test_elasticity) -------------------
+def test_filter_rejects_late_join_tuning(catalog):
+    engine, query, elastic = start_q3(catalog)
+    engine.run_until(2.0)
+    elastic.ap(1, 4)  # speeds the query up; builds Tbuild history
+    run_until_cond(
+        engine,
+        lambda: (r := elastic.remaining_time(1)) is not None
+        and r < query.stages[1].max_build_seconds(),
+    )
+    with pytest.raises(TuningRejected) as err:
+        elastic.ap(1, 8)
+    assert err.value.reason == "remaining-lt-build"
+    engine.run_until_done(query, 1e6)
+
+
+def test_filter_records_rejections_with_marker(catalog):
+    engine, query, elastic = start_q3(catalog)
+    engine.run_until_done(query, 1e6)
+    with pytest.raises(TuningRejected):
+        elastic.ap(1, 2)
+    assert query.tracker.markers_of("rejected")
+
+
+# -- auto tuner -----------------------------------------------------------------
+def test_tuning_units_map_knobs_to_indicators(catalog):
+    engine, query, _ = start_q3(catalog)
+    units = tuning_units(query)
+    mapping = {u.knob_stage: u.indicator_stage for u in units}
+    assert mapping[1] == 2
+    assert mapping[3] == 4
+    assert 0 not in mapping  # fixed stage is not a knob
+    engine.run_until_done(query, 1e6)
+
+
+def test_tune_once_meets_deadline(catalog):
+    baseline_engine, baseline_query, _ = start_q3(catalog)
+    baseline_engine.run_until_done(baseline_query, 1e6)
+    untuned = baseline_query.elapsed
+
+    engine, query, elastic = start_q3(catalog)
+    run_until_cond(engine, builds_ready(query, 1))
+    engine.run_for(3.0)
+    result = elastic.tune_once(1, untuned / 3)
+    assert result is not None and result.accepted
+    engine.run_until_done(query, 1e6)
+    assert query.elapsed < untuned
+
+
+def test_monitor_scales_down_when_ahead(catalog):
+    engine, query, elastic = start_q3(catalog, initial_stage_dop=3, initial_task_dop=2)
+    elastic.set_constraint(1, 1000.0)  # generous deadline -> shed resources
+    elastic.start_monitor(period=1.0)
+    engine.run_for(6.0)
+    reductions = [
+        r for r in elastic.tuner.applied if r.request.target < 3
+    ]
+    assert reductions, "monitor should reduce DOP when far ahead of schedule"
+    engine.run_until_done(query, 1e6)
+    assert query.elapsed < 1000.0
+
+
+def test_monitor_scales_up_when_behind(catalog):
+    engine, query, elastic = start_q3(catalog)
+    run_until_cond(engine, builds_ready(query, 1))
+    engine.run_for(2.0)
+    elastic.set_constraint(1, 4.0)  # aggressive deadline
+    elastic.start_monitor(period=1.0)
+    engine.run_for(4.0)
+    increases = [r for r in elastic.tuner.applied if r.request.target > 1]
+    assert increases, "monitor should scale up for a tight deadline"
+    engine.run_until_done(query, 1e6)
+
+
+def test_monitor_constraint_change_discards_plan(catalog):
+    engine, query, elastic = start_q3(catalog)
+    elastic.set_constraint(1, 500.0)
+    elastic.start_monitor(period=1.0)
+    engine.run_for(2.0)
+    elastic.set_constraint(1, 3.0)  # mid-flight re-constraint (Fig 30b)
+    markers = query.tracker.markers_of("constraint")
+    assert len(markers) == 2
+    engine.run_for(3.0)
+    assert any(r.request.target > 1 for r in elastic.tuner.applied)
+    engine.run_until_done(query, 1e6)
+
+
+# -- DOP planner -----------------------------------------------------------------
+def test_dop_planner_splits_deadline(catalog, engine):
+    plan = engine.coordinator.plan_sql(QUERIES["Q3"], QueryOptions())
+    planner = DopPlanner(catalog, engine.config)
+    result = planner.plan(plan, deadline_seconds=200.0)
+    assert set(result.scan_deadlines) == {2, 4}
+    # Execution-dependency order: the build-side scan deadline comes first.
+    assert result.scan_deadlines[4] < result.scan_deadlines[2]
+    assert result.scan_deadlines[2] <= 200.0 * 1.01
+    assert result.initial_stage_dop >= 1
+    assert result.initial_task_dop >= 1
+
+
+def test_dop_planner_tighter_deadline_more_dop(catalog, engine):
+    plan = engine.coordinator.plan_sql(QUERIES["Q3"], QueryOptions())
+    planner = DopPlanner(catalog, engine.config)
+    loose = planner.plan(plan, deadline_seconds=1e5)
+    tight = planner.plan(plan, deadline_seconds=0.001)
+    assert tight.initial_stage_dop >= loose.initial_stage_dop

@@ -1,0 +1,75 @@
+"""Tests for configuration objects and baseline engine modes."""
+
+import pytest
+
+from repro.config import (
+    BufferConfig,
+    ClusterConfig,
+    CostModel,
+    EngineConfig,
+    NodeSpec,
+    presto_config,
+    prestissimo_config,
+)
+
+
+def test_cost_multipliers_compose():
+    base = CostModel()
+    assert base.cpu_multiplier == 1.0
+    scaled = base.scaled(100.0)
+    assert scaled.cpu_multiplier == 100.0
+    stacked = scaled.scaled(2.6)
+    assert stacked.cpu_multiplier == pytest.approx(260.0)
+    # Non-multiplier fields are preserved.
+    assert stacked.scan_row_cost == base.scan_row_cost
+
+
+def test_cost_model_is_frozen():
+    with pytest.raises(Exception):
+        CostModel().cpu_multiplier = 5.0  # type: ignore[misc]
+
+
+def test_node_spec_nic_bandwidth():
+    node = NodeSpec(nic_gbps=10.0)
+    assert node.nic_bytes_per_second == pytest.approx(1.25e9)
+
+
+def test_engine_config_with_cluster():
+    config = EngineConfig().with_cluster(compute_nodes=3, storage_nodes=2)
+    assert config.cluster.compute_nodes == 3
+    assert config.cluster.storage_nodes == 2
+    # Original untouched (frozen dataclasses).
+    assert EngineConfig().cluster.compute_nodes == 10
+
+
+def test_presto_config_shape():
+    base = EngineConfig(cost=CostModel().scaled(100.0))
+    presto = presto_config(base)
+    assert presto.engine_name == "presto"
+    assert not presto.elasticity_enabled
+    assert not presto.buffers.elastic
+    assert not presto.intermediate_data_cache
+    # Java multiplier stacks on the calibration multiplier.
+    assert presto.cost.cpu_multiplier == pytest.approx(260.0)
+
+
+def test_prestissimo_config_shape():
+    pr = prestissimo_config()
+    assert pr.engine_name == "prestissimo"
+    assert not pr.elasticity_enabled
+    assert 0.5 < pr.cost.cpu_multiplier < 1.5
+
+
+def test_buffer_config_defaults():
+    buffers = BufferConfig()
+    assert buffers.elastic
+    assert buffers.initial_capacity_pages == 1  # paper: one page
+    assert buffers.fixed_capacity_bytes == 32 * 1024 * 1024  # Presto default
+
+
+def test_cluster_config_defaults_match_paper():
+    cluster = ClusterConfig()
+    assert cluster.compute_nodes == 10
+    assert cluster.storage_nodes == 10
+    assert cluster.node.cores == 8  # c5.2xlarge vCPUs
+    assert cluster.node.nic_gbps == 10.0

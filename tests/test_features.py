@@ -1,0 +1,113 @@
+"""Tests for auxiliary features: count(DISTINCT), progress API, DOP panel."""
+
+import pytest
+
+from repro import AccordionEngine
+from repro.data.tpch.queries import QUERIES
+from repro.errors import PlanningError
+from repro.plan import LogicalPlanner, prune_columns
+from repro.reference import execute_reference
+from repro.sql.parser import parse
+
+from conftest import norm_rows, slow_engine
+
+
+# -- count(distinct) -----------------------------------------------------------
+Q16ISH = """
+select p_brand, count(distinct ps_suppkey) as supplier_cnt
+from partsupp, part
+where p_partkey = ps_partkey and p_size < 20
+group by p_brand
+order by supplier_cnt desc, p_brand
+limit 5
+"""
+
+
+def test_count_distinct_matches_manual_oracle(catalog):
+    plan = prune_columns(LogicalPlanner(catalog).plan(parse(Q16ISH)))
+    ref = execute_reference(plan, catalog).rows()
+
+    ps, p = catalog.table("partsupp"), catalog.table("part")
+    brand = dict(zip(p.column("p_partkey").tolist(), p.column("p_brand").tolist()))
+    size = dict(zip(p.column("p_partkey").tolist(), p.column("p_size").tolist()))
+    agg: dict[str, set] = {}
+    for pk, sk in zip(ps.column("ps_partkey").tolist(), ps.column("ps_suppkey").tolist()):
+        if size[pk] < 20:
+            agg.setdefault(brand[pk], set()).add(sk)
+    expected = sorted(((b, len(s)) for b, s in agg.items()), key=lambda r: (-r[1], r[0]))[:5]
+    assert [tuple(r) for r in ref] == expected
+
+
+def test_count_distinct_engine_matches_reference(catalog):
+    plan = prune_columns(LogicalPlanner(catalog).plan(parse(Q16ISH)))
+    ref = execute_reference(plan, catalog)
+    engine = AccordionEngine(catalog)
+    result = engine.execute(Q16ISH, max_virtual_seconds=1e6)
+    assert norm_rows(result.rows) == norm_rows(ref.rows())
+
+
+def test_count_distinct_global(catalog):
+    sql = "select count(distinct o_custkey) from orders"
+    engine = AccordionEngine(catalog)
+    result = engine.execute(sql, max_virtual_seconds=1e6)
+    expected = len(set(catalog.table("orders").column("o_custkey").tolist()))
+    assert result.rows == [(expected,)]
+
+
+def test_count_distinct_in_expression(catalog):
+    sql = "select count(distinct o_custkey) * 2 from orders"
+    engine = AccordionEngine(catalog)
+    result = engine.execute(sql, max_virtual_seconds=1e6)
+    expected = 2 * len(set(catalog.table("orders").column("o_custkey").tolist()))
+    assert result.rows == [(expected,)]
+
+
+def test_count_distinct_mixed_with_other_aggregates_rejected(catalog):
+    with pytest.raises(PlanningError):
+        LogicalPlanner(catalog).plan(
+            parse("select count(distinct o_custkey), sum(o_totalprice) from orders")
+        )
+
+
+def test_sum_distinct_rejected(catalog):
+    with pytest.raises(PlanningError):
+        LogicalPlanner(catalog).plan(
+            parse("select sum(distinct o_totalprice) from orders")
+        )
+
+
+# -- progress API -----------------------------------------------------------
+def test_progress_tracks_scan_stages(catalog):
+    engine = slow_engine(catalog)
+    query = engine.submit(QUERIES["Q3"])
+    assert set(query.progress()) == {2, 4, 5}
+    assert all(v == 0.0 for v in query.progress().values())
+    engine.run_for(6.0)
+    values = query.progress()
+    assert any(v > 0 for v in values.values())
+    engine.run_until_done(query, 1e6)
+    assert all(v == 1.0 for v in query.progress().values())
+
+
+def test_progress_bars_render(catalog):
+    engine = slow_engine(catalog)
+    query = engine.submit(QUERIES["Q3"])
+    engine.run_for(5.0)
+    text = query.progress_bars()
+    assert "lineitem" in text and "%" in text and "[" in text
+    engine.run_until_done(query, 1e6)
+    assert "100.0%" in query.progress_bars()
+
+
+# -- DOP tuning panel ---------------------------------------------------------
+def test_panel_lists_tuning_units(catalog):
+    engine = slow_engine(catalog)
+    query = engine.submit(QUERIES["Q3"])
+    elastic = engine.elastic(query)
+    engine.run_for(5.0)
+    panel = elastic.panel()
+    assert "knob S1" in panel and "scan S2" in panel
+    assert "knob S3" in panel and "scan S4" in panel
+    assert "dop=" in panel
+    engine.run_until_done(query, 1e6)
+    assert "done" in elastic.panel()

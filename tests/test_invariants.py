@@ -1,0 +1,134 @@
+"""Property-based invariants: elasticity must never change query answers.
+
+These are the library's signature tests — the same query is executed under
+randomized DOP tuning schedules (intra-task, intra-stage, DOP switching,
+at random virtual times) and must always produce exactly the reference
+result.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import QueryOptions
+from repro.data.tpch.queries import QUERIES
+from repro.errors import TuningRejected
+from repro.plan import LogicalPlanner, prune_columns
+from repro.reference import execute_reference
+from repro.sql.parser import parse
+
+from conftest import norm_rows, slow_engine
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+#: (virtual time, verb, stage, target) actions.
+action_strategy = st.tuples(
+    st.floats(min_value=0.5, max_value=12.0),
+    st.sampled_from(["ac", "ap"]),
+    st.sampled_from([1, 2, 3]),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+def reference_rows(catalog, sql):
+    plan = prune_columns(LogicalPlanner(catalog).plan(parse(sql)))
+    return norm_rows(execute_reference(plan, catalog).rows())
+
+
+def run_with_schedule(catalog, sql, schedule, options=None):
+    engine = slow_engine(catalog)
+    query = engine.submit(sql, options)
+    elastic = engine.elastic(query)
+    for time, verb, stage, target in sorted(schedule):
+        engine.kernel.run(until=time, stop_when=lambda: query.finished)
+        if query.finished or stage not in query.stages:
+            break
+        try:
+            getattr(elastic, verb)(stage, target)
+        except TuningRejected:
+            pass
+    engine.run_until_done(query, 1e6)
+    return norm_rows(query.result().rows())
+
+
+@SETTINGS
+@given(schedule=st.lists(action_strategy, min_size=1, max_size=5))
+def test_q3_results_invariant_under_random_tuning(tiny_catalog, schedule):
+    expected = reference_rows(tiny_catalog, QUERIES["Q3"])
+    actual = run_with_schedule(tiny_catalog, QUERIES["Q3"], schedule)
+    assert actual == expected
+
+
+@SETTINGS
+@given(schedule=st.lists(action_strategy, min_size=1, max_size=4))
+def test_q5_results_invariant_under_random_tuning(tiny_catalog, schedule):
+    expected = reference_rows(tiny_catalog, QUERIES["Q5"])
+    actual = run_with_schedule(tiny_catalog, QUERIES["Q5"], schedule)
+    assert actual == expected
+
+
+@SETTINGS
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=10.0),
+            st.just("ap"),
+            st.just(1),
+            st.integers(min_value=1, max_value=4),
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_q2j_results_invariant_under_random_dop_switching(tiny_catalog, schedule):
+    options = QueryOptions(join_distribution="partitioned", initial_stage_dop=2)
+    expected = reference_rows(tiny_catalog, QUERIES["Q2J"])
+    actual = run_with_schedule(tiny_catalog, QUERIES["Q2J"], schedule, options)
+    assert actual == expected
+
+
+@SETTINGS
+@given(
+    times=st.lists(st.floats(min_value=0.5, max_value=8.0), min_size=1, max_size=4),
+    target=st.integers(min_value=1, max_value=6),
+)
+def test_q1_scan_stage_tuning_invariant(tiny_catalog, times, target):
+    schedule = [(t, "ap", 1, target) for t in times]
+    expected = reference_rows(tiny_catalog, QUERIES["Q1"])
+    actual = run_with_schedule(tiny_catalog, QUERIES["Q1"], schedule)
+    assert actual == expected
+
+
+def test_oscillating_tuning_q3(catalog):
+    """Deterministic stress: rapid up/down oscillation on both join stages."""
+    schedule = [
+        (1.0, "ap", 3, 3),
+        (2.0, "ap", 1, 4),
+        (3.0, "rp", 1, 2),
+        (4.0, "ap", 1, 5),
+        (5.0, "rp", 1, 1),
+        (6.0, "ac", 1, 4),
+        (7.0, "ac", 1, 1),
+    ]
+    expected = reference_rows(catalog, QUERIES["Q3"])
+    actual = run_with_schedule(catalog, QUERIES["Q3"], schedule)
+    assert actual == expected
+
+
+def test_tuning_during_monitor_q3(catalog):
+    """Auto-tuner monitor plus manual actions must still be exact."""
+    engine = slow_engine(catalog)
+    query = engine.submit(QUERIES["Q3"])
+    elastic = engine.elastic(query)
+    elastic.set_constraint(1, 30.0)
+    elastic.start_monitor(period=1.5)
+    engine.run_until(2.5)
+    try:
+        elastic.ap(3, 2)
+    except TuningRejected:
+        pass
+    engine.run_until_done(query, 1e6)
+    assert norm_rows(query.result().rows()) == reference_rows(catalog, QUERIES["Q3"])

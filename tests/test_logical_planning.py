@@ -1,0 +1,225 @@
+"""Tests for the logical planner: shapes, pushdown, join order,
+decorrelation, pruning."""
+
+import pytest
+
+from repro.data.tpch.queries import QUERIES
+from repro.errors import AnalysisError, PlanningError
+from repro.plan import (
+    JoinType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlanner,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopN,
+    prune_columns,
+)
+from repro.plan.logical import walk
+from repro.reference import execute_reference
+from repro.sql.parser import parse
+
+from conftest import norm_rows
+
+
+@pytest.fixture(scope="module")
+def planner(catalog):
+    return LogicalPlanner(catalog)
+
+
+def plan(planner, sql):
+    return planner.plan(parse(sql))
+
+
+def nodes_of(root, cls):
+    return [n for n in walk(root) if isinstance(n, cls)]
+
+
+# -- shapes -----------------------------------------------------------------
+def test_simple_scan_project(planner):
+    root = plan(planner, "select n_name from nation")
+    assert isinstance(root, LogicalProject)
+    assert isinstance(root.child, LogicalScan)
+
+
+def test_filter_pushdown_below_join(planner):
+    root = plan(
+        planner,
+        "select o_orderkey from orders, customer "
+        "where o_custkey = c_custkey and c_mktsegment = 'BUILDING'",
+    )
+    joins = nodes_of(root, LogicalJoin)
+    assert len(joins) == 1
+    # The customer filter must sit below the join, directly over its scan.
+    filters = nodes_of(root, LogicalFilter)
+    assert any(isinstance(f.child, LogicalScan) and f.child.table == "customer" for f in filters)
+
+
+def test_join_builds_on_smaller_side(planner):
+    root = plan(
+        planner,
+        "select l_orderkey from lineitem, orders where l_orderkey = o_orderkey",
+    )
+    join = nodes_of(root, LogicalJoin)[0]
+    left_tables = {n.table for n in walk(join.left) if isinstance(n, LogicalScan)}
+    right_tables = {n.table for n in walk(join.right) if isinstance(n, LogicalScan)}
+    assert left_tables == {"lineitem"}  # probe = big side
+    assert right_tables == {"orders"}   # build = small side
+
+
+def test_q3_join_order_matches_paper(planner):
+    root = plan(planner, QUERIES["Q3"])
+    top_join = nodes_of(root, LogicalJoin)[0]
+    probe_tables = {n.table for n in walk(top_join.left) if isinstance(n, LogicalScan)}
+    build_tables = {n.table for n in walk(top_join.right) if isinstance(n, LogicalScan)}
+    assert probe_tables == {"lineitem"}
+    assert build_tables == {"orders", "customer"}
+
+
+def test_aggregation_structure(planner):
+    root = plan(planner, "select o_orderpriority, count(*) from orders group by o_orderpriority")
+    agg = nodes_of(root, LogicalAggregate)[0]
+    assert len(agg.group_keys) == 1
+    assert agg.aggregates[0].function == "count"
+
+
+def test_having_becomes_filter_above_aggregate(planner):
+    root = plan(
+        planner,
+        "select o_orderpriority, count(*) as c from orders "
+        "group by o_orderpriority having count(*) > 10",
+    )
+    filters = nodes_of(root, LogicalFilter)
+    assert any(isinstance(f.child, LogicalAggregate) for f in filters)
+
+
+def test_topn_vs_sort_vs_limit(planner):
+    topn = plan(planner, "select o_orderkey from orders order by o_orderkey limit 5")
+    assert isinstance(topn, LogicalTopN)
+    sort = plan(planner, "select o_orderkey from orders order by o_orderkey")
+    assert isinstance(sort, LogicalSort)
+    limit = plan(planner, "select o_orderkey from orders limit 5")
+    assert isinstance(limit, LogicalLimit)
+
+
+def test_order_by_desc_key(planner):
+    root = plan(planner, "select o_orderkey, o_totalprice from orders order by o_totalprice desc limit 3")
+    assert root.sort_keys == [(1, False)]
+
+
+def test_exists_becomes_semi_join(planner):
+    root = plan(planner, QUERIES["Q4"])
+    semis = [j for j in nodes_of(root, LogicalJoin) if j.join_type is JoinType.SEMI]
+    assert len(semis) == 1
+
+
+def test_not_exists_becomes_anti_join(planner):
+    root = plan(
+        planner,
+        "select o_orderkey from orders where not exists "
+        "(select * from lineitem where l_orderkey = o_orderkey)",
+    )
+    antis = [j for j in nodes_of(root, LogicalJoin) if j.join_type is JoinType.ANTI]
+    assert len(antis) == 1
+
+
+def test_scalar_subquery_decorrelates_to_aggregate_leaf(planner):
+    root = plan(planner, QUERIES["Q2"])
+    aggs = nodes_of(root, LogicalAggregate)
+    # One aggregate comes from the decorrelated min() subquery.
+    assert any(a.aggregates and a.aggregates[0].function == "min" for a in aggs)
+
+
+def test_in_subquery_becomes_semi_join(planner):
+    root = plan(
+        planner,
+        "select c_name from customer where c_custkey in (select o_custkey from orders)",
+    )
+    semis = [j for j in nodes_of(root, LogicalJoin) if j.join_type is JoinType.SEMI]
+    assert len(semis) == 1
+
+
+def test_derived_table(planner):
+    root = plan(
+        planner,
+        "select big from (select o_totalprice as big from orders) as t where big > 100",
+    )
+    assert isinstance(root, LogicalProject)
+
+
+def test_distinct_becomes_group_by_all(planner):
+    root = plan(planner, "select distinct o_orderpriority from orders")
+    aggs = nodes_of(root, LogicalAggregate)
+    assert aggs and not aggs[0].aggregates
+
+
+def test_q19_or_factor_extraction_avoids_cross_join(planner):
+    root = plan(planner, QUERIES["Q19"])
+    for join in nodes_of(root, LogicalJoin):
+        assert join.join_type is not JoinType.CROSS
+        assert join.left_keys  # equi keys extracted from the OR branches
+
+
+def test_count_star_without_group_keys_keeps_carrier_column(planner):
+    root = plan(planner, "select count(*) from lineitem")
+    agg = nodes_of(root, LogicalAggregate)[0]
+    assert len(agg.child.schema) >= 1
+
+
+# -- error paths --------------------------------------------------------------
+def test_unknown_table(planner):
+    with pytest.raises(AnalysisError):
+        plan(planner, "select x from nonexistent")
+
+
+def test_having_without_aggregation(planner):
+    with pytest.raises(AnalysisError):
+        plan(planner, "select o_orderkey from orders having o_orderkey > 1")
+
+
+def test_non_grouped_column_rejected(planner):
+    with pytest.raises(AnalysisError):
+        plan(planner, "select o_custkey, count(*) from orders group by o_orderpriority")
+
+
+def test_order_by_unknown_alias(planner):
+    with pytest.raises((AnalysisError, PlanningError)):
+        plan(planner, "select o_orderkey from orders order by missing_col")
+
+
+def test_left_join_unsupported(planner):
+    with pytest.raises(PlanningError):
+        plan(planner, "select * from orders left join customer on o_custkey = c_custkey")
+
+
+def test_correlated_column_outside_subquery(planner):
+    with pytest.raises(AnalysisError):
+        plan(planner, "select unknown_outer from orders")
+
+
+# -- pruning -----------------------------------------------------------------
+def test_pruning_narrows_scans(planner, catalog):
+    root = plan(planner, "select l_orderkey from lineitem where l_shipdate > date '1995-01-01'")
+    pruned = prune_columns(root)
+    scans = nodes_of(pruned, LogicalScan)
+    assert len(scans[0].schema) == 2  # only l_orderkey + l_shipdate survive
+
+
+def test_pruning_keeps_join_keys(planner):
+    root = plan(planner, QUERIES["Q3"])
+    pruned = prune_columns(root)
+    for join in nodes_of(pruned, LogicalJoin):
+        assert max(join.left_keys, default=-1) < len(join.left.schema)
+        assert max(join.right_keys, default=-1) < len(join.right.schema)
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q3", "Q4", "Q5", "Q6", "Q12", "Q14", "Q19"])
+def test_pruning_preserves_results(planner, catalog, name):
+    root = plan(planner, QUERIES[name])
+    unpruned = execute_reference(root, catalog)
+    pruned = execute_reference(prune_columns(root), catalog)
+    assert norm_rows(unpruned.rows()) == norm_rows(pruned.rows())
+    assert unpruned.schema.names() == pruned.schema.names()

@@ -1,0 +1,165 @@
+"""Unit and property tests for the columnar page layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pages import ColumnType, Field, Page, PageBuilder, Schema, concat_pages
+
+INT = ColumnType.INT64
+STR = ColumnType.STRING
+FLT = ColumnType.FLOAT64
+
+
+def sample_schema():
+    return Schema.of(("k", INT), ("v", FLT), ("name", STR))
+
+
+def sample_page(n=5):
+    return Page.from_dict(
+        sample_schema(),
+        {"k": range(n), "v": [float(i) * 1.5 for i in range(n)], "name": [f"s{i}" for i in range(n)]},
+    )
+
+
+# -- schema -----------------------------------------------------------------
+def test_schema_lookup_and_types():
+    schema = sample_schema()
+    assert schema.index_of("v") == 1
+    assert schema.field("name").type is STR
+    assert schema.names() == ["k", "v", "name"]
+    assert len(schema) == 3
+
+
+def test_schema_missing_column_raises():
+    with pytest.raises(KeyError):
+        sample_schema().index_of("nope")
+
+
+def test_schema_select_concat_rename():
+    schema = sample_schema()
+    sub = schema.select([2, 0])
+    assert sub.names() == ["name", "k"]
+    joined = schema.concat(sub)
+    assert len(joined) == 5
+    renamed = sub.rename(["a", "b"])
+    assert renamed.names() == ["a", "b"]
+    assert renamed.field("a").type is STR
+
+
+def test_schema_duplicate_names_keep_first():
+    schema = Schema.of(("x", INT), ("x", STR))
+    assert schema.index_of("x") == 0
+
+
+def test_schema_equality_and_hash():
+    assert sample_schema() == sample_schema()
+    assert hash(sample_schema()) == hash(sample_schema())
+
+
+def test_column_type_coerce_string():
+    col = STR.coerce(["a", "b"])
+    assert col.dtype == object
+    assert list(col) == ["a", "b"]
+
+
+def test_column_type_fixed_width():
+    assert INT.fixed_width == 8
+    assert STR.fixed_width is None
+
+
+# -- pages -----------------------------------------------------------------
+def test_page_basic_accessors():
+    page = sample_page()
+    assert page.num_rows == 5
+    assert not page.is_end
+    assert page.column("k")[2] == 2
+    assert page.column(2)[0] == "s0"
+
+
+def test_page_rows_materialisation():
+    rows = sample_page(3).rows()
+    assert rows == [(0, 0.0, "s0"), (1, 1.5, "s1"), (2, 3.0, "s2")]
+
+
+def test_page_mask_take_slice_select():
+    page = sample_page(6)
+    masked = page.mask(np.array([True, False] * 3))
+    assert [r[0] for r in masked.rows()] == [0, 2, 4]
+    taken = page.take(np.array([5, 0]))
+    assert [r[0] for r in taken.rows()] == [5, 0]
+    sliced = page.slice(1, 3)
+    assert [r[0] for r in sliced.rows()] == [1, 2]
+    projected = page.select([2])
+    assert projected.schema.names() == ["name"]
+
+
+def test_page_size_accounts_for_strings():
+    page = sample_page(10)
+    ints_only = page.select([0, 1])
+    assert page.size_bytes > ints_only.size_bytes
+
+
+def test_end_page():
+    end = Page.end(signal="shutdown")
+    assert end.is_end
+    assert end.signal == "shutdown"
+    assert end.num_rows == 0
+    assert end.rows() == []
+
+
+def test_page_arity_mismatch_raises():
+    with pytest.raises(ValueError):
+        Page(sample_schema(), [np.arange(3)])
+
+
+def test_concat_pages():
+    merged = concat_pages(sample_schema(), [sample_page(2), Page.end(), sample_page(3)])
+    assert merged.num_rows == 5
+
+
+def test_concat_pages_empty_input():
+    merged = concat_pages(sample_schema(), [])
+    assert merged.num_rows == 0
+    assert len(merged.columns) == 3
+
+
+# -- builder ----------------------------------------------------------------
+def test_builder_flush_roundtrip():
+    builder = PageBuilder(sample_schema(), row_limit=10)
+    builder.append_page(sample_page(4))
+    builder.append_rows([(9, 9.0, "x")])
+    page = builder.flush()
+    assert page.num_rows == 5
+    assert builder.is_empty
+    assert builder.flush() is None
+
+
+def test_builder_full_pages_respect_limit():
+    builder = PageBuilder(sample_schema(), row_limit=4)
+    builder.append_page(sample_page(10))
+    pages = builder.build_full_pages()
+    assert [p.num_rows for p in pages] == [4, 4]
+    assert len(builder) == 2  # remainder retained
+    tail = builder.flush()
+    assert tail.num_rows == 2
+
+
+def test_builder_rejects_bad_limits():
+    with pytest.raises(ValueError):
+        PageBuilder(sample_schema(), row_limit=0)
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=200),
+       st.integers(min_value=1, max_value=16))
+def test_builder_preserves_rows_property(values, limit):
+    schema = Schema.of(("x", INT))
+    builder = PageBuilder(schema, row_limit=limit)
+    builder.append_columns([np.array(values, dtype=np.int64)])
+    pages = builder.build_full_pages()
+    tail = builder.flush()
+    if tail is not None:
+        pages.append(tail)
+    collected = [r[0] for p in pages for r in p.rows()]
+    assert collected == values
+    assert all(p.num_rows <= limit for p in pages[:-1] if pages)

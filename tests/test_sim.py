@@ -1,0 +1,200 @@
+"""Tests for the discrete-event kernel and simulated resources."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import CpuPool, NicQueue, SimKernel, transfer
+
+
+# -- kernel ----------------------------------------------------------------
+def test_events_run_in_time_order():
+    k = SimKernel()
+    seen = []
+    k.schedule(3.0, lambda: seen.append("c"))
+    k.schedule(1.0, lambda: seen.append("a"))
+    k.schedule(2.0, lambda: seen.append("b"))
+    k.run()
+    assert seen == ["a", "b", "c"]
+    assert k.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    k = SimKernel()
+    seen = []
+    for i in range(5):
+        k.schedule(1.0, lambda i=i: seen.append(i))
+    k.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_cancel():
+    k = SimKernel()
+    seen = []
+    event = k.schedule(1.0, lambda: seen.append("x"))
+    event.cancel()
+    k.run()
+    assert seen == []
+    assert k.pending == 0
+
+
+def test_run_until_advances_clock_without_events():
+    k = SimKernel()
+    k.run(until=7.5)
+    assert k.now == 7.5
+
+
+def test_run_until_does_not_run_later_events():
+    k = SimKernel()
+    seen = []
+    k.schedule(10.0, lambda: seen.append("late"))
+    k.run(until=5.0)
+    assert seen == []
+    assert k.now == 5.0
+    k.run()
+    assert seen == ["late"]
+
+
+def test_stop_when_predicate():
+    k = SimKernel()
+    seen = []
+    for i in range(10):
+        k.schedule(float(i + 1), lambda i=i: seen.append(i))
+    k.run(stop_when=lambda: len(seen) >= 3)
+    assert len(seen) == 3
+
+
+def test_negative_delay_rejected():
+    k = SimKernel()
+    with pytest.raises(ValueError):
+        k.schedule(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        k.schedule_at(-0.5, lambda: None)
+
+
+def test_nested_scheduling():
+    k = SimKernel()
+    seen = []
+
+    def outer():
+        seen.append(("outer", k.now))
+        k.schedule(2.0, lambda: seen.append(("inner", k.now)))
+
+    k.schedule(1.0, outer)
+    k.run()
+    assert seen == [("outer", 1.0), ("inner", 3.0)]
+
+
+def test_max_events_guard():
+    k = SimKernel()
+
+    def loop():
+        k.schedule(0.0, loop)
+
+    k.schedule(0.0, loop)
+    with pytest.raises(RuntimeError):
+        k.run(max_events=100)
+
+
+# -- cpu pool -----------------------------------------------------------------
+def test_cpu_pool_serialises_beyond_core_count():
+    k = SimKernel()
+    pool = CpuPool(k, 2)
+    done = []
+    for i in range(4):
+        pool.submit(1.0, lambda i=i: done.append((i, k.now)))
+    k.run()
+    # 2 cores: first two finish at t=1, next two at t=2.
+    assert [t for _, t in done] == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_cpu_pool_priority_order():
+    k = SimKernel()
+    pool = CpuPool(k, 1)
+    done = []
+    pool.submit(1.0, lambda: done.append("first"))  # occupies the core
+    pool.submit(1.0, lambda: done.append("low"), priority=2.0)
+    pool.submit(1.0, lambda: done.append("high"), priority=0.0)
+    k.run()
+    assert done == ["first", "high", "low"]
+
+
+def test_cpu_pool_acquire_defers_work_decision():
+    k = SimKernel()
+    pool = CpuPool(k, 1)
+    done = []
+    pool.submit(2.0, lambda: done.append(("blocker", k.now)))
+
+    def run():
+        # Runs only when the core frees at t=2.
+        assert k.now == 2.0
+        return 0.5, lambda: done.append(("acquired", k.now))
+
+    pool.acquire(run)
+    k.run()
+    assert done == [("blocker", 2.0), ("acquired", 2.5)]
+
+
+def test_cpu_pool_utilization_accounting():
+    k = SimKernel()
+    pool = CpuPool(k, 2)
+    pool.submit(3.0, lambda: None)
+    pool.submit(1.0, lambda: None)
+    k.run()
+    assert pool.busy_core_seconds() == pytest.approx(4.0)
+
+
+def test_cpu_pool_rejects_bad_args():
+    k = SimKernel()
+    with pytest.raises(ValueError):
+        CpuPool(k, 0)
+    pool = CpuPool(k, 1)
+    with pytest.raises(ValueError):
+        pool.submit(-1.0, lambda: None)
+
+
+# -- nic -----------------------------------------------------------------
+def test_nic_serialises_transfers():
+    k = SimKernel()
+    nic = NicQueue(k, bytes_per_second=100.0)
+    done = []
+    nic.occupy(100, lambda: done.append(k.now))  # 1s
+    nic.occupy(200, lambda: done.append(k.now))  # 2s more
+    k.run()
+    assert done == [1.0, 3.0]
+    assert nic.bytes_transferred == 300
+
+
+def test_transfer_charges_both_nics_and_latency():
+    k = SimKernel()
+    a = NicQueue(k, 100.0)
+    b = NicQueue(k, 50.0)
+    done = []
+    transfer(k, a, b, 100, latency=0.5, fn=lambda: done.append(k.now))
+    k.run()
+    # Slower side: 100/50 = 2s, plus 0.5 latency.
+    assert done == [2.5]
+
+
+def test_transfer_loopback_skips_nic():
+    k = SimKernel()
+    a = NicQueue(k, 100.0)
+    done = []
+    transfer(k, a, a, 10_000, latency=0.1, fn=lambda: done.append(k.now))
+    k.run()
+    assert done == [pytest.approx(0.1)]
+    assert a.bytes_transferred == 0
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=4))
+def test_cpu_pool_total_busy_time_invariant(costs, cores):
+    """Total busy core-seconds equals the sum of submitted costs."""
+    k = SimKernel()
+    pool = CpuPool(k, cores)
+    for c in costs:
+        pool.submit(c, lambda: None)
+    k.run()
+    assert pool.busy_core_seconds() == pytest.approx(sum(costs), rel=1e-9)
+    # Makespan is bounded below by work/cores and above by serial execution.
+    assert k.now >= sum(costs) / cores - 1e-9
+    assert k.now <= sum(costs) + 1e-9

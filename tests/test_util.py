@@ -1,0 +1,76 @@
+"""Unit tests for date/byte utilities."""
+
+import datetime
+
+import pytest
+
+from repro.util import (
+    add_months,
+    add_years,
+    date_to_days,
+    days_to_date,
+    days_to_str,
+    format_bytes,
+    year_of_days,
+)
+
+
+def test_epoch_is_zero():
+    assert date_to_days("1970-01-01") == 0
+
+
+def test_roundtrip_random_dates():
+    for text in ("1992-01-01", "1995-06-17", "1998-12-31", "2000-02-29"):
+        assert days_to_str(date_to_days(text)) == text
+
+
+def test_days_to_date_type():
+    assert days_to_date(10000) == datetime.date(1997, 5, 19)
+
+
+def test_date_ordering_matches_day_numbers():
+    a = date_to_days("1994-03-05")
+    b = date_to_days("1994-03-06")
+    assert b == a + 1
+
+
+def test_add_months_simple():
+    d = date_to_days("1993-07-01")
+    assert days_to_str(add_months(d, 3)) == "1993-10-01"
+
+
+def test_add_months_clamps_day_of_month():
+    d = date_to_days("1993-01-31")
+    assert days_to_str(add_months(d, 1)) == "1993-02-28"
+
+
+def test_add_months_across_year_boundary():
+    d = date_to_days("1995-11-15")
+    assert days_to_str(add_months(d, 3)) == "1996-02-15"
+
+
+def test_add_months_negative():
+    d = date_to_days("1994-01-01")
+    assert days_to_str(add_months(d, -1)) == "1993-12-01"
+
+
+def test_add_years_handles_leap_day():
+    d = date_to_days("1996-02-29")
+    assert days_to_str(add_years(d, 1)) == "1997-02-28"
+
+
+def test_year_extraction():
+    assert year_of_days(date_to_days("1997-08-09")) == 1997
+
+
+@pytest.mark.parametrize(
+    "nbytes,expected",
+    [
+        (512, "512B"),
+        (2_560, "2.50KB"),
+        (1024**2 * 3, "3.00MB"),
+        (int(1024**3 * 1.5), "1.50GB"),
+    ],
+)
+def test_format_bytes(nbytes, expected):
+    assert format_bytes(nbytes) == expected
