@@ -14,7 +14,10 @@ from .config import (
     presto_config,
     prestissimo_config,
 )
+from .config import FaultConfig
 from .engine import AccordionEngine, QueryResult
+from .errors import QueryFailedError
+from .faults import FaultInjector, FaultPlan, NodeCrash, RpcOutage, RpcStorm, TaskCrash
 
 __version__ = "1.0.0"
 
@@ -24,9 +27,17 @@ __all__ = [
     "ClusterConfig",
     "CostModel",
     "EngineConfig",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
     "NodeSpec",
+    "QueryFailedError",
     "QueryOptions",
     "QueryResult",
+    "RpcOutage",
+    "RpcStorm",
+    "TaskCrash",
     "presto_config",
     "prestissimo_config",
 ]

@@ -142,6 +142,12 @@ class TaskOutputBuffer:
         self.rows_out = 0
         self.pages_out = 0
         self.bytes_out = 0
+        #: True once any consumer has taken a data page.  Failure recovery
+        #: uses this to decide whether a crashed task may be restarted from
+        #: scratch (output never externalized) or not.
+        self.ever_fetched = False
+        #: Set by ``abort()`` when a crashed task's output is discarded.
+        self.aborted = False
 
     # -- consumer management ----------------------------------------------
     def add_consumer(self, buffer_id: int) -> ConsumerQueue:
@@ -168,6 +174,12 @@ class TaskOutputBuffer:
         queue = self.consumers.get(buffer_id)
         if queue is not None:
             queue.end(signal)
+
+    def retire_consumer(self, buffer_id: int) -> None:
+        """Forget one downstream view entirely (failure recovery: the
+        consumer task died and a replacement will register under a new id).
+        Unlike :meth:`end_consumer` no end page is delivered."""
+        self.consumers.pop(buffer_id, None)
 
     def consumer(self, buffer_id: int) -> ConsumerQueue:
         try:
@@ -198,6 +210,37 @@ class TaskOutputBuffer:
     def _flush_before_finish(self) -> None:
         """Hook for buffers with internal pending work (shuffle)."""
 
+    def abort(self) -> None:
+        """Discard this buffer (crashed task being restarted, Section 4.4
+        analog): all queued and cached pages are dropped and every consumer
+        view is closed with an ``aborted`` end signal, so downstream
+        exchange clients retire the dead split cleanly.  Only legal while
+        ``ever_fetched`` is False — otherwise data already left the buffer
+        and a from-scratch restart would duplicate it."""
+        if self.aborted:
+            return
+        if self.ever_fetched:
+            raise InvariantViolation(
+                f"{self.name}: abort after pages were externalized"
+            )
+        self.aborted = True
+        self.finished = True
+        self.page_cache.clear()
+        self._discard_internal()
+        for queue in self.consumers.values():
+            # Drop undelivered data; deliver (or redeliver, for queues that
+            # were already closed) a single aborted-end marker so the
+            # downstream split retires.  Consumers that already drained an
+            # earlier end never fetch again, so no duplicate end is seen.
+            queue.pages.clear()
+            queue.ended = True
+            queue.end_signal = "aborted"
+            queue.pages.append(Page.end(signal="aborted"))
+            queue.on_update.notify_all()
+
+    def _discard_internal(self) -> None:
+        """Hook: drop mode-specific internal queues on abort."""
+
     # -- consumer side ------------------------------------------------------
     def take(self, buffer_id: int, max_pages: int) -> list[Page]:
         """Pop up to ``max_pages`` pages for one downstream task.
@@ -214,6 +257,8 @@ class TaskOutputBuffer:
             if self.capacity.turn_up():
                 self.not_full.notify_all()
         if taken:
+            if any(not p.is_end for p in taken):
+                self.ever_fetched = True
             self.capacity.consumed(sum(1 for p in taken if not p.is_end))
             self.not_full.notify_all()
         return taken
@@ -235,6 +280,10 @@ class SharedOutputBuffer(TaskOutputBuffer):
             raise ValueError("use ShuffleOutputBuffer for hash distribution")
         super().__init__(kernel, config, mode, cache_pages, name)
         self._shared: deque[Page] = deque()
+        #: Failure-recovery lineage: data pages already taken by each
+        #: consumer, so a dead consumer's share can be requeued for its
+        #: replacement (exactly-once under ARBITRARY/GATHER work sharing).
+        self._taken_log: dict[int, list[Page]] = {}
 
     def _on_consumer_added(self, queue: ConsumerQueue) -> None:
         if self.mode is OutputMode.BROADCAST:
@@ -244,6 +293,8 @@ class SharedOutputBuffer(TaskOutputBuffer):
             raise SchedulingError("gather buffer supports exactly one consumer")
 
     def put(self, page: Page) -> None:
+        if self.aborted:
+            return
         self._account(page)
         if self.cache_enabled or self.mode is OutputMode.BROADCAST:
             # Broadcast always caches so that consumers added later (tasks
@@ -291,7 +342,11 @@ class SharedOutputBuffer(TaskOutputBuffer):
             if self.capacity.turn_up():
                 self.not_full.notify_all()
         if taken:
-            self.capacity.consumed(sum(1 for p in taken if not p.is_end))
+            data = [p for p in taken if not p.is_end]
+            if data:
+                self.ever_fetched = True
+                self._taken_log.setdefault(buffer_id, []).extend(data)
+            self.capacity.consumed(len(data))
             self.not_full.notify_all()
         return taken
 
@@ -302,6 +357,29 @@ class SharedOutputBuffer(TaskOutputBuffer):
         if self.mode is OutputMode.BROADCAST:
             return bool(queue.pages)
         return bool(self._shared) or bool(queue.pages)
+
+    def _discard_internal(self) -> None:
+        self._shared.clear()
+        self._taken_log.clear()
+
+    # -- failure recovery (Section "Fault model & recovery") ---------------
+    def requeue_for_retry(self, old_id: int, new_id: int) -> None:
+        """Replace a dead consumer with its respawned task's buffer id.
+
+        ``ARBITRARY``/``GATHER``: pages the dead consumer already took are
+        requeued at the *front* of the shared queue (any consumer may
+        process any page, so exactly-once is preserved).  ``BROADCAST``
+        needs no requeue — the page cache replays the full stream to the
+        replacement on registration."""
+        if self.mode is not OutputMode.BROADCAST:
+            lost = self._taken_log.pop(old_id, [])
+            if lost:
+                self._shared.extendleft(reversed(lost))
+        self.retire_consumer(old_id)
+        self.add_consumer(new_id)
+        for queue in self.consumers.values():
+            queue.on_update.notify_all()
+        self.not_full.notify_all()
 
 
 class ShuffleOutputBuffer(TaskOutputBuffer):
@@ -332,6 +410,13 @@ class ShuffleOutputBuffer(TaskOutputBuffer):
         self.shuffled_rows = 0
         self.on_drained = WaiterList()
         self._switching = False
+        self._restoring = False
+        #: Failure-recovery lineage: every sub-page delivered to each
+        #: buffer id, replayed when that consumer dies and is respawned.
+        self._pushed_log: dict[int, list[Page]] = {}
+        #: Dead buffer id -> replacement id; consulted at shuffle commit
+        #: time so partitioning work in flight across a retry still lands.
+        self._redirects: dict[int, int] = {}
 
     # -- group management (DOP switching, Section 4.5) ----------------------
     def set_group(self, buffer_ids: list[int]) -> None:
@@ -377,6 +462,8 @@ class ShuffleOutputBuffer(TaskOutputBuffer):
 
     # -- producer ----------------------------------------------------------
     def put(self, page: Page) -> None:
+        if self.aborted:
+            return
         self._account(page)
         if self.cache_enabled:
             self.page_cache.append(page)
@@ -413,9 +500,15 @@ class ShuffleOutputBuffer(TaskOutputBuffer):
         for buffer_id, part in zip(group, parts):
             if part is None or part.num_rows == 0:
                 continue
+            # Follow retry redirects to a fixed point: work submitted for a
+            # buffer-ID group before a consumer crash must land at the
+            # replacement consumer's queue.
+            while buffer_id in self._redirects:
+                buffer_id = self._redirects[buffer_id]
             queue = self.consumers.get(buffer_id)
             if queue is not None and not queue.ended:
                 queue.push(part)
+                self._pushed_log.setdefault(buffer_id, []).append(part)
         self._pending_shuffles -= 1
         # Pending shuffles count toward fullness, so draining one may
         # unblock producers.
@@ -434,7 +527,7 @@ class ShuffleOutputBuffer(TaskOutputBuffer):
         pass
 
     def _defer_end_on_add(self) -> bool:
-        return self._switching
+        return self._switching or self._restoring
 
     def task_finished(self) -> None:
         self.finished = True
@@ -448,3 +541,30 @@ class ShuffleOutputBuffer(TaskOutputBuffer):
     def has_data(self, buffer_id: int) -> bool:
         queue = self.consumers.get(buffer_id)
         return bool(queue and queue.pages)
+
+    def _discard_internal(self) -> None:
+        self._pushed_log.clear()
+
+    # -- failure recovery ---------------------------------------------------
+    def requeue_for_retry(self, old_id: int, new_id: int) -> None:
+        """Replace a dead consumer at its exact partition position.
+
+        The replacement keeps the dead task's hash-partition slot (same
+        ``hash mod n`` index), its delivered sub-pages are replayed from
+        the lineage log, and shuffle work still in flight for the old id
+        is redirected at commit time."""
+        self._redirects[old_id] = new_id
+        lost = self._pushed_log.pop(old_id, [])
+        self.retire_consumer(old_id)
+        self._restoring = True
+        try:
+            queue = self.add_consumer(new_id)
+            for page in lost:
+                queue.push(page)
+            if lost:
+                self._pushed_log[new_id] = list(lost)
+        finally:
+            self._restoring = False
+        self.group = [new_id if g == old_id else g for g in self.group]
+        if self.finished and self._pending_shuffles == 0 and not queue.ended:
+            queue.end()

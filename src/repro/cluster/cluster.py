@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..config import ClusterConfig
+from ..errors import SchedulingError
 from ..sim import SimKernel
 from .node import Node
 
@@ -32,10 +33,35 @@ class Cluster:
         self.storage_map: dict[int, Node] = {n.id: n for n in self.storage}
 
     def least_loaded_compute(self) -> Node:
-        return min(self.compute, key=lambda n: (n.task_count, n.id))
+        alive = self.alive_compute
+        if not alive:
+            raise SchedulingError("no alive compute nodes left in the cluster")
+        return min(alive, key=lambda n: (n.task_count, n.id))
 
     def compute_node(self, index: int) -> Node:
         return self.compute[index % len(self.compute)]
 
     def total_compute_cores(self) -> int:
         return sum(n.spec.cores for n in self.compute)
+
+    # -- fault injection -----------------------------------------------------
+    @property
+    def alive_compute(self) -> list[Node]:
+        return [n for n in self.compute if n.alive]
+
+    @property
+    def alive_storage(self) -> list[Node]:
+        return [n for n in self.storage if n.alive]
+
+    def all_nodes(self) -> list[Node]:
+        seen: dict[int, Node] = {}
+        for node in [self.coordinator_node, *self.compute, *self.storage]:
+            seen.setdefault(id(node), node)
+        return list(seen.values())
+
+    def node_by_name(self, name: str) -> Node:
+        """Resolve 'compute3' / 'storage0' / 'coordinator' to a node."""
+        for node in self.all_nodes():
+            if node.name == name or (name == "coordinator" and node.role == "coordinator"):
+                return node
+        raise SchedulingError(f"unknown node {name!r}")

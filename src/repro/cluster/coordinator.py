@@ -8,12 +8,13 @@ runtime DOP tuning module and the auto-tuner (``repro.elastic``,
 
 from __future__ import annotations
 
+import enum
 import itertools
 from dataclasses import dataclass, field
 
 from ..config import EngineConfig
 from ..data import Catalog, SplitLayout
-from ..errors import ExecutionError
+from ..errors import ExecutionError, QueryFailedError
 from ..metrics.throughput import ThroughputTracker
 from ..pages import Page, concat_pages
 from ..plan.logical_planner import LogicalPlanner
@@ -51,6 +52,12 @@ class QueryOptions:
         )
 
 
+class QueryState(enum.Enum):
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
 class QueryExecution:
     """All runtime state of one query."""
 
@@ -78,6 +85,12 @@ class QueryExecution:
         self.init_requests = 0
         self.tracker: ThroughputTracker | None = None
         self._done_callbacks: list = []
+        self.state = QueryState.RUNNING
+        self.error: QueryFailedError | None = None
+        self.failed_at: float | None = None
+        #: Timeline of faults and recovery actions that touched this query
+        #: (carried into ``QueryFailedError.fault_history`` on failure).
+        self.fault_events: list[dict] = []
 
     # -- results ----------------------------------------------------------
     def collect_output(self, page: Page) -> None:
@@ -94,7 +107,16 @@ class QueryExecution:
     # -- lifecycle ----------------------------------------------------------
     @property
     def finished(self) -> bool:
+        """Terminal (finished *or* failed) — periodic samplers key off this."""
         return self.finished_at is not None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state is QueryState.FINISHED
+
+    @property
+    def failed(self) -> bool:
+        return self.state is QueryState.FAILED
 
     @property
     def elapsed(self) -> float:
@@ -114,11 +136,64 @@ class QueryExecution:
             self._done_callbacks.append(fn)
 
     def task_finished(self, stage: StageExecution, task) -> None:
+        if self.state is not QueryState.RUNNING:
+            return
         if stage.id == 0 and stage.finished and not self.finished:
+            self.state = QueryState.FINISHED
             self.finished_at = self.kernel.now
             callbacks, self._done_callbacks = self._done_callbacks, []
             for fn in callbacks:
                 fn(self)
+
+    def task_errored(self, stage: StageExecution, task, exc: Exception) -> None:
+        """An operator raised inside a driver quantum: fail the query,
+        propagating the error task -> coordinator with full context."""
+        self.record_fault(
+            "task_error", f"{task.task_id} on {task.node.name}: {exc}"
+        )
+        self.fail(
+            QueryFailedError(
+                f"task {task.task_id} failed: {exc}",
+                query_id=self.id,
+                cause=exc,
+            )
+        )
+
+    def record_fault(self, kind: str, detail: str) -> None:
+        self.fault_events.append(
+            {"t": self.kernel.now, "kind": kind, "detail": detail}
+        )
+
+    def fail(self, exc: Exception) -> None:
+        """Terminal failure: record a structured error, fire completion
+        callbacks, and quiesce every running task so the event loop drains
+        (a failed query must never hang the simulation)."""
+        if self.state is not QueryState.RUNNING:
+            return
+        if isinstance(exc, QueryFailedError):
+            error = exc
+            if error.query_id is None:
+                error.query_id = self.id
+            if not error.fault_history:
+                error.fault_history = list(self.fault_events)
+        else:
+            error = QueryFailedError(
+                str(exc),
+                query_id=self.id,
+                fault_history=self.fault_events,
+                cause=exc,
+            )
+        self.state = QueryState.FAILED
+        self.error = error
+        self.failed_at = self.kernel.now
+        self.finished_at = self.kernel.now
+        for stage in self.stages.values():
+            for task in stage.tasks:
+                if not task.finished:
+                    task.crash(reason="query failed")
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for fn in callbacks:
+            fn(self)
 
     # -- introspection -----------------------------------------------------
     def progress(self) -> dict[int, float]:
@@ -154,7 +229,7 @@ class QueryExecution:
             raise ExecutionError(f"query {self.id} has no stage {stage_id}") from None
 
     def describe(self) -> str:
-        lines = [f"query {self.id}: {'finished' if self.finished else 'running'}"]
+        lines = [f"query {self.id}: {self.state.value}"]
         for stage_id in sorted(self.stages):
             lines.append("  " + self.stages[stage_id].describe())
         return "\n".join(lines)
@@ -174,10 +249,28 @@ class Coordinator:
         self.catalog = catalog
         self.split_layout = split_layout
         self.config = config
-        self.rpc = RpcTracker(kernel, config.cost)
+        self.rpc = RpcTracker(kernel, config.cost, faults=config.faults)
+        self.rpc.on_action_failed = self._action_failed
         self.scheduler = Scheduler(kernel, cluster, config, self.rpc, split_layout)
         self.queries: dict[int, QueryExecution] = {}
         self._ids = itertools.count(1)
+        # Lazy import: repro.faults.recovery needs the execution structures
+        # defined in this module.
+        from ..faults.recovery import RecoveryManager
+
+        self.recovery = RecoveryManager(self)
+        self.scheduler.recovery = self.recovery
+
+    def _action_failed(self, query_id: int | None, message: str) -> None:
+        """A control-plane action exhausted its RPC retries."""
+        targets = (
+            [self.queries[query_id]]
+            if query_id is not None and query_id in self.queries
+            else [q for q in self.queries.values() if not q.finished]
+        )
+        for query in targets:
+            query.record_fault("rpc_gave_up", message)
+            query.fail(QueryFailedError(message, query_id=query.id))
 
     # ------------------------------------------------------------------
     def plan_sql(self, sql: str, options: QueryOptions) -> PhysicalPlan:

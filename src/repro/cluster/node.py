@@ -19,6 +19,25 @@ class Node:
             kernel, spec.nic_bytes_per_second, name=f"{role}{node_id}.nic"
         )
         self.task_count = 0
+        #: Fault injection: a dead node grants no cores and is blacklisted
+        #: from task placement.  Its spooled task output stays readable
+        #: (durable disaggregated storage), bypassing its NIC.
+        self.alive = True
+        self.failed_at: float | None = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.role}{self.id}"
+
+    def fail(self) -> None:
+        """Kill this node: revoke its cores (quantum-atomic) and mark it
+        down for placement.  Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.failed_at = self.kernel.now
+        self.cpu.halt()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Node({self.role}{self.id}, cores={self.spec.cores})"
+        state = "" if self.alive else ", DOWN"
+        return f"Node({self.role}{self.id}, cores={self.spec.cores}{state})"

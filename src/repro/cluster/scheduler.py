@@ -64,7 +64,7 @@ class Scheduler:
                 for task in stage.tasks:
                     task.start(self._initial_task_dop(query, stage))
 
-        self.rpc.after_requests(requests, start_all)
+        self.rpc.after_requests(requests, start_all, query_id=query.id)
 
     # ------------------------------------------------------------------
     def _make_feed(self, query: "QueryExecution", table: str) -> SplitFeed:
@@ -107,6 +107,7 @@ class Scheduler:
             split_feed=stage.split_feed,
             collect_output=query.collect_output if stage.id == 0 else None,
             on_finished=lambda t, s=stage: query.task_finished(s, t),
+            on_error=lambda t, exc, s=stage: query.task_errored(s, t, exc),
         )
         stage.tasks.append(task)
         if not stage.task_groups:
@@ -122,8 +123,12 @@ class Scheduler:
                     for s in self.split_layout.splits(stage.fragment.source_table)
                 }
             )
-            index = len(stage.tasks) % len(nodes)
-            return self.cluster.storage_map[nodes[index]]
+            # Dead storage nodes are blacklisted; their splits stay readable
+            # through durable disaggregated storage from any survivor.
+            alive = [n for n in nodes if self.cluster.storage_map[n].alive]
+            if alive:
+                index = len(stage.tasks) % len(alive)
+                return self.cluster.storage_map[alive[index]]
         return self.cluster.least_loaded_compute()
 
     # ------------------------------------------------------------------

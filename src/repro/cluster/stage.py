@@ -26,6 +26,9 @@ class StageExecution:
         self.task_groups: list[list[Task]] = []
         self.split_feed: SplitFeed | None = None
         self._next_seq = 0
+        #: Failure recovery: how many times tasks of this stage have been
+        #: respawned after a crash (bounded by ``FaultConfig.task_retry_budget``).
+        self.retries = 0
         #: Virtual times of hash-table-ready events (the yellow dashed
         #: lines of Figures 24-26).
         self.build_ready_times: list[float] = []

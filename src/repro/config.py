@@ -89,6 +89,31 @@ class BufferConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Failure-recovery behaviour (fault injection, ``repro.faults``).
+
+    All delays are virtual seconds.  Retries are bounded so an injected
+    permanent fault surfaces as a structured :class:`QueryFailedError`
+    instead of an unbounded retry loop.
+    """
+
+    #: Max retries for one failed control-plane request before the whole
+    #: action (and the query it belongs to) is failed.
+    rpc_max_retries: int = 3
+    #: Virtual seconds before a lost RPC request is declared failed.
+    rpc_timeout: float = 0.05
+    #: First retry backoff; doubles per attempt, bounded by the cap.
+    rpc_backoff_base: float = 0.01
+    rpc_backoff_cap: float = 0.2
+    #: How many times the tasks of one stage may be respawned before a
+    #: further crash is declared unrecoverable.
+    task_retry_budget: int = 3
+    #: Virtual seconds between a node/task death and the coordinator
+    #: noticing it (heartbeat interval).
+    detection_delay: float = 0.05
+
+
+@dataclass(frozen=True)
 class NodeSpec:
     """Hardware description of one simulated node (default: c5.2xlarge)."""
 
@@ -123,6 +148,7 @@ class EngineConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     cost: CostModel = field(default_factory=CostModel)
     buffers: BufferConfig = field(default_factory=BufferConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     #: Rows per page produced by scans and operators.
     page_row_limit: int = 4096
     #: Default number of tasks per intermediate stage at query start.

@@ -55,6 +55,14 @@ class DynamicScheduler:
     ) -> list[Task]:
         return dop_switching.switch_dop(self, query, stage, target, result, on_complete)
 
+    # -- fault recovery ------------------------------------------------------
+    def respawn_task(
+        self, query: "QueryExecution", stage: StageExecution, task: Task
+    ) -> Task | None:
+        """Replace a crashed task through the same 3-step wiring path used
+        for intra-stage elasticity (delegates to the recovery manager)."""
+        return self.scheduler.recovery.recover_task(query, stage, task)
+
     # -- instrumentation hooks ----------------------------------------------
     def mark_build_ready(self, query: "QueryExecution", stage: StageExecution) -> None:
         stage.build_ready_times.append(self.kernel.now)

@@ -106,6 +106,8 @@ class AccordionEngine:
         return self.result_of(query)
 
     def result_of(self, query: QueryExecution) -> QueryResult:
+        if query.failed:
+            raise query.error
         if not query.finished:
             raise ExecutionError(f"query {query.id} has not finished")
         page: Page = query.result()
@@ -137,14 +139,45 @@ class AccordionEngine:
             )
         return self._elastic[query.id]
 
+    # -- fault injection ----------------------------------------------------
+    def inject_faults(self, plan) -> "object":
+        """Arm a :class:`~repro.faults.FaultPlan` against this engine.
+
+        Returns the :class:`~repro.faults.FaultInjector` (its ``history``
+        records the fault timeline).  Must be called before the affected
+        virtual times are reached.
+        """
+        from .faults import FaultInjector
+
+        self.fault_injector = FaultInjector(self.kernel, self.coordinator, plan)
+        return self.fault_injector
+
     # -- simulation control ----------------------------------------------------
     @property
     def now(self) -> float:
         return self.kernel.now
 
-    def run_until_done(self, query: QueryExecution, max_virtual_seconds: float = 1e7) -> None:
+    def run_until_done(
+        self,
+        query: QueryExecution,
+        max_virtual_seconds: float = 1e7,
+        max_events: int | None = None,
+    ) -> None:
+        """Advance the simulation until the query reaches a terminal state.
+
+        A query that *failed* (fault injection, operator error) raises its
+        structured :class:`~repro.errors.QueryFailedError`; one that makes
+        no progress raises within ``max_virtual_seconds`` / ``max_events``
+        instead of hanging.
+        """
         deadline = self.kernel.now + max_virtual_seconds
-        self.kernel.run(until=deadline, stop_when=lambda: query.finished)
+        self.kernel.run(
+            until=deadline,
+            stop_when=lambda: query.finished,
+            max_events=max_events,
+        )
+        if query.failed:
+            raise query.error
         if not query.finished:
             raise ExecutionError(
                 f"query {query.id} did not finish within {max_virtual_seconds} "

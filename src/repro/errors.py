@@ -61,6 +61,48 @@ class ExecutionError(AccordionError):
     """Raised when a query fails at runtime inside an operator."""
 
 
+class QueryFailedError(ExecutionError):
+    """A query reached the FAILED state (unrecoverable fault or operator
+    error).  Carries the structured fault history collected by the
+    coordinator so callers can distinguish *what* killed the query: node
+    losses, task crashes, exhausted retry budgets, RPC give-ups, or a
+    plain operator exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query_id: int | None = None,
+        fault_history: list | None = None,
+        cause: BaseException | None = None,
+    ):
+        super().__init__(message)
+        self.query_id = query_id
+        self.fault_history = list(fault_history or [])
+        self.cause = cause
+
+    def describe(self) -> str:
+        lines = [str(self)]
+        for event in self.fault_history:
+            lines.append(f"  [{event.get('t', 0.0):10.4f}] {event.get('kind')}: "
+                         f"{event.get('detail', '')}")
+        return "\n".join(lines)
+
+
+class SimulationLivelockError(AccordionError, RuntimeError):
+    """The simulation processed ``max_events`` events without finishing.
+
+    Distinguishes a livelocked event loop from a genuine query failure in
+    fault tests.  ``now`` is the virtual time at which the guard tripped and
+    ``events_processed`` the kernel's lifetime event count.
+    """
+
+    def __init__(self, message: str, now: float = 0.0, events_processed: int = 0):
+        super().__init__(message)
+        self.now = now
+        self.events_processed = events_processed
+
+
 class InvariantViolation(AccordionError):
     """Internal engine invariant broken; indicates a bug, not a user error."""
 

@@ -96,7 +96,36 @@ class Driver:
 
     # -- quantum execution ----------------------------------------------------
     def _run_quantum(self) -> tuple[float, callable]:
-        """Runs with a core granted; returns (cost, commit)."""
+        """Runs with a core granted; returns (cost, commit).
+
+        Crashed tasks (fault injection) never execute another quantum; an
+        operator exception is trapped and escalated to the task instead of
+        unwinding the event loop."""
+        if self.task.crashed:
+            self.state = DriverState.FINISHED
+            return 0.0, lambda: None
+        try:
+            cost, commit = self._quantum()
+        except Exception as exc:  # noqa: BLE001 - escalate to the query
+            return self._trap(exc)
+        self.task.inflight_quanta += 1
+
+        def safe_commit() -> None:
+            try:
+                commit()
+            except Exception as exc:  # noqa: BLE001
+                self._trap(exc)
+            finally:
+                self.task.quantum_done()
+
+        return cost, safe_commit
+
+    def _trap(self, exc: Exception) -> tuple[float, callable]:
+        self.state = DriverState.FINISHED
+        self.task.report_error(exc)
+        return 0.0, lambda: None
+
+    def _quantum(self) -> tuple[float, callable]:
         self.state = DriverState.RUNNING
         self.quanta += 1
 

@@ -61,6 +61,13 @@ class ExchangeClient:
         self.on_output = self.buffer.not_empty
         self.buffer.not_full.add(self._resume_all)
         self._no_more_splits = False
+        #: Set when the owning task crashes: a dead client must never take
+        #: pages from upstream buffers again (they belong to the
+        #: replacement task after requeue).
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
 
     # -- split set management (dynamic scheduler hooks) -------------------
     def add_split(self, split: RemoteSplit) -> None:
@@ -109,6 +116,8 @@ class ExchangeClient:
             self._try_fetch(state)
 
     def _try_fetch(self, state: _SplitState) -> None:
+        if self.closed:
+            return
         if state.fetching or state.ended:
             return
         if self.buffer.free_slots <= 0:
@@ -141,7 +150,10 @@ class ExchangeClient:
             return
         state.fetching = True
         nbytes = sum(p.size_bytes for p in batch)
-        src_nic = state.split.upstream.node.nic
+        # A dead upstream node's spooled output stays readable via durable
+        # disaggregated storage — only our own NIC is occupied then.
+        upstream_node = state.split.upstream.node
+        src_nic = upstream_node.nic if upstream_node.alive else None
         dst_nic = self.node.nic
 
         def commit(state=state, batch=batch, nbytes=nbytes) -> None:

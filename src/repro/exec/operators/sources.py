@@ -51,11 +51,20 @@ class ScanSource(SourceOperator):
         self._pending_page: Page | None = None
         self._transfer_waiters = WaiterList()
         self._transferring = False
+        #: Failure-recovery bookkeeping: every split this source acquired
+        #: (for full-restart release), the scan progress it charged to the
+        #: feed (for compensation), and the page currently in network
+        #: transfer whose rows were charged but never delivered.
+        self._acquired: list[SystemSplit] = []
+        self._recorded_rows = 0
+        self._recorded_bytes = 0
+        self._inflight: tuple[SystemSplit, int, Page] | None = None
 
     # -- SourceOperator -----------------------------------------------------
     def poll(self) -> tuple[Page | None, float]:
         if self._pending_page is not None:
             page, self._pending_page = self._pending_page, None
+            self._inflight = None
             return page, self._page_cost(page)
         if self._transferring:
             return None, 0.0
@@ -66,6 +75,7 @@ class ScanSource(SourceOperator):
                 if self.current is None:
                     self._ended = True
                     return Page.end(), 0.0
+                self._acquired.append(self.current)
             split = self.current
             page = split.read(self.offset, self.page_rows, self.column_indexes)
             self.offset += page.num_rows
@@ -76,26 +86,31 @@ class ScanSource(SourceOperator):
             break
         self.rows_scanned += page.num_rows
         self.feed.record_scan(page.num_rows, page.size_bytes)
+        self._recorded_rows += page.num_rows
+        self._recorded_bytes += page.size_bytes
         storage = self.storage_nodes.get(split.storage_node)
         if storage is not None and storage is not self.node and storage.id != self.node.id:
-            self._start_transfer(storage, page)
+            self._start_transfer(storage, split, page)
             return None, 0.0
         return page, self._page_cost(page)
 
     def _page_cost(self, page: Page) -> float:
         return page.num_rows * self.cost.scan_row_cost * self.cost.cpu_multiplier
 
-    def _start_transfer(self, storage: "Node", page: Page) -> None:
+    def _start_transfer(self, storage: "Node", split: SystemSplit, page: Page) -> None:
         self._transferring = True
+        self._inflight = (split, self.offset - page.num_rows, page)
 
         def commit() -> None:
             self._transferring = False
             self._pending_page = page
             self._transfer_waiters.notify_all()
 
+        # A dead storage node's splits stay readable through durable
+        # disaggregated storage: only our NIC is occupied (src=None).
         transfer(
             self.kernel,
-            storage.nic,
+            storage.nic if storage.alive else None,
             self.node.nic,
             page.size_bytes,
             self.cost.network_latency,
@@ -114,6 +129,49 @@ class ScanSource(SourceOperator):
         if self.current is not None:
             self.feed.release(self.current, self.offset)
             self.current = None
+
+    # -- failure recovery ---------------------------------------------------
+    def release_unfinished(self) -> None:
+        """Crash cleanup for a *resumable* scan: return undelivered work.
+
+        The remainder of the current split goes back to the feed, and a
+        page caught mid-transfer (rows already charged to the feed but
+        never delivered to an operator) is returned with a compensating
+        ``record_scan``, so the respawned task re-reads exactly the
+        missing rows and feed progress stays exact."""
+        inflight, self._inflight = self._inflight, None
+        self._pending_page = None
+        self._transferring = False
+        if inflight is not None:
+            split, start, page = inflight
+            if self.current is split:
+                self.offset = start
+            else:
+                self.feed.release(split, start)
+            self.feed.record_scan(-page.num_rows, -page.size_bytes)
+            self._recorded_rows -= page.num_rows
+            self._recorded_bytes -= page.size_bytes
+            self.rows_scanned -= page.num_rows
+        if self.current is not None:
+            self.feed.release(self.current, self.offset)
+            self.current = None
+
+    def restart_release(self) -> None:
+        """Crash cleanup for a *from-scratch* restart: return every split
+        this source ever acquired and undo all feed progress it charged."""
+        self._inflight = None
+        self._pending_page = None
+        self._transferring = False
+        self.current = None
+        self.offset = 0
+        for split in self._acquired:
+            self.feed.release(split, 0)
+        self._acquired = []
+        if self._recorded_rows or self._recorded_bytes:
+            self.feed.record_scan(-self._recorded_rows, -self._recorded_bytes)
+        self._recorded_rows = 0
+        self._recorded_bytes = 0
+        self.rows_scanned = 0
 
 
 class ExchangeSource(SourceOperator):

@@ -87,6 +87,7 @@ class Task:
         split_feed: SplitFeed | None = None,
         collect_output: Callable[[Page], None] | None = None,
         on_finished: Callable[["Task"], None] | None = None,
+        on_error: Callable[["Task", Exception], None] | None = None,
     ):
         self.kernel = kernel
         self.config = config
@@ -99,9 +100,22 @@ class Task:
         self.split_feed = split_feed
         self.collect_output = collect_output
         self.on_finished = on_finished
+        self.on_error = on_error
         self.created_at = kernel.now
         self.finished_at: float | None = None
         self.finished = False
+        #: Set by fault injection / node death; crashed tasks never run
+        #: another driver quantum and never fire ``on_finished``.
+        self.crashed = False
+        self.crash_reason: str | None = None
+        self.error: Exception | None = None
+        #: Set once the recovery manager has dealt with this crashed task.
+        self.recovered = False
+        #: Driver quanta currently holding a core (their commits are
+        #: quantum-atomic: they deliver even across a crash, so recovery
+        #: waits for them before sealing the old output spool).
+        self.inflight_quanta = 0
+        self._drain_callbacks: list = []
 
         self.output_buffer = self._make_output_buffer()
         self.exchange_clients: dict[int, ExchangeClient] = {
@@ -324,6 +338,49 @@ class Task:
         self.output_buffer.task_finished()
         if self.on_finished is not None:
             self.on_finished(self)
+
+    def crash(self, reason: str = "node down") -> None:
+        """Kill this task mid-execution (fault injection).
+
+        Marks the task dead so pending driver quanta become no-ops.  The
+        output buffer is deliberately left untouched: already-spooled
+        pages survive on durable storage, and the recovery manager decides
+        whether to keep (resumable scan) or abort (restart) them.
+        ``on_finished`` is *not* fired — the stage does not count a
+        crashed task as completed work."""
+        if self.finished or self.crashed:
+            return
+        self.crashed = True
+        self.finished = True
+        self.finished_at = self.kernel.now
+        self.node.task_count -= 1
+        self.crash_reason = reason
+        for client in self.exchange_clients.values():
+            client.close()
+
+    def report_error(self, exc: Exception) -> None:
+        """A driver quantum raised: record it and escalate to the query."""
+        if self.error is not None:
+            return
+        self.error = exc
+        self.crash(reason=f"operator error: {exc}")
+        if self.on_error is not None:
+            self.on_error(self, exc)
+
+    def when_quanta_drained(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once no driver quantum of this task holds a core
+        (immediately if none does)."""
+        if self.inflight_quanta == 0:
+            fn()
+        else:
+            self._drain_callbacks.append(fn)
+
+    def quantum_done(self) -> None:
+        self.inflight_quanta -= 1
+        if self.inflight_quanta == 0 and self._drain_callbacks:
+            callbacks, self._drain_callbacks = self._drain_callbacks, []
+            for fn in callbacks:
+                fn()
 
     # ------------------------------------------------------------------
     # runtime information (task context, Figure 18)

@@ -1,0 +1,125 @@
+"""Fault plans: declarative, seeded schedules of what breaks and when.
+
+A plan is data, not behaviour — the :class:`~repro.faults.FaultInjector`
+executes it against a running engine.  All times are virtual seconds;
+identical plans against identical engines produce bit-identical fault
+timelines and results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Kill one node at ``at`` (by name: ``compute3``, ``storage0``,
+    ``coordinator``).  Cores are revoked quantum-atomically; spooled task
+    output stays readable via durable disaggregated storage."""
+
+    at: float
+    node: str
+    kind: str = field(default="node_crash", repr=False)
+
+
+@dataclass(frozen=True)
+class TaskCrash:
+    """Crash one running task of stage ``stage`` at ``at`` (the
+    ``index``-th unfinished task at fire time), without killing its node."""
+
+    at: float
+    stage: int
+    index: int = 0
+    kind: str = field(default="task_crash", repr=False)
+
+
+@dataclass(frozen=True)
+class RpcStorm:
+    """Between ``start`` and ``stop``, each control-plane request fails
+    with probability ``failure_rate`` (seeded RNG) and otherwise suffers
+    ``delay`` extra seconds.  Failed requests retry with bounded backoff."""
+
+    start: float
+    stop: float
+    failure_rate: float = 0.5
+    delay: float = 0.0
+    kind: str = field(default="rpc_storm", repr=False)
+
+
+@dataclass(frozen=True)
+class RpcOutage:
+    """Between ``start`` and ``stop`` every control-plane request fails.
+    An outage longer than the full retry schedule fails in-flight actions
+    (and their queries) with a structured error."""
+
+    start: float
+    stop: float
+    kind: str = field(default="rpc_outage", repr=False)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of fault events plus the RNG seed used for
+    probabilistic outcomes (RPC storms)."""
+
+    seed: int = 0
+    events: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def node_crashes(self) -> list[NodeCrash]:
+        return [e for e in self.events if isinstance(e, NodeCrash)]
+
+    @property
+    def task_crashes(self) -> list[TaskCrash]:
+        return [e for e in self.events if isinstance(e, TaskCrash)]
+
+    @property
+    def rpc_events(self) -> list:
+        return [e for e in self.events if isinstance(e, (RpcStorm, RpcOutage))]
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed={self.seed}):"]
+        for event in self.events:
+            lines.append(f"  {event!r}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def random(
+        seed: int,
+        *,
+        horizon: float,
+        compute_nodes: int,
+        storage_nodes: int = 0,
+        node_crashes: int = 1,
+        storms: int = 0,
+        storm_failure_rate: float = 0.4,
+    ) -> "FaultPlan":
+        """A seeded random plan of compute/storage node crashes (never the
+        coordinator) and optional RPC storms within ``[0, horizon]``.
+
+        The generator draws from ``random.Random(seed)`` in a fixed order,
+        so the same arguments always produce the same plan.
+        """
+        rng = random.Random(seed)
+        events: list = []
+        names = [f"compute{i}" for i in range(compute_nodes)]
+        names += [f"storage{i}" for i in range(storage_nodes)]
+        victims = rng.sample(names, k=min(node_crashes, len(names)))
+        for name in victims:
+            events.append(NodeCrash(at=rng.uniform(0.05, horizon), node=name))
+        for _ in range(storms):
+            start = rng.uniform(0.0, horizon)
+            events.append(
+                RpcStorm(
+                    start=start,
+                    stop=start + rng.uniform(0.05, horizon / 2),
+                    failure_rate=storm_failure_rate,
+                )
+            )
+        events.sort(key=lambda e: getattr(e, "at", getattr(e, "start", 0.0)))
+        return FaultPlan(seed=seed, events=tuple(events))

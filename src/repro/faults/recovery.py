@@ -1,0 +1,311 @@
+"""Failure recovery: node blacklisting, task respawn, query teardown.
+
+Recovery model (DESIGN.md, "Fault model & recovery"):
+
+* **Crashes are quantum-atomic.**  Driver quanta holding a core when the
+  node dies still commit (their output lands in the task output spool on
+  durable disaggregated storage); queued quanta are dropped.  Recovery of
+  a crashed task therefore waits until its in-flight quanta drain before
+  sealing or discarding its spool.
+
+* **Recoverability taxonomy** for a crashed task:
+
+  - *R1* — already finished: its spooled output survives, nothing to do.
+  - *R3 (resume)* — a stateless scan task (filter/project over a split
+    feed, output straight to the task output buffer): the spool is kept
+    and sealed, unread split remainders go back to the feed, and a fresh
+    task continues the scan.  Resumable at any time.
+  - *R2 (restart)* — any other task whose output was never externalized
+    (``ever_fetched`` false; for the root stage: no result page collected):
+    its spool is discarded, its inputs are replayed from the upstream
+    buffers' lineage logs, and a replacement recomputes from scratch.
+  - otherwise — **unrecoverable**: the query fails with a structured
+    :class:`~repro.errors.QueryFailedError` carrying the fault history.
+
+* **Exactly-once replay** is provided by the output buffers:
+  ``SharedOutputBuffer`` requeues a dead consumer's taken pages into the
+  shared queue; ``ShuffleOutputBuffer`` replays its per-consumer push log
+  and redirects in-flight shuffle work to the replacement's buffer id at
+  the dead task's exact hash-partition position; broadcast replays its
+  page cache.
+
+* **Respawn wiring** reuses the intra-stage 3-step task-addition path
+  (paper Section 4.4, Figure 14): create the task, hand its address to
+  the parent-stage tasks, set the child-stage addresses on it — all
+  charged to the RPC tracker.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..buffers import ShuffleOutputBuffer
+from ..errors import QueryFailedError, SchedulingError
+from ..exec.operators.sources import ScanSource
+from ..exec.splits import RemoteSplit
+from ..plan.physical import PFilterNode, PProjectNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import Coordinator, QueryExecution
+    from ..cluster.node import Node
+    from ..cluster.stage import StageExecution
+    from ..exec.task import Task
+
+
+class RecoveryManager:
+    def __init__(self, coordinator: "Coordinator"):
+        self.coordinator = coordinator
+        self.kernel = coordinator.kernel
+        self.config = coordinator.config.faults
+        #: (query id, stage id, dead seq) -> replacement seq, so a late
+        #: recovery can resolve buffer-ID groups that still name dead tasks.
+        self._replaced: dict[tuple[int, int, int], int] = {}
+        # -- counters surfaced via metrics.report ------------------------
+        self.node_failures = 0
+        self.tasks_crashed = 0
+        self.tasks_respawned = 0
+        self.tasks_resumed = 0
+        self.tasks_restarted = 0
+        self.queries_failed = 0
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def node_down(self, node: "Node") -> None:
+        """Kill a node now; the coordinator notices one heartbeat later."""
+        if not node.alive:
+            return
+        node.fail()
+        self.node_failures += 1
+        if node.role == "coordinator":
+            self.kernel.schedule(
+                self.config.detection_delay, lambda: self._coordinator_down()
+            )
+            return
+        self.kernel.schedule(
+            self.config.detection_delay, lambda: self._handle_node_down(node)
+        )
+
+    def task_down(
+        self, query: "QueryExecution", stage: "StageExecution", task: "Task"
+    ) -> None:
+        """Crash one task (fault injection) without killing its node."""
+        if task.finished or task.crashed:
+            return
+        task.crash(reason="injected task crash")
+        self.tasks_crashed += 1
+        query.record_fault("task_crash", f"{task.task_id} on {task.node.name}")
+        self.kernel.schedule(
+            self.config.detection_delay,
+            lambda: task.when_quanta_drained(
+                lambda: self.recover_task(query, stage, task)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _coordinator_down(self) -> None:
+        for query in list(self.coordinator.queries.values()):
+            if query.finished:
+                continue
+            query.record_fault("node_crash", "coordinator")
+            self._fail(query, "coordinator node crashed")
+
+    def _handle_node_down(self, node: "Node") -> None:
+        """Detection fired: blacklisting already happened via ``alive``;
+        now crash every task on the dead node and recover per task.
+
+        Recovery runs top-down (consumers before producers) in the common
+        immediate case; the wiring is order-independent regardless, thanks
+        to shuffle redirects and the replacement map."""
+        for query in list(self.coordinator.queries.values()):
+            if query.finished:
+                continue
+            dead: list[tuple["StageExecution", "Task"]] = []
+            for stage in query.stages.values():  # insertion = bottom-up
+                for task in stage.tasks:
+                    if task.node is node and not task.finished:
+                        task.crash(reason=f"{node.name} down")
+                        self.tasks_crashed += 1
+                        dead.append((stage, task))
+            if not dead:
+                continue
+            query.record_fault(
+                "node_down", f"{node.name} ({len(dead)} tasks lost)"
+            )
+            for stage, task in reversed(dead):
+                task.when_quanta_drained(
+                    lambda q=query, s=stage, t=task: self.recover_task(q, s, t)
+                )
+
+    # ------------------------------------------------------------------
+    # per-task recovery
+    # ------------------------------------------------------------------
+    def recover_task(
+        self, query: "QueryExecution", stage: "StageExecution", task: "Task"
+    ) -> "Task | None":
+        """Classify a crashed task and respawn it (or fail the query)."""
+        if query.finished or task.recovered or not task.crashed:
+            return None
+        task.recovered = True
+        verdict, reason = self._classify(query, stage, task)
+        if verdict == "unrecoverable":
+            query.record_fault("unrecoverable", f"{task.task_id}: {reason}")
+            self._fail(
+                query, f"task {task.task_id} is unrecoverable: {reason}"
+            )
+            return None
+        try:
+            return self._respawn(query, stage, task, verdict)
+        except SchedulingError as exc:
+            query.record_fault("respawn_failed", str(exc))
+            self._fail(query, f"cannot respawn {task.task_id}: {exc}")
+            return None
+
+    def _classify(
+        self, query: "QueryExecution", stage: "StageExecution", task: "Task"
+    ) -> tuple[str, str]:
+        if len(stage.task_groups) > 1 and task not in stage.task_groups[-1]:
+            return "unrecoverable", "died mid DOP-switch in a draining group"
+        if stage.retries >= self.config.task_retry_budget:
+            return (
+                "unrecoverable",
+                f"stage {stage.id} retry budget ({self.config.task_retry_budget}) exhausted",
+            )
+        if self._stateless_scan(stage, task):
+            return "resume", "stateless scan"
+        externalized = (
+            bool(query.result_pages)
+            if stage.id == 0
+            else task.output_buffer.ever_fetched
+        )
+        if externalized:
+            return "unrecoverable", "output already externalized"
+        return "restart", "output never externalized"
+
+    def _stateless_scan(self, stage: "StageExecution", task: "Task") -> bool:
+        """R3: pure filter/project over a split feed, spooling straight to
+        the task output buffer — resumable without any replay."""
+        if not stage.fragment.is_source or stage.split_feed is None:
+            return False
+        if task.exchange_clients or task.bridges or task.local_exchanges:
+            return False
+        for runtime in task.pipelines:
+            spec = runtime.spec
+            if spec.sink.kind != "task_output":
+                return False
+            for node in spec.transforms:
+                if not isinstance(node, (PFilterNode, PProjectNode)):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _respawn(
+        self,
+        query: "QueryExecution",
+        stage: "StageExecution",
+        old: "Task",
+        mode: str,
+    ) -> "Task":
+        from ..cluster.scheduler import RPC_CREATE_TASK, RPC_UPDATE_LINK
+
+        old_seq = old.task_id.seq
+        old_group = list(getattr(old.output_buffer, "group", []) or [])
+
+        # Return split-feed work held by the dead task.
+        for runtime in old.pipelines:
+            for driver in runtime.drivers:
+                source = driver.source
+                if isinstance(source, ScanSource):
+                    if mode == "resume":
+                        source.release_unfinished()
+                    else:
+                        source.restart_release()
+
+        # Seal or discard the dead task's spool.
+        if mode == "resume":
+            old.output_buffer.task_finished()
+            self.tasks_resumed += 1
+        else:
+            old.output_buffer.abort()
+            self.tasks_restarted += 1
+        stage.retries += 1
+
+        new = self.coordinator.scheduler.create_task(query, stage)
+        self.tasks_respawned += 1
+        self._replaced[(query.id, stage.id, old_seq)] = new.task_id.seq
+        seq = new.task_id.seq
+        requests = RPC_CREATE_TASK
+
+        # Step 2 (Figure 14): hand the new task's address to the parents.
+        parents = [
+            query.stages[p] for p in query.plan.parents_of(stage.id)
+        ]
+        if isinstance(new.output_buffer, ShuffleOutputBuffer) and parents:
+            # Preserve the dead task's exact group *order*: hash-partition
+            # index -> consumer mapping must match what the sibling
+            # producers (and any already-shuffled build side) used.
+            group = [
+                self._resolve(query.id, parents[0].id, g) for g in old_group
+            ] or [t.task_id.seq for t in parents[0].active_group]
+            new.output_buffer.set_group(group)
+            requests += RPC_UPDATE_LINK
+        for parent in parents:
+            for parent_task in parent.active_group:
+                new.output_buffer.add_consumer(parent_task.task_id.seq)
+                parent_task.add_upstream(
+                    stage.id, RemoteSplit(new, parent_task.task_id.seq)
+                )
+                requests += RPC_UPDATE_LINK
+
+        # Step 3: set the child-stage addresses on the new task, replaying
+        # the dead task's share of each upstream's output.
+        for child_id in stage.fragment.children:
+            child = query.stages[child_id]
+            for upstream in child.tasks:
+                buffer = upstream.output_buffer
+                if buffer.aborted:
+                    continue  # being restarted; its own recovery wires us
+                if (
+                    upstream.crashed
+                    and not upstream.recovered
+                    and not self._stateless_scan(child, upstream)
+                ):
+                    continue  # doomed: will restart (or fail the query)
+                buffer.requeue_for_retry(old_seq, seq)
+                new.add_upstream(child_id, RemoteSplit(upstream, seq))
+                requests += RPC_UPDATE_LINK
+
+        task_dop = max(1, stage.task_dop)
+        query.record_fault(
+            "respawn",
+            f"{old.task_id} -> {new.task_id} on {new.node.name} ({mode})",
+        )
+
+        def start() -> None:
+            if query.finished:
+                return
+            new.start(task_dop)
+
+        self.coordinator.rpc.after_requests(requests, start, query_id=query.id)
+        return new
+
+    def _resolve(self, query_id: int, stage_id: int, seq: int) -> int:
+        while (query_id, stage_id, seq) in self._replaced:
+            seq = self._replaced[(query_id, stage_id, seq)]
+        return seq
+
+    # ------------------------------------------------------------------
+    def _fail(self, query: "QueryExecution", message: str) -> None:
+        self.queries_failed += 1
+        query.fail(QueryFailedError(message, query_id=query.id))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "node_failures": self.node_failures,
+            "tasks_crashed": self.tasks_crashed,
+            "tasks_respawned": self.tasks_respawned,
+            "tasks_resumed": self.tasks_resumed,
+            "tasks_restarted": self.tasks_restarted,
+            "queries_failed": self.queries_failed,
+        }

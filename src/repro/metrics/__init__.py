@@ -1,6 +1,11 @@
 """Metrics: time series, throughput tracking, report rendering."""
 
-from .report import render_curve_points, render_series, render_table
+from .report import (
+    render_curve_points,
+    render_fault_report,
+    render_series,
+    render_table,
+)
 from .throughput import Marker, StageSeries, ThroughputTracker
 from .timeseries import TimeSeries
 
@@ -10,6 +15,7 @@ __all__ = [
     "ThroughputTracker",
     "TimeSeries",
     "render_curve_points",
+    "render_fault_report",
     "render_series",
     "render_table",
 ]

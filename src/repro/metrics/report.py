@@ -31,6 +31,31 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     return "\n".join(lines)
 
 
+def render_fault_report(engine) -> str:
+    """Failure/retry counters for an engine run.
+
+    Combines the recovery manager's counters, the RPC tracker's
+    retry/failure totals, and (when faults were injected) the injector's
+    recorded timeline.
+    """
+    recovery = engine.coordinator.recovery
+    rpc = engine.coordinator.rpc
+    rows = list(recovery.stats().items())
+    rows.append(("rpc_requests", rpc.total_requests))
+    rows.append(("rpc_retried", rpc.retried_requests))
+    rows.append(("rpc_failed", rpc.failed_requests))
+    lines = [render_table(["counter", "value"], rows)]
+    injector = getattr(engine, "fault_injector", None)
+    if injector is not None and injector.history:
+        lines.append("")
+        lines.append("injected fault timeline:")
+        for entry in injector.history:
+            lines.append(
+                f"  t={entry['t']:.3f}s  {entry['kind']}: {entry['detail']}"
+            )
+    return "\n".join(lines)
+
+
 def render_series(series: TimeSeries, width: int = 60, label: str | None = None) -> str:
     """ASCII sparkline of a time series (throughput curves)."""
     if not series.values:

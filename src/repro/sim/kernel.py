@@ -5,6 +5,11 @@ cluster.  All engine components take their notion of time from a
 :class:`SimKernel`: events are callbacks scheduled at virtual timestamps,
 and ``run()`` advances the clock from event to event.  The simulation is
 fully deterministic — ties are broken by an insertion sequence number.
+
+Cancelled events are removed lazily on pop, but the kernel tracks the
+live-event count and compacts the heap whenever more than half of its
+entries are dead, so mass cancellation (e.g. tearing down a failed query)
+never grows the heap unboundedly and ``pending`` stays O(1).
 """
 
 from __future__ import annotations
@@ -13,20 +18,28 @@ import heapq
 import itertools
 from typing import Callable
 
+from ..errors import SimulationLivelockError
+
 
 class Event:
     """Handle to a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "kernel", "in_heap")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: float, seq: int, fn: Callable[[], None],
+                 kernel: "SimKernel | None" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.kernel = kernel
+        self.in_heap = False
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.kernel is not None and self.in_heap:
+                self.kernel._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -39,11 +52,16 @@ class Event:
 class SimKernel:
     """A priority-queue event loop over virtual time."""
 
+    #: Compaction only kicks in past this many dead entries (tiny heaps are
+    #: cheaper to drain lazily than to rebuild).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self):
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_heap = 0
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
@@ -56,7 +74,8 @@ class SimKernel:
         """Run ``fn`` at absolute virtual ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        event = Event(time, next(self._seq), fn)
+        event = Event(time, next(self._seq), fn, kernel=self)
+        event.in_heap = True
         heapq.heappush(self._heap, event)
         return event
 
@@ -65,11 +84,42 @@ class SimKernel:
         events already queued (FIFO among equal timestamps)."""
         return self.schedule_at(self.now, fn)
 
+    # -- cancellation bookkeeping ----------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (heap order is total, so
+        the rebuilt heap pops in exactly the same order)."""
+        for event in self._heap:
+            if event.cancelled:
+                event.in_heap = False
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
+    def _pop(self) -> Event:
+        event = heapq.heappop(self._heap)
+        event.in_heap = False
+        if event.cancelled:
+            self._cancelled_in_heap -= 1
+        return event
+
     # -- execution ----------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled (non-cancelled) events.  O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length including dead entries (introspection)."""
+        return len(self._heap)
 
     @property
     def events_processed(self) -> int:
@@ -78,7 +128,7 @@ class SimKernel:
     def step(self) -> bool:
         """Process the next event.  Returns False when the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = self._pop()
             if event.cancelled:
                 continue
             self.now = event.time
@@ -98,15 +148,18 @@ class SimKernel:
 
         When ``until`` is given and the queue drains earlier, the clock is
         advanced to ``until`` so periodic wall-clock measurements stay
-        consistent.
+        consistent.  ``max_events`` guards against livelock: exceeding it
+        raises :class:`SimulationLivelockError`.
         """
         processed = 0
         while True:
             if stop_when is not None and stop_when():
                 return
             if max_events is not None and processed >= max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events (livelock?)"
+                raise SimulationLivelockError(
+                    f"simulation exceeded {max_events} events (livelock?)",
+                    now=self.now,
+                    events_processed=self._events_processed,
                 )
             next_event = self._peek()
             if next_event is None:
@@ -121,5 +174,5 @@ class SimKernel:
 
     def _peek(self) -> Event | None:
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._pop()
         return self._heap[0] if self._heap else None

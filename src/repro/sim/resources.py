@@ -39,6 +39,8 @@ class CpuPool:
         self.busy = 0
         self._busy_integral = 0.0
         self._last_change = 0.0
+        #: Node death (fault injection): no new work is granted a core.
+        self.halted = False
 
     # -- utilization accounting -----------------------------------------
     def _account(self) -> None:
@@ -94,10 +96,34 @@ class CpuPool:
         self._push(priority, ("acquire", 0.0, run))
 
     def _push(self, priority: float, item) -> None:
+        if self.halted:
+            kind, _, fn = item
+            # Committed data movements ('submit', e.g. shuffle spool writes)
+            # still land — task output is spooled to durable storage in the
+            # fault model.  Deferred-decision work ('acquire', driver quanta)
+            # dies with the node.
+            if kind == "submit":
+                fn()
+            return
         heapq.heappush(self._queue, (priority, next(self._seq), item))
         self._dispatch()
 
+    def halt(self) -> None:
+        """Revoke all cores (node crash).  Crashes are quantum-atomic:
+        in-flight grants still fire their completion, queued committed
+        writes ('submit') flush to the durable spool immediately, and
+        queued deferred-decision items ('acquire') are dropped."""
+        if self.halted:
+            return
+        self.halted = True
+        queue, self._queue = self._queue, []
+        for _, _, (kind, _cost, fn) in sorted(queue):
+            if kind == "submit":
+                fn()
+
     def _dispatch(self) -> None:
+        if self.halted:
+            return
         while self.busy < self.cores and self._queue:
             _, _, (kind, cost, fn) = heapq.heappop(self._queue)
             if kind == "acquire":
@@ -169,7 +195,7 @@ class NicQueue:
 
 def transfer(
     kernel: SimKernel,
-    src: NicQueue,
+    src: NicQueue | None,
     dst: NicQueue,
     nbytes: float,
     latency: float,
@@ -179,8 +205,13 @@ def transfer(
     ``fn`` fires after the slower of the two plus fixed ``latency``.
 
     Loopback transfers (``src is dst``) skip the NIC entirely — intra-node
-    data movement does not consume network bandwidth.
+    data movement does not consume network bandwidth.  ``src=None`` models
+    a read from durable disaggregated storage (the source node is dead but
+    its spooled data survives): only the destination NIC is occupied.
     """
+    if src is None:
+        dst.occupy(nbytes, lambda: kernel.schedule(latency, fn))
+        return
     if src is dst:
         kernel.schedule(latency, fn)
         return

@@ -1,0 +1,325 @@
+"""Fault injection and failure recovery.
+
+The robustness counterpart of test_invariants.py: queries executed under
+injected node crashes, task crashes, and control-plane faults must either
+recover and produce exactly the reference result, or fail promptly with a
+structured :class:`QueryFailedError` — never hang the event loop and never
+return wrong answers.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    AccordionEngine,
+    FaultPlan,
+    NodeCrash,
+    QueryFailedError,
+    RpcOutage,
+    RpcStorm,
+    TaskCrash,
+)
+from repro.cluster.rpc import RpcTracker
+from repro.config import FaultConfig
+from repro.data.tpch.queries import QUERIES
+from repro.plan import LogicalPlanner, prune_columns
+from repro.reference import execute_reference
+from repro.sim import SimKernel
+from repro.sql.parser import parse
+
+from conftest import norm_rows, slow_engine
+
+#: Upper bound on kernel events for any fault run: generous for the tiny
+#: catalogs below, but low enough that a livelock fails the test quickly.
+MAX_EVENTS = 5_000_000
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+def reference_rows(catalog, sql):
+    plan = prune_columns(LogicalPlanner(catalog).plan(parse(sql)))
+    return norm_rows(execute_reference(plan, catalog).rows())
+
+
+def run_with_faults(catalog, sql, plan):
+    """Execute ``sql`` under ``plan``; return (engine, query, rows|None)."""
+    engine = slow_engine(catalog)
+    engine.inject_faults(plan)
+    query = engine.submit(sql)
+    engine.run_until_done(query, max_events=MAX_EVENTS)
+    return engine, query, norm_rows(query.result().rows())
+
+
+def clean_runtime(catalog, sql):
+    engine = slow_engine(catalog)
+    query = engine.submit(sql)
+    engine.run_until_done(query, max_events=MAX_EVENTS)
+    return query.elapsed
+
+
+# -- fault plans --------------------------------------------------------------
+def test_fault_plan_is_data():
+    plan = FaultPlan(
+        seed=7,
+        events=(
+            NodeCrash(at=1.0, node="compute1"),
+            RpcStorm(start=0.5, stop=2.0, failure_rate=0.25),
+        ),
+    )
+    assert len(plan.node_crashes) == 1
+    assert len(plan.rpc_events) == 1
+    assert not plan.task_crashes
+    assert "compute1" in plan.describe()
+
+
+def test_random_fault_plans_are_seed_deterministic():
+    kwargs = dict(horizon=20.0, compute_nodes=4, storage_nodes=2, node_crashes=2, storms=1)
+    assert FaultPlan.random(3, **kwargs) == FaultPlan.random(3, **kwargs)
+    assert FaultPlan.random(3, **kwargs) != FaultPlan.random(4, **kwargs)
+    for crash in FaultPlan.random(3, **kwargs).node_crashes:
+        assert crash.node != "coordinator"
+
+
+# -- RPC tracker --------------------------------------------------------------
+def test_rpc_tracker_introspection(catalog):
+    engine = AccordionEngine(catalog)
+    query = engine.submit(QUERIES["Q3"])
+    rpc = engine.coordinator.rpc
+    # The paper's anchor (Section 6.2): initial plan construction for a
+    # Q3-shaped plan issues tens of control-plane requests at ~4.8 ms each.
+    assert rpc.requests_for(query.id) == query.init_requests
+    assert rpc.requests_for(query.id) > 10
+    assert rpc.control_plane_busy_until == pytest.approx(
+        query.init_requests * engine.config.cost.rpc_request_cost
+    )
+    assert rpc.requests_for(12345) == 0
+
+
+def test_rpc_anchor_65_requests():
+    """65 requests at the default per-request cost ≈ the paper's ~313 ms."""
+    from repro.config import CostModel
+
+    kernel = SimKernel()
+    tracker = RpcTracker(kernel, CostModel())
+    fired = []
+    finish = tracker.after_requests(65, lambda: fired.append(kernel.now), query_id=1)
+    assert finish == pytest.approx(0.312)
+    kernel.run()
+    assert fired == [pytest.approx(0.312)]
+    assert tracker.total_requests == 65
+    assert tracker.requests_for(1) == 65
+
+
+def test_rpc_retry_backoff_timing():
+    """A request that fails twice costs 2 timeouts + backoff before the
+    successful attempt; retries are counted."""
+    from repro.config import CostModel
+
+    kernel = SimKernel()
+    faults = FaultConfig()
+    tracker = RpcTracker(kernel, CostModel(), faults=faults)
+    outcomes = iter(["fail", "fail", "ok"])
+    tracker.set_fault_hook(lambda t: next(outcomes))
+    finish = tracker.after_requests(1, lambda: None)
+    expected = (
+        2 * faults.rpc_timeout
+        + faults.rpc_backoff_base * (1 + 2)
+        + CostModel().rpc_request_cost
+    )
+    assert finish == pytest.approx(expected)
+    assert tracker.retried_requests == 2
+    assert tracker.failed_requests == 0
+
+
+def test_rpc_gives_up_after_budget():
+    from repro.config import CostModel
+
+    kernel = SimKernel()
+    tracker = RpcTracker(kernel, CostModel(), faults=FaultConfig())
+    tracker.set_fault_hook(lambda t: "fail")
+    failures = []
+    tracker.on_action_failed = lambda qid, msg: failures.append((qid, msg))
+    fired = []
+    tracker.after_requests(3, lambda: fired.append(True), query_id=9)
+    kernel.run()
+    assert not fired
+    assert failures and failures[0][0] == 9
+    assert tracker.failed_requests == 1
+
+
+# -- recoverable crashes ------------------------------------------------------
+def test_node_crash_mid_q3_recovers_bit_identical(tiny_catalog):
+    sql = QUERIES["Q3"]
+    expected = reference_rows(tiny_catalog, sql)
+    horizon = clean_runtime(tiny_catalog, sql)
+    plan = FaultPlan(events=(NodeCrash(at=horizon * 0.5, node="compute2"),))
+    engine, query, rows = run_with_faults(tiny_catalog, sql, plan)
+    assert rows == expected
+    stats = engine.coordinator.recovery.stats()
+    assert stats["node_failures"] == 1
+    assert query.fault_events, "fault history must be recorded on the query"
+
+
+def test_scan_task_crash_resumes_without_replay(tiny_catalog):
+    """A stateless scan task is resumed (spool kept, splits released)."""
+    sql = QUERIES["Q3"]
+    expected = reference_rows(tiny_catalog, sql)
+    horizon = clean_runtime(tiny_catalog, sql)
+    # Stage ids: 0 root, 1 join+agg, 2 lineitem scan, 3 join, 4/5 scans.
+    plan = FaultPlan(events=(TaskCrash(at=horizon * 0.2, stage=2),))
+    engine, query, rows = run_with_faults(tiny_catalog, sql, plan)
+    assert rows == expected
+    stats = engine.coordinator.recovery.stats()
+    assert stats["tasks_crashed"] == 1
+    assert stats["tasks_resumed"] == 1
+    assert stats["tasks_restarted"] == 0
+
+
+def test_storage_node_crash_reads_through_durable_storage(tiny_catalog):
+    """Scans survive their storage node dying: remaining reads bypass the
+    dead NIC straight to disaggregated storage."""
+    sql = QUERIES["Q3"]
+    expected = reference_rows(tiny_catalog, sql)
+    horizon = clean_runtime(tiny_catalog, sql)
+    plan = FaultPlan(events=(NodeCrash(at=horizon * 0.3, node="storage0"),))
+    engine, query, rows = run_with_faults(tiny_catalog, sql, plan)
+    assert rows == expected
+
+
+def test_rpc_storm_is_retried_through(tiny_catalog):
+    sql = QUERIES["Q3"]
+    expected = reference_rows(tiny_catalog, sql)
+    # Rate kept low enough that no single request plausibly exhausts its
+    # retry budget (0.1**4 per request); the run is seed-deterministic.
+    plan = FaultPlan(
+        seed=11, events=(RpcStorm(start=0.0, stop=1e6, failure_rate=0.1, delay=0.002),)
+    )
+    engine, query, rows = run_with_faults(tiny_catalog, sql, plan)
+    assert rows == expected
+    assert engine.coordinator.rpc.retried_requests > 0
+
+
+def test_recovery_is_visible_in_metrics_report(tiny_catalog):
+    from repro.metrics import render_fault_report
+
+    sql = QUERIES["Q3"]
+    horizon = clean_runtime(tiny_catalog, sql)
+    plan = FaultPlan(events=(NodeCrash(at=horizon * 0.5, node="compute2"),))
+    engine, _, _ = run_with_faults(tiny_catalog, sql, plan)
+    report = render_fault_report(engine)
+    assert "node_failures" in report and "rpc_requests" in report
+    assert "node_crash: compute2" in report
+
+
+# -- unrecoverable crashes ----------------------------------------------------
+def test_coordinator_crash_fails_query_cleanly(tiny_catalog):
+    sql = QUERIES["Q3"]
+    horizon = clean_runtime(tiny_catalog, sql)
+    engine = slow_engine(tiny_catalog)
+    engine.inject_faults(
+        FaultPlan(events=(NodeCrash(at=horizon * 0.4, node="coordinator"),))
+    )
+    query = engine.submit(sql)
+    with pytest.raises(QueryFailedError, match="coordinator"):
+        engine.run_until_done(query, max_events=MAX_EVENTS)
+    assert query.failed and query.finished
+    assert query.error.fault_history
+
+
+def test_rpc_outage_fails_query_instead_of_hanging(tiny_catalog):
+    engine = slow_engine(tiny_catalog)
+    engine.inject_faults(FaultPlan(events=(RpcOutage(start=0.0, stop=1e9),)))
+    query = engine.submit(QUERIES["Q3"])
+    with pytest.raises(QueryFailedError, match="control-plane"):
+        engine.run_until_done(query, max_events=MAX_EVENTS)
+    assert engine.coordinator.rpc.failed_requests >= 1
+
+
+def test_retry_budget_exhaustion_fails_query(tiny_catalog):
+    sql = QUERIES["Q3"]
+    horizon = clean_runtime(tiny_catalog, sql)
+    budget = FaultConfig().task_retry_budget
+    events = tuple(
+        TaskCrash(at=horizon * (0.1 + 0.08 * i), stage=2) for i in range(budget + 3)
+    )
+    engine = slow_engine(tiny_catalog)
+    engine.inject_faults(FaultPlan(events=events))
+    query = engine.submit(sql)
+    try:
+        engine.run_until_done(query, max_events=MAX_EVENTS)
+    except QueryFailedError as exc:
+        assert "retry budget" in str(exc)
+        kinds = [e["kind"] for e in query.fault_events]
+        assert "unrecoverable" in kinds
+    else:
+        # The scan may outrun the crash schedule; then answers must be exact.
+        assert norm_rows(query.result().rows()) == reference_rows(tiny_catalog, sql)
+
+
+def test_failed_query_raises_from_result_of(tiny_catalog):
+    engine = slow_engine(tiny_catalog)
+    engine.inject_faults(FaultPlan(events=(NodeCrash(at=0.0, node="coordinator"),)))
+    query = engine.submit(QUERIES["Q3"])
+    with pytest.raises(QueryFailedError):
+        engine.run_until_done(query, max_events=MAX_EVENTS)
+    with pytest.raises(QueryFailedError) as info:
+        engine.result_of(query)
+    assert info.value.query_id == query.id
+    assert "coordinator" in info.value.describe()
+
+
+# -- determinism --------------------------------------------------------------
+def test_same_seed_same_fault_timeline_and_result(tiny_catalog):
+    sql = QUERIES["Q3"]
+
+    def run():
+        plan = FaultPlan(
+            seed=42,
+            events=(
+                NodeCrash(at=3.0, node="compute1"),
+                RpcStorm(start=0.0, stop=1e6, failure_rate=0.2),
+            ),
+        )
+        engine, query, rows = run_with_faults(tiny_catalog, sql, plan)
+        timeline = tuple(
+            (h["t"], h["kind"], h["detail"]) for h in engine.fault_injector.history
+        )
+        faults = tuple(tuple(e.items()) for e in query.fault_events)
+        return timeline, faults, query.elapsed, rows
+
+    assert run() == run()
+
+
+# -- property: randomized fault schedules ------------------------------------
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_faults_exact_answers_or_clean_failure(tiny_catalog, seed):
+    """The headline robustness property: under a randomized fault plan a
+    query either recovers to the exact reference answer or raises a
+    structured QueryFailedError — it never hangs, never returns garbage."""
+    sql = QUERIES["Q3"]
+    expected = reference_rows(tiny_catalog, sql)
+    plan = FaultPlan.random(
+        seed,
+        horizon=12.0,
+        compute_nodes=4,
+        storage_nodes=2,
+        node_crashes=2,
+        storms=1,
+        storm_failure_rate=0.3,
+    )
+    engine = slow_engine(tiny_catalog)
+    engine.inject_faults(plan)
+    query = engine.submit(sql)
+    try:
+        engine.run_until_done(query, max_events=MAX_EVENTS)
+    except QueryFailedError as exc:
+        assert query.failed and query.finished
+        assert exc.query_id == query.id
+        assert query.fault_events
+    else:
+        assert norm_rows(query.result().rows()) == expected

@@ -198,3 +198,59 @@ def test_cpu_pool_total_busy_time_invariant(costs, cores):
     # Makespan is bounded below by work/cores and above by serial execution.
     assert k.now >= sum(costs) / cores - 1e-9
     assert k.now <= sum(costs) + 1e-9
+
+
+# -- heap compaction and livelock guard ---------------------------------------
+def test_heap_compaction_reclaims_cancelled_entries():
+    """Cancelling most of the heap triggers compaction: the physical heap
+    shrinks while `pending` and execution order stay correct."""
+    k = SimKernel()
+    seen = []
+    keep = []
+    doomed = []
+    for i in range(300):
+        if i % 3 == 0:
+            keep.append((i, k.schedule(float(i), lambda i=i: seen.append(i))))
+        else:
+            doomed.append(k.schedule(float(i), lambda: seen.append("BAD")))
+    assert k.heap_size == 300
+    for event in doomed:
+        event.cancel()
+    # Compaction threshold: > 64 cancelled and cancelled majority of heap.
+    # Dead entries past the last compaction may linger, but never a majority.
+    assert k.heap_size < 300
+    assert k.pending == len(keep)
+    assert (k.heap_size - k.pending) * 2 <= k.heap_size
+    k.run()
+    assert seen == [i for i, _ in keep]
+
+
+def test_pending_is_consistent_through_cancel_and_run():
+    k = SimKernel()
+    events = [k.schedule(float(i), lambda: None) for i in range(10)]
+    assert k.pending == 10
+    events[3].cancel()
+    events[7].cancel()
+    assert k.pending == 8
+    k.run()
+    assert k.pending == 0
+
+
+def test_livelock_error_carries_simulation_state():
+    from repro.errors import AccordionError, SimulationLivelockError
+
+    k = SimKernel()
+
+    def loop():
+        k.schedule(0.01, loop)
+
+    k.schedule(0.0, loop)
+    with pytest.raises(SimulationLivelockError) as info:
+        k.run(max_events=250)
+    err = info.value
+    assert err.events_processed == 250
+    assert err.now == pytest.approx(k.now)
+    # Part of the library's error taxonomy *and* a RuntimeError for
+    # backward compatibility with generic guards.
+    assert isinstance(err, AccordionError)
+    assert isinstance(err, RuntimeError)
