@@ -1,0 +1,175 @@
+"""Wall-clock perf harness for the TPC-H hot paths.
+
+Times real end-to-end query execution (catalog generation excluded) for a
+fixed query set at a fixed scale factor and seed, and writes the numbers
+to ``BENCH_tpch.json`` at the repo root so the perf trajectory of the
+repo is tracked commit over commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py                # run + write json
+    PYTHONPATH=src python benchmarks/perf/harness.py --profile      # + pstats top-25
+    PYTHONPATH=src python benchmarks/perf/harness.py --check-baseline \
+        benchmarks/perf/baseline.json                               # CI perf smoke
+
+Determinism: the catalog seed, scale factor, query set, and repetition
+count are pinned; the only nondeterminism left is the host itself, which
+is why the harness reports the *median* of ``REPEATS`` runs and the CI
+gate only fails on a >2x regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import gc
+import io
+import json
+import platform
+import pstats
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import AccordionEngine  # noqa: E402
+from repro.data import Catalog  # noqa: E402
+from repro.data.tpch.queries import QUERIES  # noqa: E402
+
+SCALE = 0.05
+SEED = 20250622
+REPEATS = 3
+QUERY_SET = ("Q1", "Q3", "Q5", "Q2J")
+OUTPUT = REPO_ROOT / "BENCH_tpch.json"
+#: CI gate: fail when a query's wall time exceeds baseline by this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def time_query(catalog: Catalog, sql: str) -> dict:
+    """Median wall-clock seconds (and per-run samples) for one query."""
+    samples = []
+    rows = None
+    for _ in range(REPEATS):
+        gc.collect()
+        start = time.perf_counter()
+        result = AccordionEngine(catalog).execute(sql)
+        samples.append(time.perf_counter() - start)
+        rows = result.num_rows
+    return {
+        "median_seconds": round(statistics.median(samples), 4),
+        "samples_seconds": [round(s, 4) for s in samples],
+        "result_rows": rows,
+    }
+
+
+def run_benchmarks() -> dict:
+    catalog = Catalog.tpch(SCALE, SEED)
+    results = {}
+    for name in QUERY_SET:
+        results[name] = time_query(catalog, QUERIES[name])
+        print(
+            f"{name}: median {results[name]['median_seconds']:.3f}s "
+            f"(runs: {results[name]['samples_seconds']})"
+        )
+    return {
+        "scale": SCALE,
+        "seed": SEED,
+        "repeats": REPEATS,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "queries": results,
+    }
+
+
+def profile_query(catalog: Catalog, name: str) -> None:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    AccordionEngine(catalog).execute(QUERIES[name])
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("tottime").print_stats(25)
+    print(f"--- profile: {name} (top 25 by tottime) ---")
+    print(stream.getvalue())
+
+
+def check_baseline(report: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, entry in baseline["queries"].items():
+        current = report["queries"].get(name)
+        if current is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        limit = entry["median_seconds"] * REGRESSION_FACTOR
+        if current["median_seconds"] > limit:
+            failures.append(
+                f"{name}: {current['median_seconds']:.3f}s > "
+                f"{REGRESSION_FACTOR}x baseline {entry['median_seconds']:.3f}s"
+            )
+        if entry.get("result_rows") is not None and (
+            current["result_rows"] != entry["result_rows"]
+        ):
+            failures.append(
+                f"{name}: result rows {current['result_rows']} != "
+                f"baseline {entry['result_rows']}"
+            )
+    if failures:
+        print("PERF REGRESSION:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(f"perf smoke ok (all queries within {REGRESSION_FACTOR}x of baseline)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally dump a pstats top-25 per query",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        type=Path,
+        default=None,
+        metavar="BASELINE_JSON",
+        help="exit nonzero if any query regresses >2x over the baseline file",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT,
+        help=f"where to write the report (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks()
+    if args.output.exists():
+        # Keep one level of history so a commit shows before -> after.
+        try:
+            previous = json.loads(args.output.read_text())
+            report["previous"] = {
+                name: entry["median_seconds"]
+                for name, entry in previous.get("queries", {}).items()
+            }
+        except (ValueError, KeyError):
+            pass
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.profile:
+        catalog = Catalog.tpch(SCALE, SEED)
+        for name in QUERY_SET:
+            profile_query(catalog, name)
+
+    if args.check_baseline is not None:
+        return check_baseline(report, args.check_baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

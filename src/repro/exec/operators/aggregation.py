@@ -1,4 +1,4 @@
-"""Two-stage hash aggregation (paper Section 4.1).
+"""Two-stage hash aggregation (paper Section 4.1), vectorized end-to-end.
 
 ``PartialAggOperator`` pre-aggregates per driver; its state is flushed
 downstream whenever it grows past a limit (and on end pages), which is why
@@ -7,11 +7,16 @@ reconstructed, so stages containing it remain DOP-tunable.
 
 ``FinalAggOperator`` merges partial states; it is stateful and its stage
 runs with parallelism fixed at 1.
+
+Both operators keep their running state in :class:`_HashAggState`, which
+stores one growable numpy array per state field (DESIGN.md §8).  Each
+input page is reduced to one value per *group* with the ``grouped_*``
+kernels, and those per-group arrays are merged into the state with fancy
+indexing — python touches groups (once per distinct key per page), never
+rows.
 """
 
 from __future__ import annotations
-
-from typing import Iterator
 
 import numpy as np
 
@@ -20,6 +25,7 @@ from ...errors import ExecutionError
 from ...pages import ColumnType, Page, PageBuilder, Schema
 from ...sql.expressions import AggregateCall
 from ...sql.functions import (
+    ObjectDictEncoder,
     group_codes,
     grouped_count,
     grouped_max,
@@ -43,8 +49,44 @@ def _state_width(agg: AggregateCall) -> int:
     return len(partial_fields(agg.function, arg_type))
 
 
+#: How a state field combines with an incoming per-group partial array.
+_SUM, _MIN, _MAX = "sum", "min", "max"
+
+
+def _field_specs(agg: AggregateCall) -> list[tuple[str, np.dtype]]:
+    """(merge kind, storage dtype) per state field of one aggregate call."""
+    arg_type = agg.arg.type if agg.arg is not None else None
+    types = partial_fields(agg.function, arg_type)
+    if agg.function in ("sum", "count", "avg"):
+        kinds = [_SUM] * len(types)
+    elif agg.function == "min":
+        kinds = [_MIN]
+    elif agg.function == "max":
+        kinds = [_MAX]
+    else:  # pragma: no cover - analyzer rejects unknown aggregates
+        raise ExecutionError(f"unknown aggregate {agg.function}")
+    return [(kind, t.numpy_dtype) for kind, t in zip(kinds, types)]
+
+
+def _merge_identity(kind: str, dtype: np.dtype):
+    """Value that merging leaves unchanged (fills newly-grown slots)."""
+    if kind == _SUM:
+        return 0
+    if dtype == object:
+        return None
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        return info.max if kind == _MIN else info.min
+    return np.inf if kind == _MIN else -np.inf
+
+
 class _HashAggState:
-    """Shared machinery: a dict from group-key tuple to flat state list."""
+    """Columnar aggregation state: key columns + one array per state field.
+
+    Slot assignment (key tuple → dense slot id) is the only dict the
+    state keeps; it is consulted once per distinct key per page, and all
+    value merging happens on whole numpy arrays.
+    """
 
     def __init__(self, aggregates: list[AggregateCall]):
         self.aggregates = aggregates
@@ -55,67 +97,162 @@ class _HashAggState:
             self.offsets.append(total)
             total += w
         self.state_width = total
-        self.groups: dict[tuple, list] = {}
+        self.field_specs: list[tuple[str, np.dtype]] = []
+        for agg in aggregates:
+            self.field_specs.extend(_field_specs(agg))
+        self._slots: dict[tuple, int] = {}
+        self._capacity = 0
+        self._fields: list[np.ndarray] = [
+            np.zeros(0, dtype=dt) for _, dt in self.field_specs
+        ]
+        #: Key columns of newly-seen groups, appended in slot order.
+        self._key_chunks: list[list[np.ndarray]] = []
 
     def __len__(self) -> int:
-        return len(self.groups)
+        return len(self._slots)
 
-    def state_for(self, key: tuple) -> list:
-        state = self.groups.get(key)
-        if state is None:
-            state = [None] * self.state_width
-            self.groups[key] = state
-        return state
+    def _grow_to(self, n: int) -> None:
+        if n <= self._capacity:
+            return
+        capacity = max(256, self._capacity * 2, n)
+        for i, ((kind, dtype), arr) in enumerate(zip(self.field_specs, self._fields)):
+            grown = np.full(capacity, _merge_identity(kind, dtype), dtype=dtype)
+            grown[: len(arr)] = arr
+            self._fields[i] = grown
+        self._capacity = capacity
 
-    def merge_value(self, state: list, agg_index: int, values: tuple) -> None:
-        """Merge one group's partial contribution ``values`` into ``state``."""
-        agg = self.aggregates[agg_index]
-        offset = self.offsets[agg_index]
-        fn = agg.function
-        if fn in ("sum", "count"):
-            current = state[offset]
-            state[offset] = values[0] if current is None else current + values[0]
-        elif fn == "avg":
-            if state[offset] is None:
-                state[offset] = values[0]
-                state[offset + 1] = values[1]
+    def merge_groups(
+        self,
+        group_keys: list[tuple],
+        key_columns: list[np.ndarray],
+        field_values: list[np.ndarray],
+    ) -> None:
+        """Merge one page's per-group partials into the state.
+
+        ``group_keys[g]`` / ``key_columns[c][g]`` identify page-local group
+        ``g``; ``field_values[f][g]`` is its contribution to state field
+        ``f``.  Page-local groups are distinct, so each slot is touched at
+        most once and plain fancy indexing merges correctly.
+        """
+        slots = self._slots
+        before = len(slots)
+        ids = np.empty(len(group_keys), dtype=np.int64)
+        for g, key in enumerate(group_keys):
+            slot = slots.get(key)
+            if slot is None:
+                slot = len(slots)
+                slots[key] = slot
+
+            ids[g] = slot
+        if len(slots) > before:
+            new = ids >= before
+            self._key_chunks.append([col[new] for col in key_columns])
+            self._grow_to(len(slots))
+        for arr, (kind, dtype), values in zip(
+            self._fields, self.field_specs, field_values
+        ):
+            if kind == _SUM:
+                arr[ids] += values
+            elif dtype == object:
+                current = arr[ids]
+                if kind == _MIN:
+                    take = np.fromiter(
+                        (c is None or v < c for c, v in zip(current, values)),
+                        dtype=bool,
+                        count=len(ids),
+                    )
+                else:
+                    take = np.fromiter(
+                        (c is None or v > c for c, v in zip(current, values)),
+                        dtype=bool,
+                        count=len(ids),
+                    )
+                current[take] = values[take]
+                arr[ids] = current
+            elif kind == _MIN:
+                arr[ids] = np.minimum(arr[ids], values)
             else:
-                state[offset] += values[0]
-                state[offset + 1] += values[1]
-        elif fn == "min":
-            current = state[offset]
-            state[offset] = values[0] if current is None or values[0] < current else current
-        elif fn == "max":
-            current = state[offset]
-            state[offset] = values[0] if current is None or values[0] > current else current
+                arr[ids] = np.maximum(arr[ids], values)
+
+    def drain_columns(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """(key columns, state field columns) in slot order; resets state."""
+        n = len(self._slots)
+        if self._key_chunks and len(self._key_chunks[0]):
+            ncols = len(self._key_chunks[0])
+            keys = [
+                np.concatenate([chunk[c] for chunk in self._key_chunks])
+                for c in range(ncols)
+            ]
+        else:
+            keys = []
+        fields = [arr[:n] for arr in self._fields]
+        self._slots = {}
+        self._capacity = 0
+        self._fields = [np.zeros(0, dtype=dt) for _, dt in self.field_specs]
+        self._key_chunks = []
+        return keys, fields
+
+
+def _page_partials(
+    state: _HashAggState, page: Page, codes: np.ndarray, ngroups: int
+) -> list[np.ndarray]:
+    """Reduce one input page to per-group partial arrays (one per field)."""
+    out: list[np.ndarray] = []
+    for agg in state.aggregates:
+        if agg.function == "count":
+            out.append(grouped_count(codes, ngroups))
+            continue
+        values = agg.arg.evaluate(page)
+        if agg.function == "sum":
+            out.append(grouped_sum(codes, values, ngroups))
+        elif agg.function == "avg":
+            out.append(
+                grouped_sum(codes, values.astype(np.float64, copy=False), ngroups)
+            )
+            out.append(grouped_count(codes, ngroups))
+        elif agg.function == "min":
+            out.append(grouped_min(codes, values, ngroups))
+        elif agg.function == "max":
+            out.append(grouped_max(codes, values, ngroups))
         else:  # pragma: no cover - analyzer rejects unknown aggregates
-            raise ExecutionError(f"unknown aggregate {fn}")
-
-    def drain(self) -> Iterator[tuple[tuple, list]]:
-        groups, self.groups = self.groups, {}
-        yield from groups.items()
+            raise ExecutionError(f"unknown aggregate {agg.function}")
+    return out
 
 
-def _per_group_partials(
-    agg: AggregateCall, page: Page, codes: np.ndarray, ngroups: int
-) -> list[tuple]:
-    """Per-group partial contribution tuples for one input page."""
-    if agg.function == "count":
-        counts = grouped_count(codes, ngroups)
-        return [(int(c),) for c in counts]
-    values = agg.arg.evaluate(page)
-    if agg.function == "sum":
-        sums = grouped_sum(codes, values, ngroups)
-        return [(v,) for v in sums.tolist()]
-    if agg.function == "avg":
-        sums = grouped_sum(codes, values.astype(np.float64, copy=False), ngroups)
-        counts = grouped_count(codes, ngroups)
-        return list(zip(sums.tolist(), counts.tolist()))
-    if agg.function == "min":
-        return [(v,) for v in grouped_min(codes, values, ngroups).tolist()]
-    if agg.function == "max":
-        return [(v,) for v in grouped_max(codes, values, ngroups).tolist()]
-    raise ExecutionError(f"unknown aggregate {agg.function}")
+def _group_key_tuples(uniques: list[np.ndarray], ngroups: int) -> list[tuple]:
+    if not uniques:
+        return [()] * ngroups
+    return list(zip(*[u.tolist() for u in uniques]))
+
+
+class _GroupKeyFactorizer:
+    """Per-operator ``group_codes`` wrapper with dictionary-encoded strings.
+
+    Object key columns are dictionary-encoded against an operator-lifetime
+    :class:`ObjectDictEncoder` first, so the per-page factorization only
+    ever sorts machine ints; the representative unique values are decoded
+    back to the original objects afterwards.
+    """
+
+    def __init__(self):
+        self._encoders: dict[int, ObjectDictEncoder] = {}
+
+    def factorize(
+        self, key_cols: list[np.ndarray]
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        encoded: list[np.ndarray] = []
+        for j, col in enumerate(key_cols):
+            if col.dtype == object:
+                encoder = self._encoders.get(j)
+                if encoder is None:
+                    encoder = self._encoders[j] = ObjectDictEncoder()
+                encoded.append(encoder.encode(col))
+            else:
+                encoded.append(col)
+        codes, uniques = group_codes(encoded)
+        for j, encoder in self._encoders.items():
+            uniques[j] = encoder.value_array()[uniques[j]]
+        return codes, uniques
 
 
 class PartialAggOperator(TransformOperator):
@@ -136,6 +273,7 @@ class PartialAggOperator(TransformOperator):
         self.row_limit = row_limit
         self.group_limit = group_limit
         self.state = _HashAggState(aggregates)
+        self._factorizer = _GroupKeyFactorizer()
         self.rows_in = 0
 
     def process(self, page: Page) -> tuple[list[Page], float]:
@@ -148,21 +286,16 @@ class PartialAggOperator(TransformOperator):
         cpu = self.cpu(page.num_rows, self.cost.partial_agg_row_cost)
         key_cols = [page.columns[k] for k in self.group_keys]
         if key_cols:
-            codes, uniques = group_codes(key_cols)
+            codes, uniques = self._factorizer.factorize(key_cols)
             ngroups = len(uniques[0])
-            keys = list(zip(*[u.tolist() for u in uniques]))
         else:
             codes = np.zeros(page.num_rows, dtype=np.int64)
             ngroups = 1
-            keys = [()]
-        partials = [
-            _per_group_partials(agg, page, codes, ngroups)
-            for agg in self.state.aggregates
-        ]
-        for gi, key in enumerate(keys):
-            state = self.state.state_for(key)
-            for ai in range(len(self.state.aggregates)):
-                self.state.merge_value(state, ai, partials[ai][gi])
+            uniques = []
+        partials = _page_partials(self.state, page, codes, ngroups)
+        self.state.merge_groups(
+            _group_key_tuples(uniques, ngroups), uniques, partials
+        )
         out: list[Page] = []
         if len(self.state) > self.group_limit:
             out = self._flush()
@@ -172,42 +305,14 @@ class PartialAggOperator(TransformOperator):
     def _flush(self) -> list[Page]:
         if not len(self.state):
             return []
+        key_cols, field_cols = self.state.drain_columns()
         builder = PageBuilder(self.output_schema, self.row_limit)
-        pages: list[Page] = []
-        rows = []
-        for key, state in self.state.drain():
-            rows.append(tuple(key) + tuple(_fill_state(self.state, state)))
-            if len(rows) >= self.row_limit:
-                builder.append_rows(rows)
-                rows = []
-                page = builder.flush()
-                if page is not None:
-                    pages.append(page)
-        if rows:
-            builder.append_rows(rows)
-        page = builder.flush()
-        if page is not None:
-            pages.append(page)
+        builder.append_columns(key_cols + field_cols)
+        pages = builder.build_full_pages()
+        tail = builder.flush()
+        if tail is not None:
+            pages.append(tail)
         return pages
-
-
-def _fill_state(state_machine: _HashAggState, state: list) -> list:
-    """Replace never-touched state cells with neutral values."""
-    out = list(state)
-    for ai, agg in enumerate(state_machine.aggregates):
-        offset = state_machine.offsets[ai]
-        width = state_machine.widths[ai]
-        if out[offset] is None:
-            if agg.function in ("sum", "count"):
-                out[offset] = 0
-            elif agg.function == "avg":
-                out[offset] = 0.0
-                out[offset + 1] = 0
-            else:
-                out[offset] = _empty_value(agg.function, agg.result_type)
-        if width == 2 and out[offset + 1] is None:
-            out[offset + 1] = 0
-    return out
 
 
 class FinalAggOperator(TransformOperator):
@@ -228,6 +333,7 @@ class FinalAggOperator(TransformOperator):
         self.output_schema = output_schema
         self.row_limit = row_limit
         self.state = _HashAggState(aggregates)
+        self._factorizer = _GroupKeyFactorizer()
         self.rows_in = 0
 
     def process(self, page: Page) -> tuple[list[Page], float]:
@@ -239,54 +345,64 @@ class FinalAggOperator(TransformOperator):
         self.rows_in += page.num_rows
         cpu = self.cpu(page.num_rows, self.cost.final_agg_row_cost)
         k = self.num_keys
-        key_cols = [c.tolist() for c in page.columns[:k]]
-        keys = list(zip(*key_cols)) if key_cols else [()] * page.num_rows
-        state_cols = [c.tolist() for c in page.columns[k:]]
-        for row_index, key in enumerate(keys):
-            state = self.state.state_for(key)
-            for ai in range(len(self.state.aggregates)):
-                offset = self.state.offsets[ai]
-                width = self.state.widths[ai]
-                values = tuple(
-                    state_cols[offset + j][row_index] for j in range(width)
-                )
-                self.state.merge_value(state, ai, values)
+        key_cols = list(page.columns[:k])
+        if key_cols:
+            codes, uniques = self._factorizer.factorize(key_cols)
+            ngroups = len(uniques[0])
+        else:
+            codes = np.zeros(page.num_rows, dtype=np.int64)
+            ngroups = 1
+            uniques = []
+        # Pre-reduce the page's state columns per group, then merge.
+        field_values: list[np.ndarray] = []
+        field = 0
+        for kind, _ in self.state.field_specs:
+            col = page.columns[k + field]
+            if kind == _SUM:
+                field_values.append(grouped_sum(codes, col, ngroups))
+            elif kind == _MIN:
+                field_values.append(grouped_min(codes, col, ngroups))
+            else:
+                field_values.append(grouped_max(codes, col, ngroups))
+            field += 1
+        self.state.merge_groups(
+            _group_key_tuples(uniques, ngroups), uniques, field_values
+        )
         return [], cpu
 
     def _final_pages(self) -> list[Page]:
-        rows = []
-        if not len(self.state) and self.num_keys == 0:
-            # Global aggregate over empty input still yields one row.
-            rows.append(
-                tuple(
+        if not len(self.state):
+            if self.num_keys == 0:
+                # Global aggregate over empty input still yields one row.
+                row = tuple(
                     _empty_value(a.function, a.result_type)
                     for a in self.state.aggregates
                 )
-            )
-        else:
-            for key, state in self.state.drain():
-                rows.append(tuple(key) + tuple(self._finalize(state)))
-        if not rows:
+                builder = PageBuilder(self.output_schema, self.row_limit)
+                builder.append_rows([row])
+                page = builder.flush()
+                return [page] if page is not None else []
             return []
+        key_cols, field_cols = self.state.drain_columns()
+        columns = list(key_cols)
+        for ai, agg in enumerate(self.state.aggregates):
+            offset = self.offsets_of(ai)
+            if agg.function == "avg":
+                totals = field_cols[offset]
+                counts = field_cols[offset + 1]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    avg = totals / counts
+                avg = np.where(counts == 0, np.nan, avg)
+                columns.append(avg)
+            else:
+                columns.append(field_cols[offset])
         builder = PageBuilder(self.output_schema, self.row_limit)
-        builder.append_rows(rows)
+        builder.append_columns(columns)
         pages = builder.build_full_pages()
         tail = builder.flush()
         if tail is not None:
             pages.append(tail)
         return pages
 
-    def _finalize(self, state: list) -> list:
-        out = []
-        filled = _fill_state(self.state, state)
-        for ai, agg in enumerate(self.state.aggregates):
-            offset = self.state.offsets[ai]
-            if agg.function == "avg":
-                total, count = filled[offset], filled[offset + 1]
-                out.append(total / count if count else float("nan"))
-            else:
-                value = filled[offset]
-                if agg.result_type is ColumnType.INT64 and value is not None:
-                    value = int(value)
-                out.append(value)
-        return out
+    def offsets_of(self, agg_index: int) -> int:
+        return self.state.offsets[agg_index]

@@ -1,10 +1,19 @@
-"""Hash join: bridge (shared hash table), build sink, probe transform.
+"""Hash join: bridge (shared vectorized index), build sink, probe transform.
 
 One :class:`JoinBridge` exists per task.  Build pipelines feed it through
 :class:`JoinBuildSink`; once every build driver has finished, the bridge
-finalises the hash table, records the build duration (the ``T_build``
-measured by the evaluation, Sections 5.2/6.3), and wakes the probe drivers
-that were blocked on it.  Probe drivers share the read-only table.
+finalises its index, records the build duration (the ``T_build`` measured
+by the evaluation, Sections 5.2/6.3), and wakes the probe drivers that
+were blocked on it.  Probe drivers share the read-only index.
+
+The index is CSR-style and fully columnar (DESIGN.md §8): composite build
+keys are factorized to dense int64 group codes, build rows are argsorted
+by code, and the bridge stores ``(sorted_rows, group_starts, group
+dictionaries)``.  Probing maps a whole page of probe keys onto build
+group ids in one vectorized pass — ``searchsorted`` against the sorted
+per-column uniques for numeric keys, one dict lookup per *distinct* value
+(not per row) for object keys — then expands matches with ``np.repeat``
+and fancy indexing.  No per-row python loop survives on the numeric path.
 """
 
 from __future__ import annotations
@@ -18,6 +27,27 @@ from ...pages import Page, Schema, concat_pages
 from ...plan.logical import JoinType
 from ...sql.expressions import BoundExpr
 from .base import SinkOperator, TransformOperator
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _dense_int_lut(uniq: np.ndarray) -> tuple[np.ndarray, int] | None:
+    """(value - base) -> column code table for densely packed int keys.
+
+    TPC-H join keys are near-dense integers, so a direct-address table
+    beats a binary search per probe row.  Only built when the value range
+    stays within 64x the distinct count (selective build filters leave
+    sparse-ish key sets) and an absolute entry cap, bounding memory.
+    """
+    if len(uniq) == 0 or not np.issubdtype(uniq.dtype, np.integer):
+        return None
+    base = int(uniq[0])
+    span = int(uniq[-1]) - base + 1
+    if span > 64 * len(uniq) + 4096 or span > 1 << 22:
+        return None
+    table = np.full(span, -1, dtype=np.int64)
+    table[uniq.astype(np.int64) - base] = np.arange(len(uniq), dtype=np.int64)
+    return table, base
 
 
 class JoinBridge:
@@ -43,8 +73,19 @@ class JoinBridge:
         self.created_at = kernel.now
         self.first_page_at: float | None = None
         self.ready_at: float | None = None
-        self.table: dict[tuple, np.ndarray] = {}
         self.build_page: Page | None = None
+        # CSR index, populated by _finalize().
+        self.num_groups = 0
+        self.sorted_rows = np.zeros(0, dtype=np.int64)
+        self.group_starts = np.zeros(1, dtype=np.int64)
+        self.group_counts = np.zeros(0, dtype=np.int64)
+        self._col_uniques: list[np.ndarray] = []
+        self._col_dicts: list[dict | None] = []
+        self._col_luts: list[tuple[np.ndarray, int] | None] = []
+        self._radices: list[int] = []
+        self._ucomb = np.zeros(0, dtype=np.int64)
+        self._identity_comb = False
+        self._fallback_table: dict[tuple, int] | None = None
 
     # -- build side -------------------------------------------------------
     def register_producer(self) -> None:
@@ -66,15 +107,141 @@ class JoinBridge:
     def _finalize(self) -> None:
         self.build_page = concat_pages(self.build_schema, self.pages)
         self.pages = []
-        keys = [self.build_page.columns[k].tolist() for k in self.build_keys]
-        buckets: dict[tuple, list[int]] = {}
-        if keys:
-            for i, key in enumerate(zip(*keys)):
-                buckets.setdefault(key, []).append(i)
-        self.table = {k: np.asarray(v, dtype=np.int64) for k, v in buckets.items()}
+        key_cols = [self.build_page.columns[k] for k in self.build_keys]
+        n = self.build_page.num_rows
+        if key_cols and n:
+            codes = self._build_key_index(key_cols)
+            order = np.argsort(codes, kind="stable")
+            counts = np.bincount(codes, minlength=self.num_groups).astype(np.int64)
+            starts = np.zeros(self.num_groups + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            self.sorted_rows = order.astype(np.int64, copy=False)
+            self.group_starts = starts
+            self.group_counts = counts
         self.ready = True
         self.ready_at = self.kernel.now
         self.on_ready.notify_all()
+
+    def _build_key_index(self, key_cols: list[np.ndarray]) -> np.ndarray:
+        """Factorize build keys; returns a dense group code per build row."""
+        per_col_codes: list[np.ndarray] = []
+        for col in key_cols:
+            uniq, inv = np.unique(col, return_inverse=True)
+            self._col_uniques.append(uniq)
+            self._radices.append(max(1, len(uniq)))
+            self._col_dicts.append(
+                {v: i for i, v in enumerate(uniq.tolist())}
+                if col.dtype == object
+                else None
+            )
+            self._col_luts.append(_dense_int_lut(uniq))
+            per_col_codes.append(inv.astype(np.int64))
+        radix_product = 1
+        for r in self._radices:
+            radix_product *= r
+        if radix_product <= _INT64_MAX:
+            if len(per_col_codes) == 1:
+                # Single key column: the per-column code IS the group id
+                # (every code 0..r-1 occurs), so skip the combined unique.
+                self._identity_comb = True
+                self.num_groups = self._radices[0]
+                return per_col_codes[0]
+            combined = per_col_codes[0]
+            for inv, r in zip(per_col_codes[1:], self._radices[1:]):
+                combined = combined * r + inv
+            self._ucomb, codes = np.unique(combined, return_inverse=True)
+            codes = codes.astype(np.int64)
+            self.num_groups = len(self._ucomb)
+            return codes
+        # Mixed-radix packing would overflow int64 (astronomically wide
+        # composite keys): fall back to a per-distinct-key dict.
+        table: dict[tuple, int] = {}
+        codes = np.empty(len(key_cols[0]), dtype=np.int64)
+        for i, key in enumerate(zip(*[c.tolist() for c in key_cols])):
+            gid = table.get(key)
+            if gid is None:
+                gid = len(table)
+                table[key] = gid
+            codes[i] = gid
+        self._fallback_table = table
+        self.num_groups = len(table)
+        return codes
+
+    # -- probe side -------------------------------------------------------
+    def probe_group_ids(self, key_cols: list[np.ndarray]) -> np.ndarray:
+        """Map each probe row to its build group id, or -1 for no match."""
+        n = len(key_cols[0]) if key_cols else 0
+        if not key_cols or self.num_groups == 0:
+            return np.full(n, -1, dtype=np.int64)
+        if self._fallback_table is not None:
+            table = self._fallback_table
+            return np.fromiter(
+                (
+                    table.get(key, -1)
+                    for key in zip(*[c.tolist() for c in key_cols])
+                ),
+                dtype=np.int64,
+                count=n,
+            )
+        valid: np.ndarray | None = None
+        combined = None
+        for col, uniq, vdict, lut, radix in zip(
+            key_cols,
+            self._col_uniques,
+            self._col_dicts,
+            self._col_luts,
+            self._radices,
+        ):
+            if vdict is not None:
+                # Object keys: one dict lookup per *distinct* probe value.
+                uvals, inv = np.unique(col, return_inverse=True)
+                code_of = np.fromiter(
+                    (vdict.get(v, -1) for v in uvals.tolist()),
+                    dtype=np.int64,
+                    count=len(uvals),
+                )
+                code = code_of[inv]
+                ok = code >= 0
+                code = np.where(ok, code, 0)
+            elif lut is not None and np.issubdtype(col.dtype, np.integer):
+                # Dense integer keys: O(1) direct lookup per row.
+                table, base = lut
+                rel = col.astype(np.int64, copy=False) - base
+                inside = (rel >= 0) & (rel < len(table))
+                code = table[np.where(inside, rel, 0)]
+                ok = inside & (code >= 0)
+                code = np.where(ok, code, 0)
+            else:
+                pos = np.searchsorted(uniq, col)
+                code = np.minimum(pos, len(uniq) - 1)
+                ok = (pos < len(uniq)) & (uniq[code] == col)
+            valid = ok if valid is None else valid & ok
+            combined = code if combined is None else combined * radix + code
+        if not self._identity_comb:
+            gid = np.searchsorted(self._ucomb, combined)
+            gid = np.minimum(gid, len(self._ucomb) - 1)
+            valid &= self._ucomb[gid] == combined
+        else:
+            gid = combined
+        return np.where(valid, gid, -1)
+
+    def expand_matches(
+        self, gids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR expansion: (probe_rows, build_rows) index pairs for all
+        matches, in probe-row order with build rows ascending per probe."""
+        matched = np.nonzero(gids >= 0)[0]
+        if matched.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        mgids = gids[matched]
+        repeats = self.group_counts[mgids]
+        probe_rows = np.repeat(matched, repeats)
+        total = int(repeats.sum())
+        ends = np.cumsum(repeats)
+        within = np.arange(total, dtype=np.int64) - np.repeat(ends - repeats, repeats)
+        build_rows = self.sorted_rows[np.repeat(self.group_starts[mgids], repeats) + within]
+        return probe_rows, build_rows
 
     @property
     def build_seconds(self) -> float:
@@ -147,30 +314,17 @@ class HashJoinProbeOperator(TransformOperator):
         if self.join_type is JoinType.CROSS:
             return self._cross(page, cpu)
 
-        keys = [page.columns[k].tolist() for k in self.probe_keys]
-        table = self.bridge.table
+        key_cols = [page.columns[k] for k in self.probe_keys]
+        gids = self.bridge.probe_group_ids(key_cols)
         if self.join_type in (JoinType.SEMI, JoinType.ANTI):
-            want = self.join_type is JoinType.SEMI
-            mask = np.fromiter(
-                ((key in table) == want for key in zip(*keys)),
-                dtype=bool,
-                count=page.num_rows,
-            )
+            mask = (gids >= 0) == (self.join_type is JoinType.SEMI)
             if not mask.any():
                 return [], cpu
             return [page.mask(mask)], cpu
 
-        probe_idx: list[int] = []
-        build_chunks: list[np.ndarray] = []
-        for i, key in enumerate(zip(*keys)):
-            matches = table.get(key)
-            if matches is not None:
-                probe_idx.extend([i] * len(matches))
-                build_chunks.append(matches)
-        if not probe_idx:
+        probe_rows, build_rows = self.bridge.expand_matches(gids)
+        if len(probe_rows) == 0:
             return [], cpu
-        probe_rows = np.asarray(probe_idx, dtype=np.int64)
-        build_rows = np.concatenate(build_chunks)
         cpu += self.cpu(len(probe_rows), self.cost.join_probe_row_cost)
         out = self._combine(page, probe_rows, build_rows)
         if self.residual is not None:

@@ -27,20 +27,12 @@ class ColumnType(enum.Enum):
     @property
     def numpy_dtype(self) -> np.dtype:
         """The physical numpy dtype used to store this logical type."""
-        if self in (ColumnType.INT64, ColumnType.DATE):
-            return np.dtype(np.int64)
-        if self is ColumnType.FLOAT64:
-            return np.dtype(np.float64)
-        if self is ColumnType.BOOL:
-            return np.dtype(np.bool_)
-        return np.dtype(object)
+        return _NUMPY_DTYPES[self]
 
     @property
     def fixed_width(self) -> int | None:
         """Bytes per value for fixed-width types, ``None`` for strings."""
-        if self is ColumnType.STRING:
-            return None
-        return self.numpy_dtype.itemsize
+        return _FIXED_WIDTHS[self]
 
     def coerce(self, values: Iterable) -> np.ndarray:
         """Build a column array of this type from arbitrary values."""
@@ -51,6 +43,20 @@ class ColumnType(enum.Enum):
     @property
     def is_numeric(self) -> bool:
         return self in (ColumnType.INT64, ColumnType.FLOAT64, ColumnType.DATE)
+
+
+#: dtype tables (building an np.dtype per property call shows in profiles).
+_NUMPY_DTYPES = {
+    ColumnType.INT64: np.dtype(np.int64),
+    ColumnType.DATE: np.dtype(np.int64),
+    ColumnType.FLOAT64: np.dtype(np.float64),
+    ColumnType.BOOL: np.dtype(np.bool_),
+    ColumnType.STRING: np.dtype(object),
+}
+_FIXED_WIDTHS = {
+    t: (None if t is ColumnType.STRING else _NUMPY_DTYPES[t].itemsize)
+    for t in ColumnType
+}
 
 
 @dataclass(frozen=True)

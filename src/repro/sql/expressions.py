@@ -153,20 +153,23 @@ class Comparison(BoundExpr):
         raise ExecutionError(f"unsupported comparison {self.op}")
 
     def _compare_objects(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        a = lhs.tolist()
-        b = rhs.tolist()
+        # numpy's object-dtype comparison ufuncs dispatch to the python
+        # rich-compare protocol from a C loop — same semantics as a
+        # row-at-a-time loop, without the interpreter in the inner loop.
         op = self.op
         if op == "=":
-            return np.fromiter((x == y for x, y in zip(a, b)), dtype=bool, count=len(a))
-        if op == "<>":
-            return np.fromiter((x != y for x, y in zip(a, b)), dtype=bool, count=len(a))
-        if op == "<":
-            return np.fromiter((x < y for x, y in zip(a, b)), dtype=bool, count=len(a))
-        if op == "<=":
-            return np.fromiter((x <= y for x, y in zip(a, b)), dtype=bool, count=len(a))
-        if op == ">":
-            return np.fromiter((x > y for x, y in zip(a, b)), dtype=bool, count=len(a))
-        return np.fromiter((x >= y for x, y in zip(a, b)), dtype=bool, count=len(a))
+            out = lhs == rhs
+        elif op == "<>":
+            out = lhs != rhs
+        elif op == "<":
+            out = lhs < rhs
+        elif op == "<=":
+            out = lhs <= rhs
+        elif op == ">":
+            out = lhs > rhs
+        else:
+            out = lhs >= rhs
+        return np.asarray(out, dtype=bool)
 
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"

@@ -123,15 +123,29 @@ def grouped_count(codes: np.ndarray, ngroups: int) -> np.ndarray:
     return np.bincount(codes, minlength=ngroups).astype(np.int64)
 
 
+def _grouped_extreme_object(
+    codes: np.ndarray, values: np.ndarray, ngroups: int, want_max: bool
+) -> np.ndarray:
+    """Sort-based per-group min/max for object (string) columns.
+
+    Rows are stably sorted by value then by group code, so within each
+    group values appear in ascending order; the group's first (min) or
+    last (max) sorted row is the answer.  Only the argsort compares
+    python objects — no per-row python loop.
+    """
+    vorder = np.argsort(values, kind="stable")
+    order = vorder[np.argsort(codes[vorder], kind="stable")]
+    sorted_codes = codes[order]
+    side = "right" if want_max else "left"
+    pos = np.searchsorted(sorted_codes, np.arange(ngroups), side=side)
+    if want_max:
+        pos = pos - 1
+    return values[order[pos]]
+
+
 def grouped_min(codes: np.ndarray, values: np.ndarray, ngroups: int) -> np.ndarray:
     if values.dtype == object:
-        out: list = [None] * ngroups
-        for code, value in zip(codes.tolist(), values.tolist()):
-            if out[code] is None or value < out[code]:
-                out[code] = value
-        arr = np.empty(ngroups, dtype=object)
-        arr[:] = out
-        return arr
+        return _grouped_extreme_object(codes, values, ngroups, want_max=False)
     out_arr = np.full(ngroups, _max_init(values.dtype), dtype=values.dtype)
     np.minimum.at(out_arr, codes, values)
     return out_arr
@@ -139,13 +153,7 @@ def grouped_min(codes: np.ndarray, values: np.ndarray, ngroups: int) -> np.ndarr
 
 def grouped_max(codes: np.ndarray, values: np.ndarray, ngroups: int) -> np.ndarray:
     if values.dtype == object:
-        out: list = [None] * ngroups
-        for code, value in zip(codes.tolist(), values.tolist()):
-            if out[code] is None or value > out[code]:
-                out[code] = value
-        arr = np.empty(ngroups, dtype=object)
-        arr[:] = out
-        return arr
+        return _grouped_extreme_object(codes, values, ngroups, want_max=True)
     out_arr = np.full(ngroups, _min_init(values.dtype), dtype=values.dtype)
     np.maximum.at(out_arr, codes, values)
     return out_arr
@@ -175,25 +183,147 @@ def group_codes(key_columns: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndar
     if len(key_columns) == 1:
         uniques, codes = np.unique(key_columns[0], return_inverse=True)
         return codes.astype(np.int64), [uniques]
+    codes = _pack_int_keys(key_columns)
+    if codes is None:
+        codes = _factorized_pack(key_columns)
+    ngroups = int(codes.max()) + 1 if len(codes) else 0
+    # Map group codes back to one representative row per group (reverse
+    # pass keeps the first occurrence in row order).
+    first_row = np.full(ngroups, -1, dtype=np.int64)
+    order = np.arange(len(codes))
+    first_row[codes[::-1]] = order[::-1]
+    unique_cols = [col[first_row] for col in key_columns]
+    return codes, unique_cols
+
+
+def _pack_int_keys(key_columns: list[np.ndarray]) -> np.ndarray | None:
+    """All-integer fast path: pack (value - min) columns mixed-radix.
+
+    Skips the per-column ``np.unique`` calls entirely — one min/max scan
+    per column plus a single unique over the packed keys.  The group
+    ordering (lexicographic by column value) is identical to the
+    factorized path.  Returns ``None`` when a column is non-integer or
+    the value spans would overflow int64.
+    """
+    if not all(np.issubdtype(col.dtype, np.integer) for col in key_columns):
+        return None
+    n = len(key_columns[0])
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    bases = [int(col.min()) for col in key_columns]
+    spans = [int(col.max()) - base + 1 for col, base in zip(key_columns, bases)]
+    span_product = 1
+    for span in spans:
+        span_product *= span
+    if span_product > np.iinfo(np.int64).max:
+        return None
+    packed = key_columns[0].astype(np.int64, copy=True)
+    packed -= bases[0]
+    for col, base, span in zip(key_columns[1:], bases[1:], spans[1:]):
+        packed *= span
+        packed += col.astype(np.int64, copy=False) - base
+    _, codes = np.unique(packed, return_inverse=True)
+    return codes.astype(np.int64)
+
+
+def _factorized_pack(key_columns: list[np.ndarray]) -> np.ndarray:
+    """General multi-column path: factorize per column, then pack codes."""
     per_col_codes = []
     per_col_uniques = []
     for col in key_columns:
         uniq, inv = np.unique(col, return_inverse=True)
         per_col_codes.append(inv.astype(np.int64))
         per_col_uniques.append(uniq)
+    # Mixed-radix packing of the per-column codes.  The radix product is
+    # checked with python (arbitrary-precision) ints first: if it exceeds
+    # int64 the packed codes would silently wrap, so fall back to a
+    # lexsort-based grouping that never multiplies.
+    radix_product = 1
+    for uniq in per_col_uniques:
+        radix_product *= max(1, len(uniq))
+    if radix_product > np.iinfo(np.int64).max:
+        codes, _ = _lexsort_codes(per_col_codes)
+        return codes
     combined = per_col_codes[0]
     for inv, uniq in zip(per_col_codes[1:], per_col_uniques[1:]):
         combined = combined * len(uniq) + inv
-    final_uniques, codes = np.unique(combined, return_inverse=True)
-    # Map combined codes back to one representative row per group.
-    first_row = np.zeros(len(final_uniques), dtype=np.int64)
-    seen = np.full(len(final_uniques), -1, dtype=np.int64)
-    order = np.arange(len(codes))
-    # reverse pass keeps the first occurrence
-    seen[codes[::-1]] = order[::-1]
-    first_row = seen
-    unique_cols = [col[first_row] for col in key_columns]
-    return codes.astype(np.int64), unique_cols
+    _, codes = np.unique(combined, return_inverse=True)
+    return codes.astype(np.int64)
+
+
+def _lexsort_codes(per_col_codes: list[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Dense group codes via lexsort; overflow-proof multi-column path.
+
+    Produces the same lexicographic group ordering (first column most
+    significant) as the mixed-radix packing, without packing.
+    """
+    n = len(per_col_codes[0])
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    # np.lexsort sorts by the *last* key first, so reverse for col-0-major.
+    order = np.lexsort(tuple(per_col_codes[::-1]))
+    boundary = np.zeros(n, dtype=bool)
+    for col in per_col_codes:
+        sorted_col = col[order]
+        boundary[1:] |= sorted_col[1:] != sorted_col[:-1]
+    gids_sorted = np.cumsum(boundary)
+    codes = np.empty(n, dtype=np.int64)
+    codes[order] = gids_sorted
+    return codes, int(gids_sorted[-1]) + 1
+
+
+class ObjectDictEncoder:
+    """Incremental dictionary encoder for object (string) key columns.
+
+    Aggregation group keys are typically low-cardinality; once the
+    dictionary has seen every distinct value of a column, encoding a page
+    costs one vectorized equality scan per known value instead of a
+    python-object argsort inside ``np.unique``.  New values are learned
+    with one dict lookup per *distinct* unseen value.
+    """
+
+    #: Above this many known values, equality scans lose to np.unique.
+    _SCAN_LIMIT = 24
+
+    __slots__ = ("values", "code_of")
+
+    def __init__(self):
+        self.values: list = []
+        self.code_of: dict = {}
+
+    def value_array(self) -> np.ndarray:
+        arr = np.empty(len(self.values), dtype=object)
+        arr[:] = self.values
+        return arr
+
+    def encode(self, col: np.ndarray) -> np.ndarray:
+        """Dense int64 code per value; codes are stable across pages."""
+        n = len(col)
+        out = np.full(n, -1, dtype=np.int64)
+        if n == 0:
+            return out
+        if self.values and len(self.values) <= self._SCAN_LIMIT:
+            for code, value in enumerate(self.values):
+                out[col == value] = code
+            unknown = out < 0
+            if unknown.any():
+                self._learn(col, out, unknown)
+            return out
+        self._learn(col, out, np.ones(n, dtype=bool))
+        return out
+
+    def _learn(self, col: np.ndarray, out: np.ndarray, mask: np.ndarray) -> None:
+        uvals, inv = np.unique(col[mask], return_inverse=True)
+        lut = np.empty(len(uvals), dtype=np.int64)
+        code_of = self.code_of
+        for i, value in enumerate(uvals.tolist()):
+            code = code_of.get(value)
+            if code is None:
+                code = len(self.values)
+                code_of[value] = code
+                self.values.append(value)
+            lut[i] = code
+        out[mask] = lut[inv]
 
 
 # ---------------------------------------------------------------------------

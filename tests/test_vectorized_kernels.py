@@ -1,0 +1,320 @@
+"""Property tests for the vectorized join/aggregation kernels (DESIGN.md §8).
+
+Randomized pages — numeric, DATE, and object/string keys, empty pages,
+NaN floats, composite keys — are pushed through the CSR join index and
+the columnar two-stage aggregation, and the results are compared against
+naive dict-based oracles with the same semantics as ``repro.reference``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import CostModel
+from repro.exec.operators.aggregation import FinalAggOperator, PartialAggOperator
+from repro.exec.operators.join import (
+    HashJoinProbeOperator,
+    JoinBridge,
+    JoinBuildSink,
+    _dense_int_lut,
+)
+from repro.pages import ColumnType, Page, Schema
+from repro.plan.logical import JoinType
+from repro.plan.physical import partial_agg_schema
+from repro.sim import SimKernel
+from repro.sql.expressions import AggregateCall, InputRef
+from repro.sql.functions import ObjectDictEncoder, group_codes
+
+INT = ColumnType.INT64
+FLT = ColumnType.FLOAT64
+STR = ColumnType.STRING
+DATE = ColumnType.DATE
+COST = CostModel()
+
+_WORDS = ["ash", "birch", "cedar", "elm", "fir", "oak", "pine", "yew"]
+
+#: Key column generators, by logical type.  Each returns values with a
+#: smallish domain so joins/groups actually collide.
+def _gen_key_column(rng, col_type, n):
+    if col_type is INT:
+        if rng.integers(2):
+            return rng.integers(0, 25, size=n)  # dense (LUT path)
+        pool = rng.integers(-(10**9), 10**9, size=8)  # sparse (searchsorted)
+        return pool[rng.integers(0, len(pool), size=n)]
+    if col_type is DATE:
+        return rng.integers(9100, 9130, size=n)
+    if col_type is FLT:
+        pool = np.array([-2.5, -1.0, 0.0, 0.5, 3.25, 7.125, np.nan])
+        return pool[rng.integers(0, len(pool), size=n)]
+    return np.array([_WORDS[i] for i in rng.integers(0, len(_WORDS), size=n)], dtype=object)
+
+
+def _key_schema(col_types):
+    return Schema.of(*[(f"k{i}", t) for i, t in enumerate(col_types)])
+
+
+def _page(col_types, columns):
+    schema = _key_schema(col_types)
+    return Page(schema, [t.coerce(c) for t, c in zip(col_types, columns)])
+
+
+def _norm(value):
+    """NaN-tolerant cell normaliser: tagged strings sort uniformly."""
+    if isinstance(value, float):
+        return "f:NaN" if value != value else f"f:{round(value, 9)!r}"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _norm_rows(rows):
+    return sorted(tuple(_norm(v) for v in row) for row in rows)
+
+
+def _drain(op, pages):
+    out = []
+    for page in list(pages) + [Page.end()]:
+        outs, _ = op.process(page)
+        out.extend(o.rows() for o in outs if not o.is_end)
+    return [row for chunk in out for row in chunk]
+
+
+# ---------------------------------------------------------------------------
+# joins vs dict oracle
+# ---------------------------------------------------------------------------
+def _dict_join(build_rows, probe_rows, nkeys):
+    """INNER/SEMI/ANTI results of a dict join keyed on the first nkeys cols.
+
+    Keys are python objects from ``.tolist()`` — NaN keys never compare
+    equal, matching both the reference executor and the CSR index.
+    """
+    table = {}
+    for row in build_rows:
+        table.setdefault(row[:nkeys], []).append(row)
+    inner, semi, anti = [], [], []
+    for row in probe_rows:
+        matches = table.get(row[:nkeys], ())
+        if matches:
+            semi.append(row)
+            inner.extend(row + b for b in matches)
+        else:
+            anti.append(row)
+    return inner, semi, anti
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_join_kernels_match_dict_oracle(seed):
+    rng = np.random.default_rng(5000 + seed)
+    nkeys = int(rng.integers(1, 4))
+    key_types = [(INT, DATE, STR, FLT)[i] for i in rng.integers(0, 4, size=nkeys)]
+    col_types = key_types + [FLT]  # payload column rides along
+
+    def random_page(max_rows):
+        n = int(rng.integers(0, max_rows))  # sometimes empty
+        return _page(col_types, [_gen_key_column(rng, t, n) for t in key_types]
+                     + [rng.normal(size=n)])
+
+    build_pages = [random_page(60) for _ in range(int(rng.integers(1, 4)))]
+    probe_pages = [random_page(80) for _ in range(int(rng.integers(1, 4)))]
+
+    schema = _key_schema(col_types)
+    bridge = JoinBridge(SimKernel(), schema, list(range(nkeys)))
+    sink = JoinBuildSink(COST, bridge)
+    sink.deliver(build_pages)
+    sink.driver_finished()
+    assert bridge.ready
+
+    out_schema = schema.concat(schema)
+    results = {}
+    for jt in (JoinType.INNER, JoinType.SEMI, JoinType.ANTI):
+        probe = HashJoinProbeOperator(
+            COST, bridge, jt, list(range(nkeys)), None,
+            out_schema if jt is JoinType.INNER else schema,
+        )
+        results[jt] = _drain(probe, probe_pages)
+
+    build_rows = [r for p in build_pages for r in p.rows()]
+    probe_rows = [r for p in probe_pages for r in p.rows()]
+    inner, semi, anti = _dict_join(build_rows, probe_rows, nkeys)
+    assert _norm_rows(results[JoinType.INNER]) == _norm_rows(inner)
+    assert _norm_rows(results[JoinType.SEMI]) == _norm_rows(semi)
+    assert _norm_rows(results[JoinType.ANTI]) == _norm_rows(anti)
+
+
+def test_float_probe_keys_against_int_build_keys():
+    # The dense-int LUT must not truncate fractional probe keys into a
+    # false match: 2.5 joins nothing even though floor(2.5)=2 is a build key.
+    schema = _key_schema([INT])
+    bridge = JoinBridge(SimKernel(), schema, [0])
+    sink = JoinBuildSink(COST, bridge)
+    sink.deliver([_page([INT], [[1, 2, 3]])])
+    sink.driver_finished()
+    gids = bridge.probe_group_ids([np.array([2.5, 2.0, -1.0, 3.0])])
+    assert gids[0] == -1 and gids[2] == -1
+    assert gids[1] >= 0 and gids[3] >= 0
+    assert gids[1] != gids[3]
+
+
+def test_dense_int_lut_declines_sparse_and_nonint_keys():
+    assert _dense_int_lut(np.array([0, 10_000_000], dtype=np.int64)) is None
+    assert _dense_int_lut(np.array([0.5, 1.5])) is None
+    table, base = _dense_int_lut(np.array([10, 12, 15], dtype=np.int64))
+    assert base == 10 and table[0] == 0 and table[1] == -1 and table[5] == 2
+
+
+# ---------------------------------------------------------------------------
+# two-stage aggregation vs dict oracle
+# ---------------------------------------------------------------------------
+def _dict_aggregate(rows, nkeys):
+    """sum/count/min/max/avg of the value column, grouped on key prefix."""
+    groups = {}
+    for row in rows:
+        groups.setdefault(row[:nkeys], []).append(row[-1])
+    out = []
+    for key, values in groups.items():
+        out.append(
+            key
+            + (
+                sum(values),
+                len(values),
+                min(values),
+                max(values),
+                sum(values) / len(values),
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_two_stage_aggregation_matches_dict_oracle(seed):
+    rng = np.random.default_rng(7000 + seed)
+    nkeys = int(rng.integers(1, 4))
+    key_types = [(INT, DATE, STR)[i] for i in rng.integers(0, 3, size=nkeys)]
+    col_types = key_types + [FLT]
+    in_schema = _key_schema(col_types)
+
+    calls = [
+        AggregateCall("sum", InputRef(nkeys, FLT), FLT),
+        AggregateCall("count", None, INT),
+        AggregateCall("min", InputRef(nkeys, FLT), FLT),
+        AggregateCall("max", InputRef(nkeys, FLT), FLT),
+        AggregateCall("avg", InputRef(nkeys, FLT), FLT),
+    ]
+    pschema = partial_agg_schema(in_schema, list(range(nkeys)), calls)
+    out_schema = Schema.of(
+        *[(f"k{i}", t) for i, t in enumerate(key_types)],
+        ("s", FLT), ("c", INT), ("mn", FLT), ("mx", FLT), ("a", FLT),
+    )
+
+    def random_page(max_rows):
+        n = int(rng.integers(0, max_rows))
+        return _page(col_types, [_gen_key_column(rng, t, n) for t in key_types]
+                     + [rng.normal(size=n)])
+
+    # Two partial operators simulate two drivers; their flushes interleave
+    # at the (single) final operator — the paper's two-stage model.
+    partial_rows = []
+    for _ in range(2):
+        partial = PartialAggOperator(
+            COST, list(range(nkeys)), calls, pschema,
+            group_limit=int(rng.integers(4, 40)),  # force mid-stream flushes
+        )
+        pages = [random_page(50) for _ in range(int(rng.integers(1, 4)))]
+        partial_rows.append((pages, _drain(partial, pages)))
+
+    final = FinalAggOperator(COST, nkeys, calls, out_schema)
+    final_inputs = [
+        Page.from_rows(pschema, rows) for _, rows in partial_rows if rows
+    ]
+    result = _drain(final, final_inputs)
+
+    all_rows = [r for pages, _ in partial_rows for p in pages for r in p.rows()]
+    expected = _dict_aggregate(all_rows, nkeys)
+    got = _norm_rows(result)
+    want = _norm_rows(expected)
+    assert [r[:nkeys] for r in got] == [r[:nkeys] for r in want]
+    for g, w in zip(got, want):
+        for gv, wv in zip(g[nkeys:], w[nkeys:]):
+            assert gv == pytest.approx(wv, rel=1e-9, abs=1e-9)
+
+
+def test_grouped_string_min_max_through_operators():
+    in_schema = Schema.of(("k", INT), ("v", STR))
+    calls = [
+        AggregateCall("min", InputRef(1, STR), STR),
+        AggregateCall("max", InputRef(1, STR), STR),
+    ]
+    pschema = partial_agg_schema(in_schema, [0], calls)
+    partial = PartialAggOperator(COST, [0], calls, pschema)
+    pages = [
+        Page.from_rows(in_schema, [(1, "pear"), (2, "fig"), (1, "apple")]),
+        Page.from_rows(in_schema, [(2, "quince"), (1, "mango")]),
+    ]
+    rows = _drain(partial, pages)
+    final = FinalAggOperator(
+        COST, 1, calls, Schema.of(("k", INT), ("mn", STR), ("mx", STR))
+    )
+    result = _drain(final, [Page.from_rows(pschema, rows)])
+    assert sorted(result) == [(1, "apple", "pear"), (2, "fig", "quince")]
+
+
+# ---------------------------------------------------------------------------
+# group_codes int64-overflow fallback (regression)
+# ---------------------------------------------------------------------------
+def _oracle_codes(key_cols):
+    tuples = list(zip(*[c.tolist() for c in key_cols]))
+    ranked = {key: i for i, key in enumerate(sorted(set(tuples)))}
+    return [ranked[key] for key in tuples]
+
+
+def test_group_codes_overflow_falls_back_to_lexsort():
+    # 11 int columns with ~100 distinct values each: the mixed-radix
+    # product is ~1e22 > int64 max, so packing must take the lexsort
+    # fallback instead of silently wrapping around.
+    rng = np.random.default_rng(11)
+    key_cols = [rng.integers(0, 100, size=400) for _ in range(11)]
+    codes, uniques = group_codes(key_cols)
+    assert _oracle_codes(key_cols) == codes.tolist()
+    for j, uniq in enumerate(uniques):
+        np.testing.assert_array_equal(uniq[codes], key_cols[j])
+
+
+def test_group_codes_overflow_with_wide_value_spans():
+    # Small distinct counts but astronomically wide value ranges: the
+    # all-int span-packing fast path must detect overflow and defer.
+    rng = np.random.default_rng(13)
+    base = np.array([-(2**62), 0, 2**62], dtype=np.int64)
+    key_cols = [base[rng.integers(0, 3, size=200)] for _ in range(4)]
+    codes, uniques = group_codes(key_cols)
+    assert _oracle_codes(key_cols) == codes.tolist()
+    for j, uniq in enumerate(uniques):
+        np.testing.assert_array_equal(uniq[codes], key_cols[j])
+
+
+def test_group_codes_mixed_object_and_numeric_columns():
+    key_cols = [
+        np.array(["b", "a", "b", "a"], dtype=object),
+        np.array([2, 1, 2, 2]),
+    ]
+    codes, uniques = group_codes(key_cols)
+    assert _oracle_codes(key_cols) == codes.tolist()
+    assert uniques[0].tolist() == ["a", "a", "b"]
+    assert uniques[1].tolist() == [1, 2, 2]
+
+
+# ---------------------------------------------------------------------------
+# supporting structures
+# ---------------------------------------------------------------------------
+def test_object_dict_encoder_codes_are_stable_across_batches():
+    enc = ObjectDictEncoder()
+    a = enc.encode(np.array(["x", "y", "x"], dtype=object))
+    b = enc.encode(np.array(["z", "y", "x"], dtype=object))
+    assert a.tolist() == [0, 1, 0]
+    assert b.tolist() == [2, 1, 0]
+    assert enc.value_array().tolist() == ["x", "y", "z"]
+
+
+def test_page_num_rows_is_cached():
+    page = _page([INT], [[1, 2, 3]])
+    assert page._num_rows is None
+    assert page.num_rows == 3
+    assert page._num_rows == 3
+    assert page.size_bytes > 0  # reuses the cached count
+    assert Page.end().num_rows == 0
