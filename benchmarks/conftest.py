@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data import Catalog
+from repro import Catalog
 from repro.experiments import EVAL_SEED
 from repro.metrics import render_curve_points, render_series, render_table
 

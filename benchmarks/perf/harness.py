@@ -11,6 +11,8 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/harness.py --profile      # + pstats top-25
     PYTHONPATH=src python benchmarks/perf/harness.py --check-baseline \
         benchmarks/perf/baseline.json                               # CI perf smoke
+    PYTHONPATH=src python benchmarks/perf/harness.py \
+        --check-trace-overhead                       # CI tracing-overhead gate
 
 Determinism: the catalog seed, scale factor, query set, and repetition
 count are pinned; the only nondeterminism left is the host itself, which
@@ -35,9 +37,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import AccordionEngine  # noqa: E402
-from repro.data import Catalog  # noqa: E402
-from repro.data.tpch.queries import QUERIES  # noqa: E402
+from repro import AccordionEngine, Catalog, EngineConfig, TPCH_QUERIES as QUERIES  # noqa: E402
 
 SCALE = 0.05
 SEED = 20250622
@@ -46,6 +46,10 @@ QUERY_SET = ("Q1", "Q3", "Q5", "Q2J")
 OUTPUT = REPO_ROOT / "BENCH_tpch.json"
 #: CI gate: fail when a query's wall time exceeds baseline by this factor.
 REGRESSION_FACTOR = 2.0
+#: CI gate: tracing-enabled run must stay within this factor of tracing-off.
+TRACE_OVERHEAD_FACTOR = 1.10
+TRACE_OVERHEAD_QUERY = "Q3"
+TRACE_OVERHEAD_REPEATS = 5
 
 
 def time_query(catalog: Catalog, sql: str) -> dict:
@@ -125,6 +129,51 @@ def check_baseline(report: dict, baseline_path: Path) -> int:
     return 0
 
 
+def check_trace_overhead() -> int:
+    """CI gate: the obs layer must cost < ``TRACE_OVERHEAD_FACTOR`` wall clock.
+
+    Runs the same query alternately with tracing off and on (interleaved so
+    host-load drift hits both modes equally), compares the *minimum* wall
+    time of each mode — the min is the least noisy estimator of the true
+    cost on a shared machine — and also asserts the answers are identical.
+    """
+    catalog = Catalog.tpch(SCALE, SEED)
+    sql = QUERIES[TRACE_OVERHEAD_QUERY]
+    traced_config = EngineConfig().with_tracing()
+    off_samples: list[float] = []
+    on_samples: list[float] = []
+    rows_off = rows_on = None
+    for _ in range(TRACE_OVERHEAD_REPEATS):
+        gc.collect()
+        start = time.perf_counter()
+        result = AccordionEngine(catalog).execute(sql)
+        off_samples.append(time.perf_counter() - start)
+        rows_off = sorted(result.rows)
+        gc.collect()
+        start = time.perf_counter()
+        result = AccordionEngine(catalog, config=traced_config).execute(sql)
+        on_samples.append(time.perf_counter() - start)
+        rows_on = sorted(result.rows)
+    if rows_off != rows_on:
+        print("TRACE OVERHEAD CHECK FAILED: traced answers differ from untraced")
+        return 1
+    best_off = min(off_samples)
+    best_on = min(on_samples)
+    ratio = best_on / best_off
+    print(
+        f"{TRACE_OVERHEAD_QUERY} tracing off {best_off:.3f}s / "
+        f"on {best_on:.3f}s -> {ratio:.3f}x (limit {TRACE_OVERHEAD_FACTOR}x)"
+    )
+    if ratio > TRACE_OVERHEAD_FACTOR:
+        print(
+            f"TRACE OVERHEAD CHECK FAILED: {ratio:.3f}x exceeds "
+            f"{TRACE_OVERHEAD_FACTOR}x"
+        )
+        return 1
+    print("trace overhead ok")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -140,12 +189,23 @@ def main(argv: list[str] | None = None) -> int:
         help="exit nonzero if any query regresses >2x over the baseline file",
     )
     parser.add_argument(
+        "--check-trace-overhead",
+        action="store_true",
+        help=(
+            "exit nonzero if enabling tracing slows the harness query by "
+            f"more than {TRACE_OVERHEAD_FACTOR}x (skips the normal report)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=OUTPUT,
         help=f"where to write the report (default: {OUTPUT})",
     )
     args = parser.parse_args(argv)
+
+    if args.check_trace_overhead:
+        return check_trace_overhead()
 
     report = run_benchmarks()
     if args.output.exists():

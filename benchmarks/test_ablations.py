@@ -14,9 +14,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro import AccordionEngine, EngineConfig, QueryOptions
-from repro.config import BufferConfig, CostModel
-from repro.data.tpch.queries import QUERIES
+from repro import AccordionEngine, BufferConfig, CostModel, EngineConfig, QueryOptions, TPCH_QUERIES as QUERIES
 
 from conftest import emit_table, norm_rows, once
 
@@ -94,7 +92,7 @@ def test_ablation_join_distribution(benchmark, small_catalog):
                 out[(mode, dop)] = (
                     query.elapsed,
                     query.stages[1].max_build_seconds(),
-                    norm_rows(query.result().rows()),
+                    norm_rows(query.result().rows),
                 )
         return out
 

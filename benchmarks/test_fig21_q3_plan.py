@@ -6,9 +6,7 @@ on its build side — with both dependency kinds visible (data dependency
 S1<-S2, execution dependency S1<-S3 via the hash build).
 """
 
-from repro import QueryOptions
-from repro.data.tpch.queries import QUERIES
-from repro.engine import AccordionEngine
+from repro import AccordionEngine, QueryOptions, TPCH_QUERIES as QUERIES
 from repro.plan.physical import PJoinNode
 
 from conftest import emit, once

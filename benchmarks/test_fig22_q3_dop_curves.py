@@ -8,10 +8,7 @@ ones (scheduling + hash-rebuild overheads), with the intra-stage gap the
 larger of the two.
 """
 
-from repro import AccordionEngine, EngineConfig, QueryOptions
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
-from repro.errors import TuningRejected
+from repro import AccordionEngine, CostModel, EngineConfig, QueryOptions, TPCH_QUERIES as QUERIES, TuningRejected
 
 from conftest import emit_table, once
 

@@ -7,9 +7,7 @@ the long-running computational bottleneck; execution-dependent stages
 (S1 waits for S3's hash table) start streaming later.
 """
 
-from repro import AccordionEngine, EngineConfig
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
+from repro import AccordionEngine, CostModel, EngineConfig, TPCH_QUERIES as QUERIES
 
 from conftest import emit, emit_stage_curves, once
 

@@ -7,9 +7,7 @@ further gain once CPU is saturated; the query finishes far faster than
 untuned (paper: 58.42% reduction).
 """
 
-from repro import AccordionEngine, EngineConfig
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
+from repro import AccordionEngine, CostModel, EngineConfig, TPCH_QUERIES as QUERIES
 from repro.script import run_script
 
 from conftest import emit, emit_stage_curves, norm_rows, once
@@ -62,7 +60,7 @@ def test_fig24_intra_task_tuning(benchmark, small_catalog):
     )
 
     # Results identical to the untuned run.
-    assert norm_rows(query.result().rows()) == norm_rows(untuned.rows)
+    assert norm_rows(query.result().rows) == norm_rows(untuned.rows)
 
     # Substantial reduction, in the paper's ballpark.
     assert 30.0 < reduction < 85.0

@@ -10,9 +10,7 @@ are large (Q3: 73.71%).
 
 import pytest
 
-from repro import AccordionEngine, EngineConfig
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
+from repro import AccordionEngine, CostModel, EngineConfig, TPCH_QUERIES as QUERIES
 from repro.script import run_script
 
 from conftest import emit, emit_stage_curves, norm_rows, once
@@ -91,7 +89,7 @@ def test_fig25_stage_dop_tuning(benchmark, small_catalog, name):
     )
 
     # Elasticity never changes the answer.
-    assert norm_rows(query.result().rows()) == norm_rows(untuned.rows)
+    assert norm_rows(query.result().rows) == norm_rows(untuned.rows)
     # Meaningful speedup from stage tuning.
     assert reduction > 25.0, reduction
     # At least the first adjustments were accepted.

@@ -7,10 +7,7 @@ below T_build.  Table 2 reports the per-switch state transfer breakdown
 gets *cheaper* as the DOP grows (more nodes share the reshuffle work).
 """
 
-from repro import AccordionEngine, EngineConfig, QueryOptions
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
-from repro.errors import TuningRejected
+from repro import AccordionEngine, CostModel, EngineConfig, QueryOptions, TPCH_QUERIES as QUERIES, TuningRejected
 
 from conftest import emit, emit_stage_curves, emit_table, norm_rows, once
 
@@ -114,7 +111,7 @@ def test_fig26_table2_dop_switching(benchmark, eval_catalog):
     )
 
     # Correctness under switching.
-    assert norm_rows(query.result().rows()) == norm_rows(untuned.rows)
+    assert norm_rows(query.result().rows) == norm_rows(untuned.rows)
     # Both switches were applied and completed.
     assert len(switches) == 2
     for s in switches:

@@ -9,10 +9,8 @@ until the bottleneck shifts to the join stage and further increases stop
 helping.
 """
 
-from repro import QueryOptions
+from repro import QueryOptions, TPCH_QUERIES as QUERIES, TuningRejected
 from repro.buffers import OutputMode
-from repro.data.tpch.queries import QUERIES
-from repro.errors import TuningRejected
 from repro.experiments import shuffle_experiment_engine
 
 from conftest import emit, emit_table, norm_rows, once
@@ -112,5 +110,5 @@ def test_fig28_runtime_shuffle_tuning(benchmark):
         reduction_pct=round(reduction, 1),
     )
     assert applied, "at least one shuffle-stage DOP increase must be applied"
-    assert norm_rows(query.result().rows()) == norm_rows(static.rows)
+    assert norm_rows(query.result().rows) == norm_rows(static.rows)
     assert reduction > 20.0

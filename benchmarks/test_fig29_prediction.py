@@ -6,10 +6,7 @@ the paper's check is that (adjustment time + predicted remaining time)
 lands close to the stage's actual completion time.
 """
 
-from repro import AccordionEngine, EngineConfig, QueryOptions
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
-from repro.errors import TuningRejected
+from repro import AccordionEngine, CostModel, EngineConfig, QueryOptions, TPCH_QUERIES as QUERIES, TuningRejected
 
 from conftest import emit_table, once
 

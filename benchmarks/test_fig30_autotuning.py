@@ -10,10 +10,8 @@ at ~150 s) and the auto-tuner re-plans.
 
 import pytest
 
-from repro import AccordionEngine, EngineConfig, QueryOptions
+from repro import AccordionEngine, CostModel, EngineConfig, QueryOptions, TPCH_QUERIES as QUERIES
 from repro.autotune import DopPlanner
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
 
 from conftest import emit, once
 

@@ -10,10 +10,11 @@ nodes (the Section 6.4.2 configuration).
 """
 
 import tempfile
+from dataclasses import replace
 from pathlib import Path
 
-from repro import AccordionEngine, QueryOptions
-from repro.data import Catalog, read_csv, write_csv
+from repro import AccordionEngine, Catalog, EngineConfig, QueryOptions
+from repro.data import read_csv, write_csv
 from repro.data.tpch import TPCH_SCHEMAS, TpchGenerator
 
 
@@ -32,7 +33,12 @@ def main() -> None:
         catalog.register(read_csv(name, TPCH_SCHEMAS[name], workdir / f"{name}.tbl"))
 
     # Pin orders to two storage nodes — the shuffle-bottleneck layout.
-    engine = AccordionEngine(catalog, node_overrides={"orders": [0, 1]})
+    config = EngineConfig()
+    config = replace(
+        config,
+        cluster=config.cluster.with_placement(node_overrides={"orders": [0, 1]}),
+    )
+    engine = AccordionEngine(catalog, config=config)
 
     result = engine.execute(
         """

@@ -8,10 +8,8 @@ schedule (RP actions), scaling out when behind (AP actions).
     python examples/deadline_autotuning.py
 """
 
-from repro import AccordionEngine, EngineConfig, QueryOptions
+from repro import AccordionEngine, CostModel, EngineConfig, QueryOptions, TPCH_QUERIES
 from repro.autotune import DopPlanner
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
 
 
 def main() -> None:
@@ -19,13 +17,13 @@ def main() -> None:
     engine = AccordionEngine.tpch(scale=0.01, config=config)
 
     # How long does Q3 take untuned?
-    untuned = engine.execute(QUERIES["Q3"], max_virtual_seconds=1e6)
+    untuned = engine.execute(TPCH_QUERIES["Q3"], max_virtual_seconds=1e6)
     print(f"Untuned Q3: {untuned.elapsed_seconds:.1f} virtual seconds")
 
     deadline = untuned.elapsed_seconds * 2
     print(f"\nTarget: finish within {deadline:.0f}s while minimising resources")
 
-    plan = engine.coordinator.plan_sql(QUERIES["Q3"], QueryOptions())
+    plan = engine.coordinator.plan_sql(TPCH_QUERIES["Q3"], QueryOptions())
     dop_plan = DopPlanner(engine.catalog, engine.config).plan(plan, deadline)
     print(f"DOP planning module: start at stage DOP {dop_plan.initial_stage_dop}, "
           f"task DOP {dop_plan.initial_task_dop}")
@@ -33,13 +31,13 @@ def main() -> None:
         print(f"  scan stage S{scan_stage} must finish within {scan_deadline:.0f}s")
 
     query = engine.submit(
-        QUERIES["Q3"],
+        TPCH_QUERIES["Q3"],
         QueryOptions(
             initial_stage_dop=max(2, dop_plan.initial_stage_dop),
             initial_task_dop=dop_plan.initial_task_dop,
         ),
     )
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     for scan_stage, scan_deadline in dop_plan.scan_deadlines.items():
         elastic.set_constraint(scan_stage, scan_deadline)
     elastic.start_monitor(period=2.0)

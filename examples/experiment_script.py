@@ -9,8 +9,7 @@ coordinator rejects.
     python examples/experiment_script.py
 """
 
-from repro import AccordionEngine, EngineConfig
-from repro.config import CostModel
+from repro import AccordionEngine, CostModel, EngineConfig
 from repro.metrics import render_series
 from repro.script import run_script
 

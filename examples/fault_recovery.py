@@ -8,13 +8,17 @@ at the cost of retried tasks and extra control-plane RPC.
     python examples/fault_recovery.py
 """
 
-from repro import AccordionEngine, FaultPlan, NodeCrash
-from repro.config import CostModel, EngineConfig
-from repro.data import Catalog
-from repro.data.tpch.queries import QUERIES
-from repro.metrics import render_fault_report
+from repro import (
+    AccordionEngine,
+    Catalog,
+    CostModel,
+    EngineConfig,
+    FaultPlan,
+    NodeCrash,
+    TPCH_QUERIES,
+)
 
-SQL = QUERIES["Q3"]
+SQL = TPCH_QUERIES["Q3"]
 
 
 def build_engine(catalog: Catalog) -> AccordionEngine:
@@ -41,7 +45,8 @@ def main() -> None:
     engine.inject_faults(plan)
     print(f"\ninjecting:   {plan.describe()}")
 
-    faulted = engine.execute(SQL)
+    handle = engine.submit(SQL)
+    faulted = handle.result()
     print(f"faulted run: {faulted.num_rows} rows in {faulted.elapsed_seconds:.2f}s "
           f"({engine.coordinator.rpc.total_requests} RPC requests)")
 
@@ -57,11 +62,7 @@ def main() -> None:
     print(f"recovery cost: +{slowdown:.2f}s virtual time, +{extra_rpc} RPC requests")
 
     print("\nfault report:")
-    print(render_fault_report(engine))
-
-    print("\nquery fault history:")
-    for event in faulted.query.fault_events:
-        print(f"  t={event['t']:.3f}s  {event['kind']}: {event['detail']}")
+    print(handle.fault_report())
 
 
 if __name__ == "__main__":

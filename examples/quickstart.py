@@ -1,19 +1,23 @@
 """Quickstart: run SQL on a simulated Accordion cluster.
 
 Builds an engine over a generated TPC-H database (10 storage + 10 compute
-nodes, as in the paper's testbed), runs a few queries, and prints results
-with their virtual execution times.
+nodes, as in the paper's testbed), runs a few queries through the
+:class:`QueryHandle` API, prints results with their virtual execution
+times, and exports a Perfetto-loadable trace of the last query.
 
     python examples/quickstart.py
 """
 
-from repro import AccordionEngine
+import tempfile
+from pathlib import Path
+
+from repro import AccordionEngine, EngineConfig
 from repro.metrics import render_table
 
 
 def main() -> None:
     print("Generating TPC-H data and starting the simulated cluster...")
-    engine = AccordionEngine.tpch(scale=0.01)
+    engine = AccordionEngine.tpch(scale=0.01, config=EngineConfig().with_tracing())
 
     queries = {
         "row count": "select count(*) from lineitem",
@@ -41,7 +45,8 @@ def main() -> None:
     }
 
     for title, sql in queries.items():
-        result = engine.execute(sql)
+        handle = engine.submit(sql)
+        result = handle.result()
         print(f"\n=== {title} ===")
         print(
             f"(virtual time {result.elapsed_seconds:.2f}s, "
@@ -51,7 +56,18 @@ def main() -> None:
         print(render_table(result.columns, result.rows[:10]))
 
     print("\nStage breakdown of the last query:")
-    print(result.query.describe())
+    print(handle.describe())
+
+    # The obs layer recorded the whole run; export the last query's span
+    # tree as a Chrome trace-event file (open it at https://ui.perfetto.dev).
+    trace = handle.trace()
+    out = Path(tempfile.gettempdir()) / "accordion_q3_trace.json"
+    trace.to_chrome_json(out)
+    print(
+        f"\nTrace: {len(trace.spans)} spans "
+        f"({len(trace.spans_of('task'))} tasks, "
+        f"{len(trace.spans_of('quantum'))} driver quanta) -> {out}"
+    )
 
 
 if __name__ == "__main__":

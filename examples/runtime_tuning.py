@@ -11,10 +11,7 @@ at Accordion's controller UI (paper Figure 2):
     python examples/runtime_tuning.py
 """
 
-from repro import AccordionEngine, EngineConfig
-from repro.config import CostModel
-from repro.data.tpch.queries import QUERIES
-from repro.errors import TuningRejected
+from repro import AccordionEngine, CostModel, EngineConfig, TPCH_QUERIES, TuningRejected
 from repro.metrics import render_series
 
 
@@ -24,8 +21,8 @@ def main() -> None:
     config = EngineConfig(cost=CostModel().scaled(1000.0), page_row_limit=256)
     engine = AccordionEngine.tpch(scale=0.01, config=config)
 
-    query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    query = engine.submit(TPCH_QUERIES["Q3"])
+    elastic = query.tuning
     print("Q3 submitted; distributed plan:")
     print(query.plan.describe())
 

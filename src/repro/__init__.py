@@ -1,43 +1,71 @@
 """Accordion: Intra-Query Runtime Elasticity for cloud-native data analysis.
 
 A full reproduction of the SIGMOD'25 Accordion engine on a discrete-event
-simulated cluster.  Entry point: :class:`repro.AccordionEngine`.
+simulated cluster.  Entry point: :class:`repro.AccordionEngine`; a
+submitted query is driven through its :class:`repro.QueryHandle`.
+
+This module is the library's stable import surface — examples, benchmarks,
+and downstream code should import from ``repro`` directly instead of deep
+module paths.
 """
 
-from .cluster import QueryOptions
 from .config import (
     BufferConfig,
     ClusterConfig,
     CostModel,
     EngineConfig,
+    FaultConfig,
     NodeSpec,
+    TraceConfig,
     presto_config,
     prestissimo_config,
 )
-from .config import FaultConfig
-from .engine import AccordionEngine, QueryResult
-from .errors import QueryFailedError
+from .cluster import QueryOptions
+from .data import Catalog
+from .data.tpch.queries import QUERIES as TPCH_QUERIES
+from .engine import AccordionEngine
+from .errors import (
+    AccordionError,
+    ExecutionError,
+    QueryFailedError,
+    SqlError,
+    TuningRejected,
+)
 from .faults import FaultInjector, FaultPlan, NodeCrash, RpcOutage, RpcStorm, TaskCrash
+from .handle import QueryHandle, QueryResult
+from .obs import MetricsRegistry, ProfileReport, QueryTrace, Tracer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccordionEngine",
+    "AccordionError",
     "BufferConfig",
+    "Catalog",
     "ClusterConfig",
     "CostModel",
     "EngineConfig",
+    "ExecutionError",
     "FaultConfig",
     "FaultInjector",
     "FaultPlan",
+    "MetricsRegistry",
     "NodeCrash",
     "NodeSpec",
+    "ProfileReport",
     "QueryFailedError",
+    "QueryHandle",
     "QueryOptions",
     "QueryResult",
+    "QueryTrace",
     "RpcOutage",
     "RpcStorm",
+    "SqlError",
     "TaskCrash",
+    "TPCH_QUERIES",
+    "TraceConfig",
+    "Tracer",
+    "TuningRejected",
     "presto_config",
     "prestissimo_config",
 ]

@@ -35,6 +35,13 @@ class TuningRequestFilter:
             self.rejections.append((query.kernel.now, request, exc.reason))
             if query.tracker is not None:
                 query.tracker.mark("rejected", request.stage, str(exc))
+            tracer = query.kernel.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "tuning", f"rejected: {exc.reason}",
+                    parent=tracer.root_for_query(query.id),
+                    node="coordinator", query_id=query.id, stage=request.stage,
+                )
             raise
 
     def _check(self, query: "QueryExecution", request: TuningRequest) -> None:

@@ -49,6 +49,11 @@ class WaiterList:
 class ElasticPageBuffer:
     """A page queue with consumer-driven capacity management."""
 
+    #: Trace span this buffer's turn-up/resize instants report under (the
+    #: owning task sets it when tracing is on; class default keeps the
+    #: common untraced path allocation-free).
+    trace_parent: int | None = None
+
     def __init__(
         self,
         kernel: SimKernel,
@@ -125,6 +130,12 @@ class ElasticPageBuffer:
         if new_capacity > self.capacity:
             self.capacity = new_capacity
             self.turn_up_counter += 1
+            tracer = self.kernel.tracer
+            if tracer.buffer_events:
+                tracer.instant(
+                    "buffer", "turn_up", parent=self.trace_parent,
+                    buffer=self.name, capacity=new_capacity,
+                )
             self.not_full.notify_all()
 
     def _maybe_resize(self) -> None:
@@ -140,7 +151,15 @@ class ElasticPageBuffer:
             min(self.config.max_capacity_pages, self._consumed_this_period),
         )
         grew = target > self.capacity
+        changed = target != self.capacity
         self.capacity = target
+        if changed:
+            tracer = self.kernel.tracer
+            if tracer.buffer_events:
+                tracer.instant(
+                    "buffer", "resize", parent=self.trace_parent,
+                    buffer=self.name, capacity=target,
+                )
         if grew:
             self.not_full.notify_all()
         self._period_started = now

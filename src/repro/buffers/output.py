@@ -118,6 +118,10 @@ class _Capacity:
 class TaskOutputBuffer:
     """Common machinery: consumer registry, accounting, producer gating."""
 
+    #: Trace span (the owning task's) that turn-up/resize instants report
+    #: under; set by the task when tracing is on.
+    trace_parent: int | None = None
+
     def __init__(
         self,
         kernel: SimKernel,
@@ -254,17 +258,40 @@ class TaskOutputBuffer:
         while source and len(taken) < max_pages:
             taken.append(source.popleft())
         if not taken and not queue.ended:
-            if self.capacity.turn_up():
+            if self._capacity_turn_up():
                 self.not_full.notify_all()
         if taken:
             if any(not p.is_end for p in taken):
                 self.ever_fetched = True
-            self.capacity.consumed(sum(1 for p in taken if not p.is_end))
+            self._capacity_consumed(sum(1 for p in taken if not p.is_end))
             self.not_full.notify_all()
         return taken
 
     def _source_queue(self, queue: ConsumerQueue) -> deque[Page]:
         return queue.pages
+
+    # -- elastic capacity with trace instants ------------------------------
+    def _capacity_turn_up(self) -> bool:
+        if not self.capacity.turn_up():
+            return False
+        tracer = self.kernel.tracer
+        if tracer.buffer_events:
+            tracer.instant(
+                "buffer", "turn_up", parent=self.trace_parent,
+                buffer=self.name, capacity=self.capacity.capacity,
+            )
+        return True
+
+    def _capacity_consumed(self, pages: int) -> None:
+        before = self.capacity.capacity
+        self.capacity.consumed(pages)
+        if self.capacity.capacity != before:
+            tracer = self.kernel.tracer
+            if tracer.buffer_events:
+                tracer.instant(
+                    "buffer", "resize", parent=self.trace_parent,
+                    buffer=self.name, capacity=self.capacity.capacity,
+                )
 
     def _account(self, page: Page) -> None:
         self.rows_out += page.num_rows
@@ -339,14 +366,14 @@ class SharedOutputBuffer(TaskOutputBuffer):
                 while queue.pages:
                     taken.append(queue.pages.popleft())
         if not taken and not queue.ended:
-            if self.capacity.turn_up():
+            if self._capacity_turn_up():
                 self.not_full.notify_all()
         if taken:
             data = [p for p in taken if not p.is_end]
             if data:
                 self.ever_fetched = True
                 self._taken_log.setdefault(buffer_id, []).extend(data)
-            self.capacity.consumed(len(data))
+            self._capacity_consumed(len(data))
             self.not_full.notify_all()
         return taken
 

@@ -91,6 +91,10 @@ class QueryExecution:
         #: Timeline of faults and recovery actions that touched this query
         #: (carried into ``QueryFailedError.fault_history`` on failure).
         self.fault_events: list[dict] = []
+        #: Root of this query's trace span tree (-1 when tracing is off).
+        self.trace_span = kernel.tracer.begin(
+            "query", f"Q{query_id}", node="coordinator", query_id=query_id, sql=sql
+        )
 
     # -- results ----------------------------------------------------------
     def collect_output(self, page: Page) -> None:
@@ -138,9 +142,16 @@ class QueryExecution:
     def task_finished(self, stage: StageExecution, task) -> None:
         if self.state is not QueryState.RUNNING:
             return
+        if stage.finished:
+            self.kernel.tracer.end(stage.trace_span)
         if stage.id == 0 and stage.finished and not self.finished:
             self.state = QueryState.FINISHED
             self.finished_at = self.kernel.now
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                for other in self.stages.values():
+                    tracer.end(other.trace_span)
+                tracer.end(self.trace_span, rows=self.result_rows)
             callbacks, self._done_callbacks = self._done_callbacks, []
             for fn in callbacks:
                 fn(self)
@@ -163,6 +174,12 @@ class QueryExecution:
         self.fault_events.append(
             {"t": self.kernel.now, "kind": kind, "detail": detail}
         )
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "fault", kind, parent=self.trace_span, node="coordinator",
+                detail=detail,
+            )
 
     def fail(self, exc: Exception) -> None:
         """Terminal failure: record a structured error, fire completion
@@ -191,6 +208,11 @@ class QueryExecution:
             for task in stage.tasks:
                 if not task.finished:
                     task.crash(reason="query failed")
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            for stage in self.stages.values():
+                tracer.end(stage.trace_span)
+            tracer.end(self.trace_span, failed=True, error=str(error))
         callbacks, self._done_callbacks = self._done_callbacks, []
         for fn in callbacks:
             fn(self)

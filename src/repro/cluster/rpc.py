@@ -78,6 +78,7 @@ class RpcTracker:
         if self._fault_hook is None:
             finish = start + count * self.cost.rpc_request_cost
             self._clock = finish
+            self._trace(start, finish, count, query_id)
             if fn is not None:
                 self.kernel.schedule_at(finish, fn)
             return finish
@@ -89,6 +90,7 @@ class RpcTracker:
         start = max(self.kernel.now, self._clock)
         if self._fault_hook is None:
             self._clock = start + count * self.cost.rpc_request_cost
+            self._trace(start, self._clock, count, query_id)
             return self._clock
         return self._faulty_sequence(start, count, None, query_id)
 
@@ -97,6 +99,23 @@ class RpcTracker:
         if query_id is not None:
             self.query_requests[query_id] = (
                 self.query_requests.get(query_id, 0) + count
+            )
+
+    def _trace(
+        self, start: float, end: float, count: int, query_id: int | None, **meta
+    ) -> None:
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "rpc",
+                f"rpc x{count}",
+                start,
+                end,
+                parent=tracer.root_for_query(query_id),
+                node="coordinator",
+                count=count,
+                query_id=query_id,
+                **meta,
             )
 
     # -- faulty request sequencing ----------------------------------------
@@ -117,6 +136,7 @@ class RpcTracker:
         """
         faults = self.faults
         t = start
+        retried = 0
         for _ in range(count):
             attempt = 0
             while True:
@@ -132,15 +152,20 @@ class RpcTracker:
                 if attempt >= faults.rpc_max_retries:
                     self.failed_requests += 1
                     self._clock = max(self._clock, t)
+                    self._trace(
+                        start, t, count, query_id, retries=retried, failed=True
+                    )
                     self._abort_action(query_id, t)
                     return t
                 self.retried_requests += 1
+                retried += 1
                 t += min(
                     faults.rpc_backoff_cap,
                     faults.rpc_backoff_base * (2.0 ** attempt),
                 )
                 attempt += 1
         self._clock = max(self._clock, t)
+        self._trace(start, t, count, query_id, retries=retried)
         if fn is not None:
             self.kernel.schedule_at(t, fn)
         return t

@@ -108,6 +108,8 @@ class Scheduler:
             collect_output=query.collect_output if stage.id == 0 else None,
             on_finished=lambda t, s=stage: query.task_finished(s, t),
             on_error=lambda t, exc, s=stage: query.task_errored(s, t, exc),
+            query_id=query.id,
+            trace_parent=stage.trace_span,
         )
         stage.tasks.append(task)
         if not stage.task_groups:

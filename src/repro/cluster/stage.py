@@ -32,6 +32,15 @@ class StageExecution:
         #: Virtual times of hash-table-ready events (the yellow dashed
         #: lines of Figures 24-26).
         self.build_ready_times: list[float] = []
+        kind = "scan" if fragment.is_source else "intermediate"
+        self.trace_span = query.kernel.tracer.begin(
+            "stage",
+            f"stage{fragment.id}",
+            parent=query.trace_span,
+            node="coordinator",
+            stage_kind=kind,
+            table=fragment.source_table,
+        )
 
     # -- identity -----------------------------------------------------------
     @property

@@ -131,7 +131,10 @@ class ClusterConfig:
     """Topology of the simulated cluster (paper Section 6.1).
 
     The paper uses 1 coordinator + 10 storage + 10 compute nodes.  Tests
-    use smaller clusters; the engine takes the topology from here.
+    use smaller clusters; the engine takes the topology from here.  One
+    ClusterConfig fully describes a deployment: split placement overrides
+    and the combined storage/compute mode live here too, not as engine
+    constructor arguments.
     """
 
     compute_nodes: int = 10
@@ -139,6 +142,70 @@ class ClusterConfig:
     node: NodeSpec = field(default_factory=NodeSpec)
     #: Whether table-scan tasks must be colocated with their splits.
     colocate_scans: bool = True
+    #: Run storage and compute on the same nodes (standalone deployments).
+    combined: bool = False
+    #: Optional per-table split counts, e.g. ``{"orders": 20}``.
+    split_scheme: tuple[tuple[str, int], ...] | None = None
+    #: Optional per-table placement, e.g. ``{"orders": [0, 1]}`` pinning a
+    #: table's splits to specific storage nodes.
+    node_overrides: tuple[tuple[str, tuple[int, ...]], ...] | None = None
+
+    def with_placement(
+        self,
+        split_scheme: dict | None = None,
+        node_overrides: dict | None = None,
+        combined: bool | None = None,
+    ) -> "ClusterConfig":
+        """Copy with placement settings, accepting plain dicts.
+
+        The stored form is tuples (the dataclass is frozen/hashable); this
+        helper does the dict -> tuple conversion so callers write
+        ``cluster.with_placement(node_overrides={"orders": [0, 1]})``.
+        """
+        kwargs: dict = {}
+        if split_scheme is not None:
+            kwargs["split_scheme"] = tuple(sorted(split_scheme.items()))
+        if node_overrides is not None:
+            kwargs["node_overrides"] = tuple(
+                (table, tuple(nodes)) for table, nodes in sorted(node_overrides.items())
+            )
+        if combined is not None:
+            kwargs["combined"] = combined
+        return replace(self, **kwargs)
+
+    @property
+    def split_scheme_dict(self) -> dict | None:
+        return dict(self.split_scheme) if self.split_scheme is not None else None
+
+    @property
+    def node_overrides_dict(self) -> dict | None:
+        if self.node_overrides is None:
+            return None
+        return {table: list(nodes) for table, nodes in self.node_overrides}
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Observability switches (``repro.obs``).
+
+    Tracing is **inert**: turning it on changes no virtual timing, answer,
+    or fault schedule — it only records.  ``enabled`` gates span
+    recording; the sub-flags prune the most voluminous span kinds when a
+    coarser trace is enough.  ``profiling`` independently turns on
+    wall-clock attribution of real Python time to operators.
+    """
+
+    enabled: bool = False
+    #: Record one span per driver quantum (the most voluminous kind).
+    quantum_spans: bool = True
+    #: Record per-operator sub-spans inside each quantum.
+    operator_spans: bool = True
+    #: Record buffer turn-up / resize instants.
+    buffer_events: bool = True
+    #: Attribute wall-clock (host) time to operators via perf_counter.
+    profiling: bool = False
+    #: Hard cap on recorded spans; past it the tracer counts drops.
+    max_spans: int = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -165,10 +232,17 @@ class EngineConfig:
     partial_agg_group_limit: int = 100_000
     #: Name used in reports.
     engine_name: str = "accordion"
+    #: Observability (tracing/profiling) switches; off by default.
+    tracing: TraceConfig = field(default_factory=TraceConfig)
 
     def with_cluster(self, **kwargs) -> "EngineConfig":
         """Return a copy with cluster fields replaced (test convenience)."""
         return replace(self, cluster=replace(self.cluster, **kwargs))
+
+    def with_tracing(self, **kwargs) -> "EngineConfig":
+        """Return a copy with tracing enabled (plus any TraceConfig fields)."""
+        kwargs.setdefault("enabled", True)
+        return replace(self, tracing=replace(self.tracing, **kwargs))
 
 
 def presto_config(base: EngineConfig | None = None) -> EngineConfig:

@@ -37,6 +37,12 @@ class DynamicOptimizer:
         result = TuningResult(request, accepted=True, issued_at=self.kernel.now)
         if query.tracker is not None:
             query.tracker.mark("tuning", stage.id, request.describe())
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "tuning", request.describe(), parent=stage.trace_span,
+                node="coordinator", query_id=query.id, stage=stage.id,
+            )
 
         if request.kind is TuningKind.TASK_DOP:
             result.details["drivers"] = self.ds.set_task_dop(query, stage, request.target)

@@ -68,6 +68,12 @@ class DynamicScheduler:
         stage.build_ready_times.append(self.kernel.now)
         if query.tracker is not None:
             query.tracker.mark("build_ready", stage.id)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "tuning", "build_ready", parent=stage.trace_span,
+                node="coordinator", query_id=query.id, stage=stage.id,
+            )
 
     def watch_builds(
         self, query: "QueryExecution", stage: StageExecution, tasks: list[Task]

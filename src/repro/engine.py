@@ -1,7 +1,7 @@
 """AccordionEngine: the public facade of the library.
 
 Bundles the simulated cluster, catalog, split layout, coordinator, runtime
-DOP tuning module, and auto-tuner behind a small API:
+DOP tuning module, auto-tuner, and observability layer behind a small API:
 
 >>> from repro import AccordionEngine
 >>> engine = AccordionEngine.tpch(scale=0.01)
@@ -9,37 +9,37 @@ DOP tuning module, and auto-tuner behind a small API:
 >>> result.rows
 [(60175,)]
 
-``submit()`` returns a live query handle whose DOP can be tuned while the
-simulation advances (``engine.run_for`` / ``engine.run_until_done``) —
-the intra-query runtime elasticity that is the paper's contribution.
+``submit()`` returns a :class:`QueryHandle` — the single user-facing
+query object: ``.result()`` materialises, ``.tuning`` tunes DOPs while
+the simulation advances (``engine.run_for`` / ``engine.run_until_done``),
+``.trace()`` / ``.profile()`` expose the obs layer, and
+``.fault_report()`` summarises failure recovery.  One
+:class:`~repro.config.EngineConfig` fully describes a deployment,
+including cluster topology, split placement, and tracing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import replace
 
 from .autotune import ElasticQuery
 from .cluster import Cluster, Coordinator, QueryExecution, QueryOptions
 from .config import EngineConfig, presto_config, prestissimo_config
 from .data import Catalog, SplitLayout
 from .errors import ExecutionError
-from .pages import Page
+from .handle import QueryHandle, QueryResult
+from .obs import MetricsRegistry, NULL_TRACER, Tracer
 from .sim import SimKernel
 
+__all__ = ["AccordionEngine", "QueryHandle", "QueryResult"]
 
-@dataclass
-class QueryResult:
-    """Materialised result of a finished query."""
 
-    rows: list[tuple]
-    columns: list[str]
-    elapsed_seconds: float
-    initialization_seconds: float
-    query: QueryExecution
-
-    @property
-    def num_rows(self) -> int:
-        return len(self.rows)
+def _unwrap(query: "QueryHandle | QueryExecution") -> QueryExecution:
+    """Engine methods accept either a handle or a raw execution."""
+    if isinstance(query, QueryHandle):
+        return query.execution
+    return query
 
 
 class AccordionEngine:
@@ -51,22 +51,79 @@ class AccordionEngine:
         config: EngineConfig | None = None,
         split_scheme: dict | None = None,
         node_overrides: dict[str, list[int]] | None = None,
-        combined_nodes: bool = False,
+        combined_nodes: bool | None = None,
     ):
-        self.config = config or EngineConfig()
+        config = config or EngineConfig()
+        # Deprecated constructor stragglers: fold into the cluster config so
+        # one EngineConfig fully describes the deployment.
+        if (
+            split_scheme is not None
+            or node_overrides is not None
+            or combined_nodes is not None
+        ):
+            warnings.warn(
+                "split_scheme/node_overrides/combined_nodes constructor "
+                "arguments are deprecated; use "
+                "config.with_cluster or ClusterConfig.with_placement instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(
+                config,
+                cluster=config.cluster.with_placement(
+                    split_scheme=split_scheme,
+                    node_overrides=node_overrides,
+                    combined=combined_nodes,
+                ),
+            )
+        self.config = config
         self.kernel = SimKernel()
+        tracing = config.tracing
+        if tracing.enabled or tracing.profiling:
+            self.tracer = Tracer(self.kernel, tracing)
+        else:
+            self.tracer = NULL_TRACER
+        self.kernel.tracer = self.tracer
         self.catalog = catalog
-        self.cluster = Cluster(self.kernel, self.config.cluster, combined=combined_nodes)
+        self.cluster = Cluster(
+            self.kernel, config.cluster, combined=config.cluster.combined
+        )
         self.split_layout = SplitLayout(
             catalog,
-            storage_nodes=self.config.cluster.storage_nodes,
-            scheme=split_scheme,
-            node_overrides=node_overrides,
+            storage_nodes=config.cluster.storage_nodes,
+            scheme=config.cluster.split_scheme_dict,
+            node_overrides=config.cluster.node_overrides_dict,
         )
         self.coordinator = Coordinator(
-            self.kernel, self.cluster, catalog, self.split_layout, self.config
+            self.kernel, self.cluster, catalog, self.split_layout, config
         )
+        self.fault_injector = None
         self._elastic: dict[int, ElasticQuery] = {}
+        self.metrics = MetricsRegistry()
+        rpc = self.coordinator.rpc
+        self.metrics.gauge(
+            "rpc",
+            lambda: {
+                "total_requests": rpc.total_requests,
+                "retried_requests": rpc.retried_requests,
+                "failed_requests": rpc.failed_requests,
+            },
+        )
+        self.metrics.gauge("recovery", self.coordinator.recovery.stats)
+        self.metrics.gauge(
+            "sim",
+            lambda: {
+                "now": self.kernel.now,
+                "events_processed": self.kernel.events_processed,
+            },
+        )
+        self.metrics.gauge(
+            "trace",
+            lambda: {
+                "spans": len(self.tracer.spans),
+                "dropped": self.tracer.dropped,
+            },
+        )
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -90,9 +147,9 @@ class AccordionEngine:
         return cls(catalog, config=prestissimo_config(), **kwargs)
 
     # -- query execution ----------------------------------------------------
-    def submit(self, sql: str, options: QueryOptions | None = None) -> QueryExecution:
+    def submit(self, sql: str, options: QueryOptions | None = None) -> QueryHandle:
         """Submit a query; advance the simulation to make it progress."""
-        return self.coordinator.submit(sql, options)
+        return QueryHandle(self, self.coordinator.submit(sql, options))
 
     def execute(
         self,
@@ -101,43 +158,41 @@ class AccordionEngine:
         max_virtual_seconds: float = 1e7,
     ) -> QueryResult:
         """Submit and run to completion."""
-        query = self.submit(sql, options)
-        self.run_until_done(query, max_virtual_seconds)
-        return self.result_of(query)
+        return self.submit(sql, options).result(max_virtual_seconds)
 
-    def result_of(self, query: QueryExecution) -> QueryResult:
-        if query.failed:
-            raise query.error
-        if not query.finished:
-            raise ExecutionError(f"query {query.id} has not finished")
-        page: Page = query.result()
-        return QueryResult(
-            rows=page.rows(),
-            columns=page.schema.names(),
-            elapsed_seconds=query.elapsed,
-            initialization_seconds=query.initialization_seconds,
-            query=query,
+    def result_of(self, query: "QueryHandle | QueryExecution") -> QueryResult:
+        """Deprecated: use ``handle.result()`` instead."""
+        warnings.warn(
+            "engine.result_of(query) is deprecated; use handle.result()",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return QueryHandle(self, _unwrap(query))._materialize()
 
     # -- runtime elasticity ----------------------------------------------------
-    def elastic(self, query: QueryExecution) -> ElasticQuery:
-        """The runtime DOP tuning handle for a submitted query.
-
-        Only available when the engine runs in Accordion mode; baseline
-        modes (Presto/Prestissimo) have elasticity disabled.
-        """
+    def _elastic_for(self, execution: QueryExecution) -> ElasticQuery:
+        """The runtime DOP tuning interface behind ``QueryHandle.tuning``."""
         if not self.config.elasticity_enabled:
             raise ExecutionError(
                 f"engine mode {self.config.engine_name!r} does not support IQRE"
             )
-        if query.id not in self._elastic:
-            self._elastic[query.id] = ElasticQuery(
-                query,
+        if execution.id not in self._elastic:
+            self._elastic[execution.id] = ElasticQuery(
+                execution,
                 self.cluster,
                 self.coordinator.scheduler,
                 collector_period=self.config.collector_period,
             )
-        return self._elastic[query.id]
+        return self._elastic[execution.id]
+
+    def elastic(self, query: "QueryHandle | QueryExecution") -> ElasticQuery:
+        """Deprecated: use ``handle.tuning`` instead."""
+        warnings.warn(
+            "engine.elastic(query) is deprecated; use handle.tuning",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._elastic_for(_unwrap(query))
 
     # -- fault injection ----------------------------------------------------
     def inject_faults(self, plan) -> "object":
@@ -150,6 +205,9 @@ class AccordionEngine:
         from .faults import FaultInjector
 
         self.fault_injector = FaultInjector(self.kernel, self.coordinator, plan)
+        self.metrics.gauge(
+            "faults", lambda: {"injected": len(self.fault_injector.history)}
+        )
         return self.fault_injector
 
     # -- simulation control ----------------------------------------------------
@@ -159,7 +217,7 @@ class AccordionEngine:
 
     def run_until_done(
         self,
-        query: QueryExecution,
+        query: "QueryHandle | QueryExecution",
         max_virtual_seconds: float = 1e7,
         max_events: int | None = None,
     ) -> None:
@@ -170,18 +228,19 @@ class AccordionEngine:
         no progress raises within ``max_virtual_seconds`` / ``max_events``
         instead of hanging.
         """
+        execution = _unwrap(query)
         deadline = self.kernel.now + max_virtual_seconds
         self.kernel.run(
             until=deadline,
-            stop_when=lambda: query.finished,
+            stop_when=lambda: execution.finished,
             max_events=max_events,
         )
-        if query.failed:
-            raise query.error
-        if not query.finished:
+        if execution.failed:
+            raise execution.error
+        if not execution.finished:
             raise ExecutionError(
-                f"query {query.id} did not finish within {max_virtual_seconds} "
-                f"virtual seconds\n{query.describe()}"
+                f"query {execution.id} did not finish within {max_virtual_seconds} "
+                f"virtual seconds\n{execution.describe()}"
             )
 
     def run_for(self, virtual_seconds: float) -> None:

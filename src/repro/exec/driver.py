@@ -15,6 +15,7 @@ throughput steps within ~110 ms of a tuning action.
 from __future__ import annotations
 
 import enum
+import time
 from typing import TYPE_CHECKING
 
 from ..pages import Page
@@ -144,10 +145,37 @@ class Driver:
             if page is None:
                 return self._block_on(self.source.waiters())
 
-        outputs, chain_cost, finished = self._run_chain(page)
+        tracer = self.task.kernel.tracer
+        op_costs = (
+            [] if (tracer.quantum_spans and tracer.operator_spans) else None
+        )
+        outputs, chain_cost, finished = self._run_chain(page, op_costs)
         cost += chain_cost + self.task.cost.quantum_overhead
         cost += self.sink.cost_of(outputs)
         self.cpu_time += cost
+
+        if tracer.quantum_spans:
+            # The quantum occupies a core for [now, now + cost]; record it
+            # as a closed span now that the cost is known.  Operator
+            # sub-spans stack their virtual costs sequentially inside it.
+            now = self.task.kernel.now
+            quantum_span = tracer.complete(
+                "quantum",
+                f"p{self.pipeline_id}.d{self.driver_id}",
+                now,
+                now + cost,
+                parent=self.task.trace_span,
+                node=self.task.node.name,
+                rows=sum(p.num_rows for p in outputs),
+            )
+            if op_costs:
+                at = now
+                for op_name, op_cost in op_costs:
+                    tracer.complete(
+                        "operator", op_name, at, at + op_cost,
+                        parent=quantum_span, node=self.task.node.name,
+                    )
+                    at += op_cost
 
         def commit() -> None:
             if outputs:
@@ -159,19 +187,42 @@ class Driver:
 
         return cost, commit
 
-    def _run_chain(self, page: Page) -> tuple[list[Page], float, bool]:
-        """Push ``page`` (possibly an end page) through the transforms."""
+    def _run_chain(
+        self, page: Page, op_costs: list | None = None
+    ) -> tuple[list[Page], float, bool]:
+        """Push ``page`` (possibly an end page) through the transforms.
+
+        ``op_costs`` (tracing only) collects ``(operator, virtual_cost)``
+        per transform; the accumulation of ``cost`` itself is unchanged so
+        virtual timings are identical with tracing on or off."""
         if page.is_end:
             self._end_seen = True
+        tracer = self.task.kernel.tracer
+        profiler = tracer.profiler if tracer.profiling else None
         pages = [page]
         cost = 0.0
         finished = False
         for index, op in enumerate(self.transforms):
             next_pages: list[Page] = []
+            op_cost = 0.0
             for p in pages:
-                outs, c = op.process(p)
+                if profiler is not None:
+                    wall_start = time.perf_counter_ns()
+                    outs, c = op.process(p)
+                    profiler.record(
+                        self.task.query_id,
+                        self.task.task_id.stage,
+                        type(op).__name__,
+                        time.perf_counter_ns() - wall_start,
+                        p.num_rows,
+                    )
+                else:
+                    outs, c = op.process(p)
                 cost += c
+                op_cost += c
                 next_pages.extend(outs)
+            if op_costs is not None:
+                op_costs.append((type(op).__name__, op_cost))
             pages = next_pages
             if op.done_early and not self._end_seen:
                 # LIMIT satisfied: start the end relay from here without

@@ -88,6 +88,8 @@ class Task:
         collect_output: Callable[[Page], None] | None = None,
         on_finished: Callable[["Task"], None] | None = None,
         on_error: Callable[["Task", Exception], None] | None = None,
+        query_id: int | None = None,
+        trace_parent: int | None = None,
     ):
         self.kernel = kernel
         self.config = config
@@ -116,6 +118,14 @@ class Task:
         #: waits for them before sealing the old output spool).
         self.inflight_quanta = 0
         self._drain_callbacks: list = []
+        self.query_id = query_id
+        self.trace_span = kernel.tracer.begin(
+            "task",
+            str(self.task_id),
+            parent=trace_parent,
+            node=node.name,
+            query_id=query_id,
+        )
 
         self.output_buffer = self._make_output_buffer()
         self.exchange_clients: dict[int, ExchangeClient] = {
@@ -141,6 +151,11 @@ class Task:
         }
         self.pipelines = [PipelineRuntime(spec) for spec in layout.pipelines]
         node.task_count += 1
+        if self.trace_span > 0:
+            # Buffers report turn-up/resize instants under this task's span.
+            self.output_buffer.trace_parent = self.trace_span
+            for client in self.exchange_clients.values():
+                client.buffer.trace_parent = self.trace_span
 
     # ------------------------------------------------------------------
     def _make_output_buffer(self) -> TaskOutputBuffer:
@@ -336,6 +351,7 @@ class Task:
         self.finished_at = self.kernel.now
         self.node.task_count -= 1
         self.output_buffer.task_finished()
+        self.kernel.tracer.end(self.trace_span)
         if self.on_finished is not None:
             self.on_finished(self)
 
@@ -355,6 +371,7 @@ class Task:
         self.finished_at = self.kernel.now
         self.node.task_count -= 1
         self.crash_reason = reason
+        self.kernel.tracer.end(self.trace_span, crashed=True, reason=reason)
         for client in self.exchange_clients.values():
             client.close()
 

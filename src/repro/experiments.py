@@ -71,13 +71,13 @@ def shuffle_experiment_engine(
         max_buffer_pages=8,
         shuffle_row_cost=4.0e-6,
     )
-    return AccordionEngine.tpch(
-        scale=scale,
-        config=config,
-        seed=EVAL_SEED,
-        node_overrides={"orders": [0, 1]},
-        split_scheme=scheme,
+    config = replace(
+        config,
+        cluster=config.cluster.with_placement(
+            split_scheme=scheme, node_overrides={"orders": [0, 1]}
+        ),
     )
+    return AccordionEngine.tpch(scale=scale, config=config, seed=EVAL_SEED)
 
 
 def standalone_engine(mode: str, scale: float = 0.01) -> AccordionEngine:
@@ -99,6 +99,5 @@ def standalone_engine(mode: str, scale: float = 0.01) -> AccordionEngine:
         config = prestissimo_config(base)
     else:
         raise ValueError(f"unknown engine mode {mode!r}")
-    return AccordionEngine.tpch(
-        scale=scale, config=config, seed=EVAL_SEED, combined_nodes=True
-    )
+    config = replace(config, cluster=config.cluster.with_placement(combined=True))
+    return AccordionEngine.tpch(scale=scale, config=config, seed=EVAL_SEED)

@@ -44,6 +44,9 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _record(self, kind: str, detail: str) -> None:
         self.history.append({"t": self.kernel.now, "kind": kind, "detail": detail})
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant("fault", kind, node="coordinator", detail=detail)
 
     def _crash_node(self, event: NodeCrash) -> None:
         node = self.coordinator.cluster.node_by_name(event.node)

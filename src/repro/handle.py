@@ -1,0 +1,179 @@
+"""QueryHandle: the single user-facing object for a submitted query.
+
+``engine.submit(sql)`` returns a :class:`QueryHandle`.  Everything a user
+does with a running or finished query hangs off it — materialising the
+result, runtime DOP tuning (``.tuning``, absorbing the old standalone
+``ElasticQuery`` entry point), structured traces and profiles from the
+obs layer (``.trace()`` / ``.profile()``), progress introspection, and
+fault reporting.  The raw :class:`~repro.cluster.coordinator.QueryExecution`
+stays reachable via ``.execution`` (and attribute delegation) for code
+that pokes at engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .cluster import QueryExecution
+from .errors import ExecutionError
+from .pages import Page
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .autotune import ElasticQuery
+    from .engine import AccordionEngine
+    from .obs import ProfileReport, QueryTrace
+
+
+@dataclass
+class QueryResult:
+    """Materialised result of a finished query."""
+
+    rows: list[tuple]
+    columns: list[str]
+    elapsed_seconds: float
+    initialization_seconds: float
+    query: QueryExecution
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+class QueryHandle:
+    """Live handle to one submitted query (see module docstring)."""
+
+    def __init__(self, engine: "AccordionEngine", execution: QueryExecution):
+        self._engine = engine
+        self._execution = execution
+
+    # -- identity / state --------------------------------------------------
+    @property
+    def engine(self) -> "AccordionEngine":
+        return self._engine
+
+    @property
+    def execution(self) -> QueryExecution:
+        """The underlying runtime state (stages, tracker, fault events)."""
+        return self._execution
+
+    @property
+    def id(self) -> int:
+        return self._execution.id
+
+    @property
+    def sql(self) -> str:
+        return self._execution.sql
+
+    @property
+    def finished(self) -> bool:
+        return self._execution.finished
+
+    @property
+    def succeeded(self) -> bool:
+        return self._execution.succeeded
+
+    @property
+    def failed(self) -> bool:
+        return self._execution.failed
+
+    @property
+    def elapsed(self) -> float:
+        return self._execution.elapsed
+
+    @property
+    def initialization_seconds(self) -> float:
+        return self._execution.initialization_seconds
+
+    # -- results -----------------------------------------------------------
+    def result(self, max_virtual_seconds: float = 1e7) -> QueryResult:
+        """Run the simulation to this query's completion and materialise.
+
+        Raises the query's structured :class:`QueryFailedError` if it
+        failed, and :class:`ExecutionError` if it cannot finish within
+        ``max_virtual_seconds``."""
+        if not self._execution.finished:
+            self._engine.run_until_done(self._execution, max_virtual_seconds)
+        return self._materialize()
+
+    def _materialize(self) -> QueryResult:
+        execution = self._execution
+        if execution.failed:
+            raise execution.error
+        if not execution.finished:
+            raise ExecutionError(f"query {execution.id} has not finished")
+        page: Page = execution.result()
+        return QueryResult(
+            rows=page.rows(),
+            columns=page.schema.names(),
+            elapsed_seconds=execution.elapsed,
+            initialization_seconds=execution.initialization_seconds,
+            query=execution,
+        )
+
+    # -- runtime elasticity ------------------------------------------------
+    @property
+    def tuning(self) -> "ElasticQuery":
+        """Runtime DOP tuning interface (paper Sections 4-5).
+
+        Only available in Accordion mode — baseline engines (Presto /
+        Prestissimo) have elasticity disabled and raise here."""
+        return self._engine._elastic_for(self._execution)
+
+    # -- observability -----------------------------------------------------
+    def trace(self) -> "QueryTrace":
+        """This query's span tree (requires ``EngineConfig.with_tracing()``).
+
+        ``trace().to_chrome_json(path)`` writes a Chrome trace-event file
+        that loads in Perfetto."""
+        tracer = self._engine.tracer
+        if not tracer.enabled:
+            raise ExecutionError(
+                "tracing is not enabled; construct the engine with "
+                "EngineConfig().with_tracing()"
+            )
+        from .obs import QueryTrace, throughput_counters
+
+        trace = QueryTrace(
+            tracer, self.id, finished_at=self._execution.finished_at
+        )
+        trace.counters = throughput_counters(self._execution.tracker)
+        return trace
+
+    def profile(self) -> "ProfileReport":
+        """Wall-clock operator attribution for this query (requires
+        ``EngineConfig.with_tracing(profiling=True)``)."""
+        tracer = self._engine.tracer
+        if tracer.profiler is None:
+            raise ExecutionError(
+                "profiling is not enabled; construct the engine with "
+                "EngineConfig().with_tracing(profiling=True)"
+            )
+        return tracer.profiler.report(self.id)
+
+    # -- introspection -----------------------------------------------------
+    def progress(self) -> dict[int, float]:
+        return self._execution.progress()
+
+    def progress_bars(self, width: int = 30) -> str:
+        return self._execution.progress_bars(width)
+
+    def fault_report(self) -> str:
+        """Failure/recovery counters and fault timeline for this query."""
+        from .metrics.report import render_fault_report
+
+        return render_fault_report(self)
+
+    def describe(self) -> str:
+        return self._execution.describe()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryHandle(id={self.id}, state={self._execution.state.value})"
+        )
+
+    # Engine-internal code and existing tests address QueryExecution fields
+    # (``.stages``, ``.tracker``, ``.fault_events``, ...) directly; delegate
+    # anything QueryHandle does not define itself.
+    def __getattr__(self, name: str):
+        return getattr(self._execution, name)

@@ -6,6 +6,7 @@ these helpers keep the formatting consistent.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from .timeseries import TimeSeries
@@ -31,20 +32,50 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     return "\n".join(lines)
 
 
-def render_fault_report(engine) -> str:
-    """Failure/retry counters for an engine run.
+def render_fault_report(target) -> str:
+    """Failure/retry counters for one query (pass its ``QueryHandle``).
 
     Combines the recovery manager's counters, the RPC tracker's
-    retry/failure totals, and (when faults were injected) the injector's
-    recorded timeline.
+    retry/failure totals (engine-wide plus this query's share), the
+    query's own fault-event timeline, and — when faults were injected —
+    the injector's recorded timeline.
+
+    Passing an engine still works but is deprecated (the report then has
+    no per-query sections).
     """
+    from ..handle import QueryHandle
+
+    if isinstance(target, QueryHandle):
+        engine = target.engine
+        execution = target.execution
+    elif hasattr(target, "coordinator"):
+        warnings.warn(
+            "render_fault_report(engine) is deprecated; pass a QueryHandle",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        engine = target
+        execution = None
+    else:
+        raise TypeError(
+            f"render_fault_report expects a QueryHandle (got {type(target).__name__})"
+        )
     recovery = engine.coordinator.recovery
     rpc = engine.coordinator.rpc
     rows = list(recovery.stats().items())
     rows.append(("rpc_requests", rpc.total_requests))
     rows.append(("rpc_retried", rpc.retried_requests))
     rows.append(("rpc_failed", rpc.failed_requests))
+    if execution is not None:
+        rows.append((f"rpc_requests_q{execution.id}", rpc.requests_for(execution.id)))
     lines = [render_table(["counter", "value"], rows)]
+    if execution is not None and execution.fault_events:
+        lines.append("")
+        lines.append(f"query {execution.id} fault timeline:")
+        for entry in execution.fault_events:
+            lines.append(
+                f"  t={entry['t']:.3f}s  {entry['kind']}: {entry['detail']}"
+            )
     injector = getattr(engine, "fault_injector", None)
     if injector is not None and injector.history:
         lines.append("")

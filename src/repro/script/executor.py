@@ -98,7 +98,7 @@ class ScriptExecutor:
         options = self._build_options(command.options)
         query = self.engine.submit(sql, options)
         self.result.queries[command.name] = query
-        self.result.elastics[command.name] = self.engine.elastic(query)
+        self.result.elastics[command.name] = query.tuning
 
     def _build_options(self, raw: dict[str, str]) -> QueryOptions:
         options = QueryOptions()

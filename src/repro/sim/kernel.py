@@ -19,6 +19,7 @@ import itertools
 from typing import Callable
 
 from ..errors import SimulationLivelockError
+from ..obs.trace import NULL_TRACER
 
 
 class Event:
@@ -62,6 +63,12 @@ class SimKernel:
         self._seq = itertools.count()
         self._events_processed = 0
         self._cancelled_in_heap = 0
+        #: Observability hook (``repro.obs``).  Every component reaches its
+        #: tracer through the kernel it already holds; the engine swaps in
+        #: a real Tracer when ``EngineConfig.tracing`` asks for one.  The
+        #: tracer is read-only w.r.t. simulation state — it never schedules
+        #: events or consumes randomness.
+        self.tracer = NULL_TRACER
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:

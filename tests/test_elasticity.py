@@ -12,7 +12,7 @@ from conftest import builds_ready, norm_rows, run_until_cond, slow_engine
 
 def finish(engine, query):
     engine.run_until_done(query, 1e6)
-    return query.result().rows()
+    return query.result().rows
 
 
 def baseline_rows(catalog, sql, options=None):

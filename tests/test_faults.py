@@ -51,7 +51,7 @@ def run_with_faults(catalog, sql, plan):
     engine.inject_faults(plan)
     query = engine.submit(sql)
     engine.run_until_done(query, max_events=MAX_EVENTS)
-    return engine, query, norm_rows(query.result().rows())
+    return engine, query, norm_rows(query.result().rows)
 
 
 def clean_runtime(catalog, sql):
@@ -257,7 +257,7 @@ def test_retry_budget_exhaustion_fails_query(tiny_catalog):
         assert "unrecoverable" in kinds
     else:
         # The scan may outrun the crash schedule; then answers must be exact.
-        assert norm_rows(query.result().rows()) == reference_rows(tiny_catalog, sql)
+        assert norm_rows(query.result().rows) == reference_rows(tiny_catalog, sql)
 
 
 def test_failed_query_raises_from_result_of(tiny_catalog):
@@ -322,4 +322,4 @@ def test_random_faults_exact_answers_or_clean_failure(tiny_catalog, seed):
         assert exc.query_id == query.id
         assert query.fault_events
     else:
-        assert norm_rows(query.result().rows()) == expected
+        assert norm_rows(query.result().rows) == expected

@@ -51,7 +51,7 @@ def run_with_schedule(catalog, sql, schedule, options=None):
         except TuningRejected:
             pass
     engine.run_until_done(query, 1e6)
-    return norm_rows(query.result().rows())
+    return norm_rows(query.result().rows)
 
 
 @SETTINGS
@@ -131,4 +131,4 @@ def test_tuning_during_monitor_q3(catalog):
     except TuningRejected:
         pass
     engine.run_until_done(query, 1e6)
-    assert norm_rows(query.result().rows()) == reference_rows(catalog, QUERIES["Q3"])
+    assert norm_rows(query.result().rows) == reference_rows(catalog, QUERIES["Q3"])

@@ -1,0 +1,126 @@
+"""Tests for the QueryHandle public API and the deprecation shims that
+cover the pre-handle entry points."""
+
+import pytest
+
+from repro import (
+    AccordionEngine,
+    EngineConfig,
+    QueryHandle,
+    QueryResult,
+    TPCH_QUERIES,
+)
+from repro.metrics import render_fault_report
+
+from conftest import slow_engine
+
+COUNT_SQL = "select count(*) from lineitem"
+
+
+# -- the handle itself -------------------------------------------------------
+def test_submit_returns_handle(engine):
+    handle = engine.submit(COUNT_SQL)
+    assert isinstance(handle, QueryHandle)
+    assert not handle.finished
+    assert handle.sql == COUNT_SQL
+    assert f"id={handle.id}" in repr(handle)
+
+    result = handle.result()
+    assert isinstance(result, QueryResult)
+    assert result.num_rows == 1
+    assert result.columns and result.rows
+    assert handle.finished and handle.succeeded and not handle.failed
+    assert result.elapsed_seconds == handle.elapsed > 0
+    assert handle.initialization_seconds > 0
+
+
+def test_result_is_idempotent(engine):
+    handle = engine.submit(COUNT_SQL)
+    assert handle.result().rows == handle.result().rows
+
+
+def test_execute_shortcut_matches_submit(engine):
+    assert engine.execute(COUNT_SQL).rows == engine.submit(COUNT_SQL).result().rows
+
+
+def test_handle_delegates_execution_internals(engine):
+    handle = engine.submit(COUNT_SQL)
+    handle.result()
+    # Attribute delegation keeps the runtime internals reachable.
+    assert handle.stages is handle.execution.stages
+    assert handle.tracker is handle.execution.tracker
+    assert handle.fault_events == []
+
+
+def test_handle_progress_and_describe(engine):
+    handle = engine.submit(COUNT_SQL)
+    handle.result()
+    progress = handle.progress()
+    assert progress and all(p == pytest.approx(1.0) for p in progress.values())
+    assert "stage 0" in handle.describe()
+    assert "100.0%" in handle.progress_bars()
+
+
+def test_tuning_property_is_cached(catalog):
+    engine = slow_engine(catalog)
+    handle = engine.submit(TPCH_QUERIES["Q3"])
+    assert handle.tuning is handle.tuning
+    engine.run_until(2.0)
+    assert handle.tuning.ap(1, 3).accepted
+    handle.result()
+
+
+def test_fault_report_from_handle(engine):
+    handle = engine.submit(COUNT_SQL)
+    handle.result()
+    report = handle.fault_report()
+    assert "rpc_requests" in report
+    assert f"rpc_requests_q{handle.id}" in report
+
+
+# -- deprecation shims -------------------------------------------------------
+def test_engine_elastic_is_deprecated(catalog):
+    engine = slow_engine(catalog)
+    handle = engine.submit(TPCH_QUERIES["Q3"])
+    with pytest.warns(DeprecationWarning, match="handle.tuning"):
+        elastic = engine.elastic(handle)
+    assert elastic is handle.tuning
+    handle.result()
+
+
+def test_engine_result_of_is_deprecated(engine):
+    handle = engine.submit(COUNT_SQL)
+    handle.result()
+    with pytest.warns(DeprecationWarning, match="handle.result"):
+        result = engine.result_of(handle)
+    assert result.rows == handle.result().rows
+
+
+def test_engine_ctor_placement_kwargs_are_deprecated(catalog):
+    with pytest.warns(DeprecationWarning, match="with_placement"):
+        engine = AccordionEngine(catalog, node_overrides={"orders": [0, 1]})
+    # The deprecated kwarg still takes effect (folded into the config).
+    assert engine.config.cluster.node_overrides_dict == {"orders": [0, 1]}
+    splits = engine.split_layout.splits("orders")
+    assert {split.storage_node for split in splits} <= {0, 1}
+
+
+def test_placement_lives_in_config(catalog):
+    cluster = EngineConfig().cluster.with_placement(node_overrides={"orders": [0, 1]})
+    config = EngineConfig().with_cluster(
+        node_overrides=cluster.node_overrides, combined=cluster.combined
+    )
+    engine = AccordionEngine(catalog, config=config)
+    splits = engine.split_layout.splits("orders")
+    assert {split.storage_node for split in splits} <= {0, 1}
+    assert engine.execute(COUNT_SQL).num_rows == 1
+
+
+def test_render_fault_report_engine_is_deprecated(engine):
+    handle = engine.submit(COUNT_SQL)
+    handle.result()
+    with pytest.warns(DeprecationWarning, match="QueryHandle"):
+        report = render_fault_report(engine)
+    assert "rpc_requests" in report
+    with pytest.raises(TypeError):
+        render_fault_report(object())

@@ -119,7 +119,7 @@ def test_script_runs_raw_sql(catalog):
         engine,
         'submit q "select count(*) from nation"\nrun until q done',
     )
-    assert result.query("q").result().rows() == [(25,)]
+    assert result.query("q").result().rows == [(25,)]
 
 
 def test_script_tuning_actions_logged(catalog):
@@ -170,7 +170,7 @@ def test_script_results_match_unscripted(catalog):
 
     engine2 = slow_engine(catalog)
     plain = engine2.execute(QUERIES["Q3"], max_virtual_seconds=1e6)
-    assert norm_rows(result.query("q3").result().rows()) == norm_rows(plain.rows)
+    assert norm_rows(result.query("q3").result().rows) == norm_rows(plain.rows)
 
 
 def test_script_monitor_and_constraint(catalog):
