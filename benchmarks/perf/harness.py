@@ -16,8 +16,15 @@ Usage::
 
 Determinism: the catalog seed, scale factor, query set, and repetition
 count are pinned; the only nondeterminism left is the host itself, which
-is why the harness reports the *median* of ``REPEATS`` runs and the CI
-gate only fails on a >2x regression.
+is why the harness reports the *median* of ``REPEATS`` warm runs and the
+CI gate allows a drift factor over the checked-in baseline.
+
+Each query is run once cold (first execution in the process: expression
+compile caches and the plan cache are empty for it) and the cold time is
+reported separately; the median covers the subsequent warm runs, which is
+the steady state benchmarks and repeated submissions actually see.  The
+generated TPC-H dataset is cached under ``REPRO_CACHE_DIR`` (defaulted to
+``.repro-cache/`` at the repo root) so reruns skip dbgen entirely.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import cProfile
 import gc
 import io
 import json
+import os
 import platform
 import pstats
 import statistics
@@ -36,6 +44,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
+# Cache the generated dataset across harness invocations (dbgen at SF 0.05
+# costs more than a full query run).  Callers can point this elsewhere.
+os.environ.setdefault("REPRO_CACHE_DIR", str(REPO_ROOT / ".repro-cache"))
 
 from repro import AccordionEngine, Catalog, EngineConfig, TPCH_QUERIES as QUERIES  # noqa: E402
 
@@ -44,8 +55,11 @@ SEED = 20250622
 REPEATS = 3
 QUERY_SET = ("Q1", "Q3", "Q5", "Q2J")
 OUTPUT = REPO_ROOT / "BENCH_tpch.json"
-#: CI gate: fail when a query's wall time exceeds baseline by this factor.
-REGRESSION_FACTOR = 2.0
+#: CI gate: fail when any single query's wall time exceeds baseline by
+#: this factor.  Tight enough to catch a real per-query regression while
+#: riding out shared-runner noise; re-ratchet baseline.json when a change
+#: legitimately moves the numbers.
+DRIFT_FACTOR = 1.15
 #: CI gate: tracing-enabled run must stay within this factor of tracing-off.
 TRACE_OVERHEAD_FACTOR = 1.10
 TRACE_OVERHEAD_QUERY = "Q3"
@@ -53,17 +67,28 @@ TRACE_OVERHEAD_REPEATS = 5
 
 
 def time_query(catalog: Catalog, sql: str) -> dict:
-    """Median wall-clock seconds (and per-run samples) for one query."""
+    """Wall-clock stats for one query: one cold run + REPEATS warm runs.
+
+    The cold run pays expression compilation and planning; the warm runs
+    hit the process-wide compile and plan caches, which is the regime the
+    reported median (and the CI gate) tracks.
+    """
+    gc.collect()
+    start = time.perf_counter()
+    result = AccordionEngine(catalog).execute(sql)
+    cold = time.perf_counter() - start
+    rows = result.num_rows
     samples = []
-    rows = None
     for _ in range(REPEATS):
         gc.collect()
         start = time.perf_counter()
         result = AccordionEngine(catalog).execute(sql)
         samples.append(time.perf_counter() - start)
-        rows = result.num_rows
+        if result.num_rows != rows:
+            raise AssertionError("warm run changed the result row count")
     return {
         "median_seconds": round(statistics.median(samples), 4),
+        "cold_seconds": round(cold, 4),
         "samples_seconds": [round(s, 4) for s in samples],
         "result_rows": rows,
     }
@@ -75,8 +100,9 @@ def run_benchmarks() -> dict:
     for name in QUERY_SET:
         results[name] = time_query(catalog, QUERIES[name])
         print(
-            f"{name}: median {results[name]['median_seconds']:.3f}s "
-            f"(runs: {results[name]['samples_seconds']})"
+            f"{name}: median {results[name]['median_seconds']:.3f}s warm "
+            f"(cold {results[name]['cold_seconds']:.3f}s, "
+            f"runs: {results[name]['samples_seconds']})"
         )
     return {
         "scale": SCALE,
@@ -107,11 +133,11 @@ def check_baseline(report: dict, baseline_path: Path) -> int:
         if current is None:
             failures.append(f"{name}: missing from current run")
             continue
-        limit = entry["median_seconds"] * REGRESSION_FACTOR
+        limit = entry["median_seconds"] * DRIFT_FACTOR
         if current["median_seconds"] > limit:
             failures.append(
                 f"{name}: {current['median_seconds']:.3f}s > "
-                f"{REGRESSION_FACTOR}x baseline {entry['median_seconds']:.3f}s"
+                f"{DRIFT_FACTOR}x baseline {entry['median_seconds']:.3f}s"
             )
         if entry.get("result_rows") is not None and (
             current["result_rows"] != entry["result_rows"]
@@ -125,7 +151,7 @@ def check_baseline(report: dict, baseline_path: Path) -> int:
         for failure in failures:
             print("  " + failure)
         return 1
-    print(f"perf smoke ok (all queries within {REGRESSION_FACTOR}x of baseline)")
+    print(f"perf smoke ok (all queries within {DRIFT_FACTOR}x of baseline)")
     return 0
 
 
@@ -186,7 +212,10 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=None,
         metavar="BASELINE_JSON",
-        help="exit nonzero if any query regresses >2x over the baseline file",
+        help=(
+            "exit nonzero if any single query drifts more than "
+            f"{DRIFT_FACTOR}x over the baseline file"
+        ),
     )
     parser.add_argument(
         "--check-trace-overhead",

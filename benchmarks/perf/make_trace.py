@@ -1,0 +1,32 @@
+"""Produce a sample Chrome trace of a traced TPC-H Q3 run.
+
+CI uploads the output as an artifact so every build ships an openable
+Perfetto/`chrome://tracing` timeline of the simulator: stages, tasks,
+driver quanta, operator sub-spans, buffer resizes, and tuning actions.
+
+Usage: python benchmarks/perf/make_trace.py [output.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import AccordionEngine, Catalog, EngineConfig, TPCH_QUERIES  # noqa: E402
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO_ROOT / "trace_q3.json"
+    catalog = Catalog.tpch(scale=0.01, seed=20250622)
+    engine = AccordionEngine(catalog, config=EngineConfig().with_tracing())
+    handle = engine.submit(TPCH_QUERIES["Q3"])
+    result = handle.result()
+    handle.trace().to_chrome_json(out)
+    print(f"wrote {out} ({out.stat().st_size} bytes, {len(result.rows)} result rows)")
+
+
+if __name__ == "__main__":
+    main()

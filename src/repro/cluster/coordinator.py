@@ -17,6 +17,7 @@ from ..data import Catalog, SplitLayout
 from ..errors import ExecutionError, QueryFailedError
 from ..metrics.throughput import ThroughputTracker
 from ..pages import Page, concat_pages
+from ..plan.cache import PLAN_CACHE
 from ..plan.logical_planner import LogicalPlanner
 from ..plan.optimizer import prune_columns
 from ..plan.physical import PhysicalPlan
@@ -49,6 +50,23 @@ class QueryOptions:
             broadcast_threshold_rows=self.broadcast_threshold_rows,
             shuffle_stage_tables=self.shuffle_stage_tables,
             intermediate_data_cache=config.intermediate_data_cache,
+        )
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity of every option, for plan-cache keys.
+
+        Options differing in *any* field miss the cache — including the
+        DOP hints, which do not change the produced plan; a spurious miss
+        only costs a re-plan and never serves a wrong plan.
+        """
+        return (
+            self.join_distribution,
+            self.broadcast_threshold_rows,
+            tuple(sorted(self.shuffle_stage_tables)),
+            self.initial_stage_dop,
+            self.initial_task_dop,
+            self.scan_stage_dop,
+            tuple(sorted(self.stage_dops.items())),
         )
 
 
@@ -276,6 +294,10 @@ class Coordinator:
         self.scheduler = Scheduler(kernel, cluster, config, self.rpc, split_layout)
         self.queries: dict[int, QueryExecution] = {}
         self._ids = itertools.count(1)
+        #: Plan-cache traffic from this coordinator (engine.metrics gauge
+        #: ``plan_cache``); the cache itself is process-wide.
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         # Lazy import: repro.faults.recovery needs the execution structures
         # defined in this module.
         from ..faults.recovery import RecoveryManager
@@ -296,10 +318,20 @@ class Coordinator:
 
     # ------------------------------------------------------------------
     def plan_sql(self, sql: str, options: QueryOptions) -> PhysicalPlan:
+        planner_options = options.planner_options(self.config)
+        key = (sql, options.fingerprint(), planner_options)
+        if self.config.plan_cache:
+            plan = PLAN_CACHE.get(self.catalog, key)
+            if plan is not None:
+                self.plan_cache_hits += 1
+                return plan
+            self.plan_cache_misses += 1
         stmt = parse(sql)
         logical = prune_columns(LogicalPlanner(self.catalog).plan(stmt))
-        planner = PhysicalPlanner(self.catalog, options.planner_options(self.config))
-        return planner.plan(logical)
+        plan = PhysicalPlanner(self.catalog, planner_options).plan(logical)
+        if self.config.plan_cache:
+            PLAN_CACHE.put(self.catalog, key, plan)
+        return plan
 
     def submit(self, sql: str, options: QueryOptions | None = None) -> QueryExecution:
         options = options or QueryOptions()

@@ -230,6 +230,16 @@ class EngineConfig:
     collector_period: float = 0.5
     #: Partial aggregation flush threshold (distinct groups held per driver).
     partial_agg_group_limit: int = 100_000
+    #: Host-performance switches (DESIGN.md §10).  Both caches are
+    #: **bit-inert**: answers, virtual timings, and event counts are
+    #: identical with them on or off — the flags exist for the identity
+    #: tests and for debugging, not for tuning results.
+    #: Lower expressions to cached vectorized closures (repro.sql.compiler)
+    #: instead of interpreting the expression tree per page.
+    compiled_expressions: bool = True
+    #: Memoize parse -> analyze -> optimize -> physical plan per
+    #: (catalog version, SQL, options) across queries and engines.
+    plan_cache: bool = True
     #: Name used in reports.
     engine_name: str = "accordion"
     #: Observability (tracing/profiling) switches; off by default.

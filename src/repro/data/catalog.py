@@ -12,9 +12,14 @@ class Catalog:
 
     def __init__(self):
         self._tables: dict[str, Table] = {}
+        #: Monotonic change counter: every (re-)registration bumps it, so
+        #: plans cached against an older catalog state miss (plan cache
+        #: invalidation, ``repro.plan.cache``).
+        self.version = 0
 
     def register(self, table: Table) -> None:
         self._tables[table.name.lower()] = table
+        self.version += 1
 
     def register_all(self, tables: dict[str, Table]) -> None:
         for table in tables.values():
@@ -36,10 +41,17 @@ class Catalog:
         return sorted(self._tables)
 
     @classmethod
-    def tpch(cls, scale: float = 0.01, seed: int = 20250622) -> "Catalog":
-        """Convenience: a catalog holding a generated TPC-H database."""
-        from .tpch.generator import TpchGenerator
+    def tpch(
+        cls, scale: float = 0.01, seed: int = 20250622, dataset_cache: bool = True
+    ) -> "Catalog":
+        """Convenience: a catalog holding a generated TPC-H database.
+
+        Generated tables are served from the process-wide dataset cache
+        (plus the on-disk ``REPRO_CACHE_DIR`` cache when configured);
+        ``dataset_cache=False`` forces a fresh generation.
+        """
+        from .tpch.dataset_cache import load_tpch_tables
 
         catalog = cls()
-        catalog.register_all(TpchGenerator(scale, seed).tables())
+        catalog.register_all(load_tpch_tables(scale, seed, cache=dataset_cache))
         return catalog

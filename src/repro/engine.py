@@ -124,6 +124,14 @@ class AccordionEngine:
                 "dropped": self.tracer.dropped,
             },
         )
+        coordinator = self.coordinator
+        self.metrics.gauge(
+            "plan_cache",
+            lambda: {
+                "hits": coordinator.plan_cache_hits,
+                "misses": coordinator.plan_cache_misses,
+            },
+        )
 
     # -- constructors ----------------------------------------------------
     @classmethod

@@ -28,6 +28,10 @@ if TYPE_CHECKING:  # pragma: no cover
 _MLFQ_LEVELS = (0.1, 1.0, 10.0)
 
 
+def _noop() -> None:
+    """Shared no-op commit (blocked/trapped quanta deliver nothing)."""
+
+
 class DriverState(enum.Enum):
     CREATED = "created"
     QUEUED = "queued"     # waiting for a core
@@ -59,6 +63,17 @@ class Driver:
         #: signal, Section 4.3); the next quantum injects an end page.
         self.end_requested = False
         self._end_seen = False
+        # Hot-path caches: the tracer, its flags, and the per-quantum
+        # overhead are fixed for the engine's lifetime, so look them up
+        # once per driver instead of once per quantum/page.
+        self._tracer = task.kernel.tracer
+        self._quantum_spans = self._tracer.quantum_spans
+        self._op_spans = self._quantum_spans and self._tracer.operator_spans
+        self._profiler = self._tracer.profiler if self._tracer.profiling else None
+        self._quantum_overhead = task.cost.quantum_overhead
+        # Only operators that can ever block (join probes) are polled for
+        # readiness each quantum; for most pipelines this list is empty.
+        self._waitable = [op for op in transforms if op.may_wait]
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -88,8 +103,7 @@ class Driver:
     def _block_on(self, waiters) -> tuple[float, callable]:
         self.state = DriverState.BLOCKED
         waiters.add(self._wake)
-        overhead = self.task.cost.quantum_overhead
-        return overhead, lambda: None
+        return self._quantum_overhead, _noop
 
     def _wake(self) -> None:
         if self.state is DriverState.BLOCKED:
@@ -104,7 +118,7 @@ class Driver:
         unwinding the event loop."""
         if self.task.crashed:
             self.state = DriverState.FINISHED
-            return 0.0, lambda: None
+            return 0.0, _noop
         try:
             cost, commit = self._quantum()
         except Exception as exc:  # noqa: BLE001 - escalate to the query
@@ -124,7 +138,7 @@ class Driver:
     def _trap(self, exc: Exception) -> tuple[float, callable]:
         self.state = DriverState.FINISHED
         self.task.report_error(exc)
-        return 0.0, lambda: None
+        return 0.0, _noop
 
     def _quantum(self) -> tuple[float, callable]:
         self.state = DriverState.RUNNING
@@ -135,7 +149,7 @@ class Driver:
             cost = 0.0
         else:
             # Block on a not-ready transform (join probe before build done).
-            for op in self.transforms:
+            for op in self._waitable:
                 waiters = op.waits_on()
                 if waiters is not None:
                     return self._block_on(waiters)
@@ -145,16 +159,14 @@ class Driver:
             if page is None:
                 return self._block_on(self.source.waiters())
 
-        tracer = self.task.kernel.tracer
-        op_costs = (
-            [] if (tracer.quantum_spans and tracer.operator_spans) else None
-        )
+        op_costs = [] if self._op_spans else None
         outputs, chain_cost, finished = self._run_chain(page, op_costs)
-        cost += chain_cost + self.task.cost.quantum_overhead
+        cost += chain_cost + self._quantum_overhead
         cost += self.sink.cost_of(outputs)
         self.cpu_time += cost
 
-        if tracer.quantum_spans:
+        if self._quantum_spans:
+            tracer = self._tracer
             # The quantum occupies a core for [now, now + cost]; record it
             # as a closed span now that the cost is known.  Operator
             # sub-spans stack their virtual costs sequentially inside it.
@@ -197,11 +209,9 @@ class Driver:
         virtual timings are identical with tracing on or off."""
         if page.is_end:
             self._end_seen = True
-        tracer = self.task.kernel.tracer
-        profiler = tracer.profiler if tracer.profiling else None
+        profiler = self._profiler
         pages = [page]
         cost = 0.0
-        finished = False
         for index, op in enumerate(self.transforms):
             next_pages: list[Page] = []
             op_cost = 0.0

@@ -23,7 +23,8 @@ import numpy as np
 from ...config import CostModel
 from ...errors import ExecutionError
 from ...pages import ColumnType, Page, PageBuilder, Schema
-from ...sql.expressions import AggregateCall
+from ...sql.compiler import compile_expressions
+from ...sql.expressions import AggregateCall, BoundExpr
 from ...sql.functions import (
     ObjectDictEncoder,
     group_codes,
@@ -193,16 +194,41 @@ class _HashAggState:
         return keys, fields
 
 
+def _aggregate_arg_evaluator(
+    aggregates: list[AggregateCall], compiled: bool
+):
+    """Build ``f(page) -> [values | None per aggregate]``.
+
+    Compiled mode jointly compiles all argument expressions, so common
+    subexpressions shared between aggregates evaluate once per page.
+    """
+    args: list[BoundExpr | None] = [a.arg for a in aggregates]
+    exprs = [a for a in args if a is not None]
+    if not exprs:
+        return lambda page: [None] * len(args)
+    if compiled:
+        joint = compile_expressions(exprs)
+
+        def eval_args(page: Page) -> list:
+            values = iter(joint(page))
+            return [None if a is None else next(values) for a in args]
+
+        return eval_args
+    return lambda page: [None if a is None else a.evaluate(page) for a in args]
+
+
 def _page_partials(
-    state: _HashAggState, page: Page, codes: np.ndarray, ngroups: int
+    state: _HashAggState,
+    arg_values: list,
+    codes: np.ndarray,
+    ngroups: int,
 ) -> list[np.ndarray]:
     """Reduce one input page to per-group partial arrays (one per field)."""
     out: list[np.ndarray] = []
-    for agg in state.aggregates:
+    for agg, values in zip(state.aggregates, arg_values):
         if agg.function == "count":
             out.append(grouped_count(codes, ngroups))
             continue
-        values = agg.arg.evaluate(page)
         if agg.function == "sum":
             out.append(grouped_sum(codes, values, ngroups))
         elif agg.function == "avg":
@@ -266,6 +292,7 @@ class PartialAggOperator(TransformOperator):
         output_schema: Schema,
         row_limit: int = 4096,
         group_limit: int = 100_000,
+        compiled: bool = True,
     ):
         super().__init__(cost)
         self.group_keys = group_keys
@@ -274,6 +301,7 @@ class PartialAggOperator(TransformOperator):
         self.group_limit = group_limit
         self.state = _HashAggState(aggregates)
         self._factorizer = _GroupKeyFactorizer()
+        self._eval_args = _aggregate_arg_evaluator(aggregates, compiled)
         self.rows_in = 0
 
     def process(self, page: Page) -> tuple[list[Page], float]:
@@ -292,7 +320,7 @@ class PartialAggOperator(TransformOperator):
             codes = np.zeros(page.num_rows, dtype=np.int64)
             ngroups = 1
             uniques = []
-        partials = _page_partials(self.state, page, codes, ngroups)
+        partials = _page_partials(self.state, self._eval_args(page), codes, ngroups)
         self.state.merge_groups(
             _group_key_tuples(uniques, ngroups), uniques, partials
         )

@@ -22,6 +22,9 @@ class TransformOperator:
     """A mid-pipeline operator: one input page -> zero or more outputs."""
 
     name = "transform"
+    #: False when :meth:`waits_on` can never return a waiter list; the
+    #: driver then skips this operator in its per-quantum readiness scan.
+    may_wait = False
 
     def __init__(self, cost: CostModel):
         self.cost = cost

@@ -6,6 +6,7 @@ import numpy as np
 
 from ...config import CostModel
 from ...pages import Page, Schema
+from ...sql.compiler import compile_expression, compile_expressions
 from ...sql.expressions import BoundExpr
 from .base import TransformOperator
 
@@ -13,9 +14,12 @@ from .base import TransformOperator
 class FilterOperator(TransformOperator):
     name = "filter"
 
-    def __init__(self, cost: CostModel, predicate: BoundExpr):
+    def __init__(self, cost: CostModel, predicate: BoundExpr, compiled: bool = True):
         super().__init__(cost)
         self.predicate = predicate
+        self._evaluate = (
+            compile_expression(predicate) if compiled else predicate.evaluate
+        )
         self.rows_in = 0
         self.rows_out = 0
 
@@ -24,7 +28,7 @@ class FilterOperator(TransformOperator):
             self.finished = True
             return [page], 0.0
         self.rows_in += page.num_rows
-        mask = self.predicate.evaluate(page).astype(bool, copy=False)
+        mask = self._evaluate(page).astype(bool, copy=False)
         cpu = self.cpu(page.num_rows, self.cost.filter_row_cost)
         if not mask.any():
             return [], cpu
@@ -36,16 +40,28 @@ class FilterOperator(TransformOperator):
 class ProjectOperator(TransformOperator):
     name = "project"
 
-    def __init__(self, cost: CostModel, exprs: list[BoundExpr], schema: Schema):
+    def __init__(
+        self,
+        cost: CostModel,
+        exprs: list[BoundExpr],
+        schema: Schema,
+        compiled: bool = True,
+    ):
         super().__init__(cost)
         self.exprs = exprs
         self.schema = schema
+        if compiled:
+            # Joint compilation: subexpressions shared between projection
+            # columns are computed once per page.
+            self._evaluate = compile_expressions(exprs)
+        else:
+            self._evaluate = lambda page: [e.evaluate(page) for e in exprs]
 
     def process(self, page: Page) -> tuple[list[Page], float]:
         if page.is_end:
             self.finished = True
             return [page], 0.0
-        columns = [e.evaluate(page) for e in self.exprs]
+        columns = self._evaluate(page)
         cpu = self.cpu(page.num_rows * max(1, len(self.exprs)), self.cost.project_row_cost)
         return [Page(self.schema, columns)], cpu
 

@@ -25,6 +25,7 @@ from ...config import CostModel
 from ...errors import ExecutionError
 from ...pages import Page, Schema, concat_pages
 from ...plan.logical import JoinType
+from ...sql.compiler import compile_expression
 from ...sql.expressions import BoundExpr
 from .base import SinkOperator, TransformOperator
 
@@ -173,6 +174,21 @@ class JoinBridge:
         n = len(key_cols[0]) if key_cols else 0
         if not key_cols or self.num_groups == 0:
             return np.full(n, -1, dtype=np.int64)
+        if (
+            self._identity_comb
+            and self._col_luts[0] is not None
+            and np.issubdtype(key_cols[0].dtype, np.integer)
+        ):
+            # Single dense-int key (the dominant TPC-H case): the LUT
+            # already holds -1 for in-span misses, so one clipped gather
+            # replaces the generic mask/combine machinery below.
+            table, base = self._col_luts[0]
+            rel = key_cols[0].astype(np.int64, copy=False) - base
+            gid = table.take(rel, mode="clip")
+            oob = (rel < 0) | (rel >= len(table))
+            if oob.any():
+                gid = np.where(oob, np.int64(-1), gid)
+            return gid
         if self._fallback_table is not None:
             table = self._fallback_table
             return np.fromiter(
@@ -288,14 +304,23 @@ class HashJoinProbeOperator(TransformOperator):
         probe_keys: list[int],
         residual: BoundExpr | None,
         output_schema: Schema,
+        compiled: bool = True,
     ):
         super().__init__(cost)
         self.bridge = bridge
         self.join_type = join_type
         self.probe_keys = probe_keys
         self.residual = residual
+        if residual is None:
+            self._residual_evaluate = None
+        elif compiled:
+            self._residual_evaluate = compile_expression(residual)
+        else:
+            self._residual_evaluate = residual.evaluate
         self.output_schema = output_schema
         self.rows_probed = 0
+
+    may_wait = True
 
     def waits_on(self) -> WaiterList | None:
         if not self.bridge.ready:
@@ -327,8 +352,8 @@ class HashJoinProbeOperator(TransformOperator):
             return [], cpu
         cpu += self.cpu(len(probe_rows), self.cost.join_probe_row_cost)
         out = self._combine(page, probe_rows, build_rows)
-        if self.residual is not None:
-            mask = self.residual.evaluate(out).astype(bool, copy=False)
+        if self._residual_evaluate is not None:
+            mask = self._residual_evaluate(out).astype(bool, copy=False)
             if not mask.any():
                 return [], cpu
             out = out.mask(mask)
@@ -349,8 +374,8 @@ class HashJoinProbeOperator(TransformOperator):
         build_rows = np.tile(np.arange(nb), page.num_rows)
         cpu += self.cpu(len(probe_rows), self.cost.join_probe_row_cost)
         out = self._combine(page, probe_rows, build_rows)
-        if self.residual is not None:
-            mask = self.residual.evaluate(out).astype(bool, copy=False)
+        if self._residual_evaluate is not None:
+            mask = self._residual_evaluate(out).astype(bool, copy=False)
             out = out.mask(mask)
         if out.num_rows == 0:
             return [], cpu

@@ -285,10 +285,13 @@ class Task:
         raise SchedulingError(f"unknown sink kind {sink.kind}")
 
     def _make_transform(self, node: PNode) -> TransformOperator:
+        compiled = self.config.compiled_expressions
         if isinstance(node, PFilterNode):
-            return FilterOperator(self.cost, node.predicate)
+            return FilterOperator(self.cost, node.predicate, compiled=compiled)
         if isinstance(node, PProjectNode):
-            return ProjectOperator(self.cost, node.exprs, node.schema)
+            return ProjectOperator(
+                self.cost, node.exprs, node.schema, compiled=compiled
+            )
         if isinstance(node, PPartialAggNode):
             return PartialAggOperator(
                 self.cost,
@@ -297,6 +300,7 @@ class Task:
                 node.schema,
                 row_limit=self.config.page_row_limit,
                 group_limit=self.config.partial_agg_group_limit,
+                compiled=compiled,
             )
         if isinstance(node, PFinalAggNode):
             return FinalAggOperator(
@@ -315,6 +319,7 @@ class Task:
                 node.probe_keys,
                 node.residual,
                 node.schema,
+                compiled=compiled,
             )
         if isinstance(node, PTopNNode):
             return TopNOperator(

@@ -33,7 +33,7 @@ class PageKind(enum.Enum):
 class Page:
     """An immutable batch of rows in columnar layout."""
 
-    __slots__ = ("schema", "columns", "kind", "signal", "_size", "_num_rows")
+    __slots__ = ("schema", "columns", "kind", "signal", "_size", "num_rows")
 
     def __init__(
         self,
@@ -51,7 +51,12 @@ class Page:
         self.kind = kind
         self.signal = signal
         self._size: int | None = None
-        self._num_rows: int | None = None
+        # A plain attribute, not a lazy property: buffers, cost accounting,
+        # and the NIC model read this several times per page, so the
+        # attribute lookup must not pay a function call.
+        self.num_rows = (
+            0 if kind is PageKind.END or not self.columns else len(self.columns[0])
+        )
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -77,17 +82,6 @@ class Page:
     @property
     def is_end(self) -> bool:
         return self.kind is PageKind.END
-
-    @property
-    def num_rows(self) -> int:
-        # Pages are immutable, so the row count is computed once; profiles
-        # show this property in the top-20 (called thousands of times per
-        # query by buffers, cost accounting, and the NIC model).
-        if self._num_rows is None:
-            self._num_rows = (
-                0 if self.is_end or not self.columns else len(self.columns[0])
-            )
-        return self._num_rows
 
     def column(self, ref: int | str) -> np.ndarray:
         if isinstance(ref, str):

@@ -1,0 +1,78 @@
+"""Engine-level plan cache: memoizes parse -> analyze -> optimize -> plan.
+
+Every ``engine.execute()`` used to re-lex, re-parse, re-analyze, and
+re-plan its SQL even when the same query ran moments earlier (benchmarks
+repeat each query; the auto-tuner and tests re-submit constantly).  The
+physical plan is a pure *descriptor* — tasks instantiate operators from
+fragments at schedule time and the same fragment is already reused when
+the dynamic scheduler spawns tasks mid-query — so a plan keyed by exactly
+its inputs can be shared across queries **and engines**.
+
+The key is (catalog identity, catalog version, SQL text, QueryOptions
+fingerprint, PlannerOptions): anything that can change the produced plan.
+Catalogs carry a monotonically increasing ``version`` bumped by
+``register()``, so registering/replacing a table invalidates every plan
+cached against the older version.  Entries are held per catalog in a
+``WeakKeyDictionary`` — dropping the catalog drops its plans.
+
+``EngineConfig.plan_cache=False`` bypasses the cache entirely; hit/miss
+counts surface per engine through ``engine.metrics`` (gauge
+``plan_cache``).  Caching is bit-inert: a cached plan is the same object
+the planner would rebuild, and the identity test in
+``tests/test_plan_cache.py`` pins answers, virtual timings, and event
+counts with the cache on vs off.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..data import Catalog
+    from .physical import PhysicalPlan
+
+#: Per-catalog bound on cached plans; far above any real working set, it
+#: only guards against unbounded growth from generated-SQL loops.
+_PER_CATALOG_LIMIT = 256
+
+
+class PlanCache:
+    """Process-wide plan memo, shared by all engines."""
+
+    def __init__(self, limit: int = _PER_CATALOG_LIMIT):
+        self.limit = limit
+        # catalog -> (version, {key: plan})
+        self._store: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    def get(self, catalog: "Catalog", key: tuple) -> "PhysicalPlan | None":
+        slot = self._store.get(catalog)
+        if slot is None or slot[0] != catalog.version:
+            return None
+        return slot[1].get(key)
+
+    def put(self, catalog: "Catalog", key: tuple, plan: "PhysicalPlan") -> None:
+        slot = self._store.get(catalog)
+        if slot is None or slot[0] != catalog.version:
+            # First entry for this catalog version: stale-version plans
+            # (catalog changed since they were built) are dropped here.
+            slot = (catalog.version, {})
+            self._store[catalog] = slot
+        entries = slot[1]
+        if len(entries) >= self.limit:
+            entries.clear()
+        entries[key] = plan
+
+    def entries(self, catalog: "Catalog") -> int:
+        """Number of live cached plans for ``catalog`` (introspection)."""
+        slot = self._store.get(catalog)
+        if slot is None or slot[0] != catalog.version:
+            return 0
+        return len(slot[1])
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+#: The process-wide cache instance used by every Coordinator.
+PLAN_CACHE = PlanCache()

@@ -132,7 +132,7 @@ class CpuPool:
                     raise ValueError("cost must be >= 0")
             self._account()
             self.busy += 1
-            self.kernel.schedule(cost, lambda fn=fn: self._complete(fn))
+            self.kernel.post(cost, self._complete, fn)
 
     def _complete(self, fn: Callable[[], None]) -> None:
         self._account()
@@ -158,6 +158,7 @@ class NicQueue:
         self.name = name
         self._pending: deque[tuple[float, Callable[[], None]]] = deque()
         self._active = False
+        self._current: Callable[[], None] | None = None
         self.bytes_transferred = 0.0
         self._busy_integral = 0.0
 
@@ -173,16 +174,21 @@ class NicQueue:
             return
         duration, fn = self._pending.popleft()
         self._active = True
+        self._current = fn
         self._busy_integral += duration
+        # The link is serial: at most one transfer is in flight, so its
+        # completion can live in ``_current`` and the kernel calls the
+        # bound method below — no per-transfer closure.
+        self.kernel.post(duration, self._transfer_done)
 
-        def done() -> None:
-            self._active = False
-            try:
-                fn()
-            finally:
-                self._drain()
-
-        self.kernel.schedule(duration, done)
+    def _transfer_done(self) -> None:
+        fn = self._current
+        self._current = None
+        self._active = False
+        try:
+            fn()
+        finally:
+            self._drain()
 
     def busy_seconds(self) -> float:
         """Cumulative link-busy virtual seconds granted so far."""

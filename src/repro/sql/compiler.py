@@ -1,0 +1,494 @@
+"""Expression compiler: bound expression trees -> cached vectorized closures.
+
+The interpreted path (:meth:`BoundExpr.evaluate`) re-walks the expression
+tree for every page: each node re-dispatches on its operator string,
+constants re-materialise ``np.full`` arrays, ``IN`` lists re-sort, LIKE
+patterns re-compile, and common subexpressions (Q1's
+``l_extendedprice * (1 - l_discount)`` appears inside the charge
+expression too) are recomputed.  Operators instead compile their
+expressions **once** into a closure over the page:
+
+* **Constant pre-folding** — any subtree without an :class:`InputRef` is
+  evaluated once at compile time to a dtype-typed numpy scalar.  Under
+  NEP 50 a typed scalar promotes exactly like an array of that dtype, so
+  ``col <= np.int64(10471)`` is bit-identical to the interpreter's
+  ``col <= np.full(n, 10471, np.int64)`` without the per-page allocation.
+* **Common-subexpression sharing** — structurally equal subtrees (frozen
+  dataclasses hash/compare by value) are computed once per page through a
+  memo slot; a list of expressions (projection lists, aggregate argument
+  lists) is compiled jointly so sharing crosses expression boundaries.
+* **Dtype-specialised paths** — comparison/arithmetic operator dispatch,
+  the object-vs-numeric comparison split, ``IN``-list preparation, and
+  LIKE pattern compilation all happen at compile time, leaving only the
+  numpy kernel calls in the per-page closure.
+
+Compiled evaluators are cached globally, keyed by the (hashable)
+expression trees themselves, so respawned drivers and repeated queries
+reuse them.  The contract is **bit-identity with the interpreter**: the
+property test in ``tests/test_expression_compiler.py`` pits both paths
+against each other on randomized trees and pages, and
+``EngineConfig.compiled_expressions=False`` switches every operator back
+to the interpreted path.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections import Counter
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..pages import ColumnType, Page
+from .expressions import (
+    Arithmetic,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    BoundExpr,
+    CaseWhen,
+    Cast,
+    Comparison,
+    Constant,
+    ExtractDatePart,
+    InputRef,
+    InSet,
+    IsNull,
+    LikeMatch,
+    Negate,
+)
+
+__all__ = ["compile_expression", "compile_expressions", "clear_compile_cache"]
+
+_ARITH_FNS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+}
+
+_CMP_FNS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class _OneRowPage:
+    """Stand-in page for compile-time evaluation of constant subtrees
+    (no :class:`InputRef` reaches ``columns``)."""
+
+    num_rows = 1
+    columns = ()
+
+
+_ONE_ROW = _OneRowPage()
+
+
+def _fold(expr: BoundExpr):
+    """Evaluate a constant subtree once via the *interpreter* and return
+    the single value — a numpy scalar carrying the interpreter's result
+    dtype (or a plain python object for object columns), so downstream
+    ufuncs see exactly the operand the interpreter would give them."""
+    return expr.evaluate(_ONE_ROW)[0]
+
+
+def _const_array_fn(value, ctype: ColumnType):
+    """Array form of a folded constant (semantics of Constant.evaluate)."""
+    if ctype is ColumnType.STRING:
+        def fill_object(page: Page, memo) -> np.ndarray:
+            out = np.empty(page.num_rows, dtype=object)
+            out[:] = value
+            return out
+
+        return fill_object
+    dtype = ctype.numpy_dtype
+
+    def fill(page: Page, memo) -> np.ndarray:
+        return np.full(page.num_rows, value, dtype=dtype)
+
+    return fill
+
+
+class _Compiler:
+    """Single-use compiler over one expression (or one joint list)."""
+
+    def __init__(self, exprs: Sequence[BoundExpr]):
+        self.counts: Counter = Counter()
+        for expr in exprs:
+            self.counts.update(expr.walk())
+        self.slots = 0
+        self._built: dict[BoundExpr, tuple] = {}
+
+    # -- node dispatch ---------------------------------------------------
+    def build(self, expr: BoundExpr) -> tuple:
+        """Compile ``expr`` to ``("const", scalar, type)`` or
+        ``("fn", f)`` where ``f(page, memo) -> np.ndarray``."""
+        hit = self._built.get(expr)
+        if hit is not None:
+            return hit
+        out = self._build(expr)
+        if (
+            out[0] == "fn"
+            and self.counts[expr] > 1
+            and not isinstance(expr, InputRef)
+        ):
+            # Shared subtree: evaluate once per page through a memo slot.
+            slot = self.slots
+            self.slots += 1
+            inner = out[1]
+
+            def shared(page: Page, memo, _slot=slot, _inner=inner):
+                value = memo[_slot]
+                if value is None:
+                    value = _inner(page, memo)
+                    memo[_slot] = value
+                return value
+
+            out = ("fn", shared)
+        self._built[expr] = out
+        return out
+
+    def array_fn(self, expr: BoundExpr) -> Callable:
+        """Compiled form that always yields an array (constants fill)."""
+        kind, *rest = self.build(expr)
+        if kind == "const":
+            value, ctype = rest
+            return _const_array_fn(value, ctype)
+        return rest[0]
+
+    def _build(self, expr: BoundExpr) -> tuple:
+        # Constant pre-folding: no InputRef below means the value is fixed.
+        if not any(isinstance(node, InputRef) for node in expr.walk()):
+            try:
+                return ("const", _fold(expr), expr.type)
+            except Exception:
+                # Folding raised (e.g. integer division by zero): keep the
+                # interpreter's behaviour of raising only when a data page
+                # actually flows through the operator.
+                return ("fn", lambda page, memo, _e=expr: _e.evaluate(page))
+        builder = getattr(self, f"_build_{type(expr).__name__.lower()}", None)
+        if builder is None:
+            # Unknown node type: interpret it (still benefits from CSE).
+            return ("fn", lambda page, memo, _e=expr: _e.evaluate(page))
+        return builder(expr)
+
+    # -- leaves ----------------------------------------------------------
+    def _build_inputref(self, expr: InputRef) -> tuple:
+        index = expr.index
+        return ("fn", lambda page, memo: page.columns[index])
+
+    def _build_constant(self, expr: Constant) -> tuple:  # pragma: no cover
+        # Unreachable: constants are folded by ``_build``.  Kept for safety.
+        return ("const", _fold(expr), expr.type)
+
+    # -- scalar-capable binary nodes ------------------------------------
+    def _operand(self, expr: BoundExpr):
+        """Scalar (folded) or array compiled form for ufunc operands."""
+        kind, *rest = self.build(expr)
+        if kind == "const":
+            return rest[0], None
+        return None, rest[0]
+
+    def _build_arithmetic(self, expr: Arithmetic) -> tuple:
+        if expr.op == "||":
+            left = self.array_fn(expr.left)
+            right = self.array_fn(expr.right)
+
+            def concat(page: Page, memo) -> np.ndarray:
+                lhs = left(page, memo)
+                rhs = right(page, memo)
+                out = np.empty(len(lhs), dtype=object)
+                out[:] = [f"{a}{b}" for a, b in zip(lhs.tolist(), rhs.tolist())]
+                return out
+
+            return ("fn", concat)
+        fn = _ARITH_FNS.get(expr.op)
+        if fn is None:
+            raise ExecutionError(f"unsupported arithmetic operator {expr.op}")
+        lconst, lfn = self._operand(expr.left)
+        rconst, rfn = self._operand(expr.right)
+        dtype = expr.type.numpy_dtype
+        if expr.op == "/" and expr.type is ColumnType.FLOAT64:
+            if lfn is None:
+                lconst = lconst.astype(np.float64)
+
+                def divide_const(page: Page, memo) -> np.ndarray:
+                    return fn(lconst, rfn(page, memo)).astype(dtype, copy=False)
+
+                return ("fn", divide_const)
+
+            def divide(page: Page, memo) -> np.ndarray:
+                lhs = lfn(page, memo).astype(np.float64, copy=False)
+                rhs = rconst if rfn is None else rfn(page, memo)
+                return fn(lhs, rhs).astype(dtype, copy=False)
+
+            return ("fn", divide)
+        if lfn is None:
+
+            def arith_lconst(page: Page, memo) -> np.ndarray:
+                return fn(lconst, rfn(page, memo)).astype(dtype, copy=False)
+
+            return ("fn", arith_lconst)
+        if rfn is None:
+
+            def arith_rconst(page: Page, memo) -> np.ndarray:
+                return fn(lfn(page, memo), rconst).astype(dtype, copy=False)
+
+            return ("fn", arith_rconst)
+
+        def arith(page: Page, memo) -> np.ndarray:
+            return fn(lfn(page, memo), rfn(page, memo)).astype(dtype, copy=False)
+
+        return ("fn", arith)
+
+    def _build_comparison(self, expr: Comparison) -> tuple:
+        fn = _CMP_FNS.get(expr.op)
+        if fn is None:
+            raise ExecutionError(f"unsupported comparison {expr.op}")
+        lconst, lfn = self._operand(expr.left)
+        rconst, rfn = self._operand(expr.right)
+        objects = (
+            expr.left.type is ColumnType.STRING
+            or expr.right.type is ColumnType.STRING
+        )
+        if objects:
+            # Object comparison: numpy dispatches to rich-compare from a C
+            # loop; normalise to a bool array like the interpreter.
+            def compare_objects(page: Page, memo) -> np.ndarray:
+                lhs = lconst if lfn is None else lfn(page, memo)
+                rhs = rconst if rfn is None else rfn(page, memo)
+                return np.asarray(fn(lhs, rhs), dtype=bool)
+
+            return ("fn", compare_objects)
+        if lfn is None:
+
+            def compare_lconst(page: Page, memo) -> np.ndarray:
+                return fn(lconst, rfn(page, memo))
+
+            return ("fn", compare_lconst)
+        if rfn is None:
+
+            def compare_rconst(page: Page, memo) -> np.ndarray:
+                return fn(lfn(page, memo), rconst)
+
+            return ("fn", compare_rconst)
+
+        def compare(page: Page, memo) -> np.ndarray:
+            return fn(lfn(page, memo), rfn(page, memo))
+
+        return ("fn", compare)
+
+    # -- boolean connectives ---------------------------------------------
+    def _build_booland(self, expr: BoolAnd) -> tuple:
+        terms = [self.array_fn(t) for t in expr.terms]
+
+        def conjunction(page: Page, memo) -> np.ndarray:
+            result = terms[0](page, memo).astype(bool, copy=True)
+            for term in terms[1:]:
+                result &= term(page, memo).astype(bool, copy=False)
+            return result
+
+        return ("fn", conjunction)
+
+    def _build_boolor(self, expr: BoolOr) -> tuple:
+        terms = [self.array_fn(t) for t in expr.terms]
+
+        def disjunction(page: Page, memo) -> np.ndarray:
+            result = terms[0](page, memo).astype(bool, copy=True)
+            for term in terms[1:]:
+                result |= term(page, memo).astype(bool, copy=False)
+            return result
+
+        return ("fn", disjunction)
+
+    def _build_boolnot(self, expr: BoolNot) -> tuple:
+        inner = self.array_fn(expr.operand)
+        return (
+            "fn",
+            lambda page, memo: ~inner(page, memo).astype(bool, copy=False),
+        )
+
+    def _build_negate(self, expr: Negate) -> tuple:
+        inner = self.array_fn(expr.operand)
+        return ("fn", lambda page, memo: -inner(page, memo))
+
+    # -- predicates over one input ---------------------------------------
+    def _build_inset(self, expr: InSet) -> tuple:
+        inner = self.array_fn(expr.value)
+        if expr.value.type is ColumnType.STRING:
+            options = expr.options
+
+            def in_object_set(page: Page, memo) -> np.ndarray:
+                arr = inner(page, memo)
+                return np.fromiter(
+                    (v in options for v in arr.tolist()),
+                    dtype=bool,
+                    count=len(arr),
+                )
+
+            return ("fn", in_object_set)
+        # Hoist the sorted option array out of the per-page path.
+        sorted_options = np.array(sorted(expr.options))
+        return ("fn", lambda page, memo: np.isin(inner(page, memo), sorted_options))
+
+    def _build_likematch(self, expr: LikeMatch) -> tuple:
+        from .functions import like_matcher
+
+        match = like_matcher(expr.pattern)
+        inner = self.array_fn(expr.value)
+        negated = expr.negated
+
+        def like(page: Page, memo) -> np.ndarray:
+            arr = inner(page, memo)
+            result = np.fromiter(
+                (match(v) for v in arr.tolist()), dtype=bool, count=len(arr)
+            )
+            return ~result if negated else result
+
+        return ("fn", like)
+
+    def _build_isnull(self, expr: IsNull) -> tuple:
+        inner = self.array_fn(expr.value)
+        negated = expr.negated
+        is_object = expr.value.type is ColumnType.STRING
+
+        def isnull(page: Page, memo) -> np.ndarray:
+            arr = inner(page, memo)
+            if is_object:
+                result = np.fromiter(
+                    (v is None for v in arr.tolist()), dtype=bool, count=len(arr)
+                )
+            else:
+                result = np.zeros(len(arr), dtype=bool)
+            return ~result if negated else result
+
+        return ("fn", isnull)
+
+    # -- structured nodes -------------------------------------------------
+    def _build_casewhen(self, expr: CaseWhen) -> tuple:
+        whens = [
+            (self.array_fn(cond), self.array_fn(value))
+            for cond, value in expr.whens
+        ]
+        default = self.array_fn(expr.default) if expr.default is not None else None
+        ctype = expr.type
+        dtype = ctype.numpy_dtype
+
+        def casewhen(page: Page, memo) -> np.ndarray:
+            n = page.num_rows
+            if ctype is ColumnType.STRING:
+                result = np.empty(n, dtype=object)
+                result[:] = None
+            else:
+                result = np.zeros(n, dtype=dtype)
+            decided = np.zeros(n, dtype=bool)
+            for cond, value in whens:
+                mask = cond(page, memo).astype(bool, copy=False) & ~decided
+                if mask.any():
+                    result[mask] = value(page, memo)[mask]
+                decided |= mask
+            if default is not None:
+                rest = ~decided
+                if rest.any():
+                    result[rest] = default(page, memo)[rest]
+            return result
+
+        return ("fn", casewhen)
+
+    def _build_extractdatepart(self, expr: ExtractDatePart) -> tuple:
+        inner = self.array_fn(expr.source)
+        unit = expr.unit
+
+        def extract(page: Page, memo) -> np.ndarray:
+            days = inner(page, memo).astype("datetime64[D]")
+            if unit == "year":
+                return days.astype("datetime64[Y]").astype(np.int64) + 1970
+            if unit == "month":
+                months = days.astype("datetime64[M]").astype(np.int64)
+                return months % 12 + 1
+            if unit == "day":
+                months = days.astype("datetime64[M]")
+                return (days - months).astype(np.int64) + 1
+            raise ExecutionError(f"unsupported EXTRACT unit {unit}")
+
+        return ("fn", extract)
+
+    def _build_cast(self, expr: Cast) -> tuple:
+        inner = self.array_fn(expr.value)
+        ctype = expr.type
+        if ctype is ColumnType.STRING:
+
+            def cast_str(page: Page, memo) -> np.ndarray:
+                arr = inner(page, memo)
+                out = np.empty(len(arr), dtype=object)
+                out[:] = [str(v) for v in arr.tolist()]
+                return out
+
+            return ("fn", cast_str)
+        dtype = ctype.numpy_dtype
+        return ("fn", lambda page, memo: inner(page, memo).astype(dtype))
+
+
+#: Global compile caches; expression trees are frozen/hashable, so they
+#: key their own compiled closures.  Bounded: the working set is the
+#: handful of expressions in the active query mix.
+_EXPR_CACHE: dict[BoundExpr, Callable[[Page], np.ndarray]] = {}
+_LIST_CACHE: dict[tuple, Callable[[Page], list]] = {}
+_CACHE_LIMIT = 1024
+
+
+def clear_compile_cache() -> None:
+    _EXPR_CACHE.clear()
+    _LIST_CACHE.clear()
+
+
+def compile_expression(expr: BoundExpr) -> Callable[[Page], np.ndarray]:
+    """Compile one expression into ``f(page) -> np.ndarray``."""
+    cached = _EXPR_CACHE.get(expr)
+    if cached is not None:
+        return cached
+    compiler = _Compiler((expr,))
+    root = compiler.array_fn(expr)
+    slots = compiler.slots
+    if slots == 0:
+        evaluator = lambda page, _f=root: _f(page, None)  # noqa: E731
+    else:
+        def evaluator(page: Page, _f=root, _slots=slots) -> np.ndarray:
+            return _f(page, [None] * _slots)
+
+    if len(_EXPR_CACHE) >= _CACHE_LIMIT:
+        _EXPR_CACHE.clear()
+    _EXPR_CACHE[expr] = evaluator
+    return evaluator
+
+
+def compile_expressions(exprs: Sequence[BoundExpr]) -> Callable[[Page], list]:
+    """Jointly compile a list of expressions into ``f(page) -> [arrays]``.
+
+    Joint compilation shares common subexpressions *across* the list —
+    e.g. Q1's ``sum(l_extendedprice * (1 - l_discount))`` and
+    ``sum(l_extendedprice * (1 - l_discount) * (1 + l_tax))`` compute the
+    shared product once per page.
+    """
+    key = tuple(exprs)
+    cached = _LIST_CACHE.get(key)
+    if cached is not None:
+        return cached
+    compiler = _Compiler(key)
+    fns = [compiler.array_fn(e) for e in key]
+    slots = compiler.slots
+
+    def evaluator(page: Page, _fns=tuple(fns), _slots=slots) -> list:
+        memo = [None] * _slots if _slots else None
+        return [fn(page, memo) for fn in _fns]
+
+    if len(_LIST_CACHE) >= _CACHE_LIMIT:
+        _LIST_CACHE.clear()
+    _LIST_CACHE[key] = evaluator
+    return evaluator

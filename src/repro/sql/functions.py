@@ -181,7 +181,12 @@ def group_codes(key_columns: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndar
         n = 0
         return np.zeros(n, dtype=np.int64), []
     if len(key_columns) == 1:
-        uniques, codes = np.unique(key_columns[0], return_inverse=True)
+        col = key_columns[0]
+        fast = _int_factorize(col)
+        if fast is not None:
+            codes, uniques = fast
+            return codes, [uniques]
+        uniques, codes = np.unique(col, return_inverse=True)
         return codes.astype(np.int64), [uniques]
     codes = _pack_int_keys(key_columns)
     if codes is None:
@@ -194,6 +199,30 @@ def group_codes(key_columns: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndar
     first_row[codes[::-1]] = order[::-1]
     unique_cols = [col[first_row] for col in key_columns]
     return codes, unique_cols
+
+
+def _int_factorize(col: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+    """``np.unique(col, return_inverse=True)`` for small-span int columns.
+
+    Dictionary-encoded group keys and near-dense TPC-H join keys have
+    value spans close to their distinct counts; a bincount + cumsum remap
+    beats the sort inside ``np.unique`` roughly 3x there.  Returns
+    ``(codes, uniques)`` with identical values/ordering to ``np.unique``,
+    or ``None`` when the column is non-integer or too sparse.
+    """
+    n = len(col)
+    if n == 0 or not np.issubdtype(col.dtype, np.integer):
+        return None
+    base = int(col.min())
+    span = int(col.max()) - base + 1
+    if span > 4 * n + 1024:
+        return None
+    shifted = col.astype(np.int64, copy=False) - base
+    counts = np.bincount(shifted, minlength=span)
+    present = counts > 0
+    remap = np.cumsum(present) - 1
+    uniques = (np.flatnonzero(present) + base).astype(col.dtype, copy=False)
+    return remap[shifted], uniques
 
 
 def _pack_int_keys(key_columns: list[np.ndarray]) -> np.ndarray | None:
@@ -222,6 +251,9 @@ def _pack_int_keys(key_columns: list[np.ndarray]) -> np.ndarray | None:
     for col, base, span in zip(key_columns[1:], bases[1:], spans[1:]):
         packed *= span
         packed += col.astype(np.int64, copy=False) - base
+    fast = _int_factorize(packed)
+    if fast is not None:
+        return fast[0]
     _, codes = np.unique(packed, return_inverse=True)
     return codes.astype(np.int64)
 
@@ -277,13 +309,12 @@ class ObjectDictEncoder:
 
     Aggregation group keys are typically low-cardinality; once the
     dictionary has seen every distinct value of a column, encoding a page
-    costs one vectorized equality scan per known value instead of a
-    python-object argsort inside ``np.unique``.  New values are learned
-    with one dict lookup per *distinct* unseen value.
+    is one ``np.fromiter`` over a C-level ``map(dict.__getitem__, ...)`` —
+    flat in the dictionary size, no python-object argsort inside
+    ``np.unique``, no per-known-value equality scan.  A ``KeyError``
+    signals an unseen value, and the page falls back to the learning path
+    (one dict lookup per *distinct* unseen value).
     """
-
-    #: Above this many known values, equality scans lose to np.unique.
-    _SCAN_LIMIT = 24
 
     __slots__ = ("values", "code_of")
 
@@ -299,16 +330,18 @@ class ObjectDictEncoder:
     def encode(self, col: np.ndarray) -> np.ndarray:
         """Dense int64 code per value; codes are stable across pages."""
         n = len(col)
-        out = np.full(n, -1, dtype=np.int64)
         if n == 0:
-            return out
-        if self.values and len(self.values) <= self._SCAN_LIMIT:
-            for code, value in enumerate(self.values):
-                out[col == value] = code
-            unknown = out < 0
-            if unknown.any():
-                self._learn(col, out, unknown)
-            return out
+            return np.full(n, -1, dtype=np.int64)
+        if self.code_of:
+            try:
+                return np.fromiter(
+                    map(self.code_of.__getitem__, col.tolist()),
+                    dtype=np.int64,
+                    count=n,
+                )
+            except KeyError:
+                pass
+        out = np.full(n, -1, dtype=np.int64)
         self._learn(col, out, np.ones(n, dtype=bool))
         return out
 

@@ -1,0 +1,81 @@
+"""Dataset cache for generated TPC-H tables: memo, npz roundtrip, keys."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.tpch.dataset_cache import (
+    CACHE_DIR_ENV,
+    cache_file_path,
+    clear_dataset_cache,
+    load_tpch_tables,
+)
+from repro.data.tpch.generator import GENERATOR_VERSION
+
+SCALE = 0.001
+SEED = 424242
+
+
+def assert_tables_equal(left: dict, right: dict) -> None:
+    assert sorted(left) == sorted(right)
+    for name in left:
+        a, b = left[name], right[name]
+        assert a.schema == b.schema
+        for col_a, col_b in zip(a.columns, b.columns):
+            assert col_a.dtype == col_b.dtype
+            if col_a.dtype == object:
+                assert col_a.tolist() == col_b.tolist()
+            else:
+                assert np.array_equal(col_a, col_b)
+
+
+def test_memo_returns_identical_objects(monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    clear_dataset_cache()
+    first = load_tpch_tables(SCALE, SEED)
+    assert load_tpch_tables(SCALE, SEED) is first
+    # A different seed is a different dataset, not a memo hit.
+    assert load_tpch_tables(SCALE, SEED + 1) is not first
+
+
+def test_cache_disabled_regenerates_equal_contents(monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    clear_dataset_cache()
+    cached = load_tpch_tables(SCALE, SEED)
+    fresh = load_tpch_tables(SCALE, SEED, cache=False)
+    assert fresh is not cached
+    assert_tables_equal(cached, fresh)
+
+
+def test_npz_roundtrip_is_exact(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    clear_dataset_cache()
+    generated = load_tpch_tables(SCALE, SEED)
+    path = cache_file_path(SCALE, SEED)
+    assert path is not None and path.exists()
+    # Drop the memo so the next load must come from the archive.
+    clear_dataset_cache()
+    reloaded = load_tpch_tables(SCALE, SEED)
+    assert reloaded is not generated
+    assert_tables_equal(generated, reloaded)
+
+
+def test_cache_path_disabled_without_env(monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    assert cache_file_path(SCALE, SEED) is None
+
+
+def test_cache_filename_carries_generator_version(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    path = cache_file_path(SCALE, SEED)
+    assert f"-v{GENERATOR_VERSION}.npz" in path.name
+    assert f"seed{SEED}" in path.name
+
+
+def test_torn_archive_falls_back_to_generation(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    clear_dataset_cache()
+    path = cache_file_path(SCALE, SEED)
+    path.write_bytes(b"not an npz archive")
+    tables = load_tpch_tables(SCALE, SEED)
+    assert "lineitem" in tables  # regenerated despite the corrupt file

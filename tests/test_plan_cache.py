@@ -1,0 +1,96 @@
+"""Engine-level plan cache: hits, misses, invalidation, and bit-inertness."""
+
+from __future__ import annotations
+
+from conftest import TEST_SEED, make_engine, norm_rows
+
+from repro import EngineConfig, QueryOptions
+from repro.data import Catalog
+from repro.data.tpch.queries import QUERIES
+from repro.plan.cache import PLAN_CACHE
+
+
+def fresh_catalog() -> Catalog:
+    """A private catalog object per test: the plan cache keys on catalog
+    identity, so sharing the session fixture would leak entries between
+    tests.  Tables come from the dataset memo, so this is cheap."""
+    return Catalog.tpch(scale=0.001, seed=TEST_SEED)
+
+
+def counters(engine) -> tuple[int, int]:
+    c = engine.coordinator
+    return c.plan_cache_hits, c.plan_cache_misses
+
+
+def test_repeated_query_hits_cache():
+    catalog = fresh_catalog()
+    engine = make_engine(catalog)
+    engine.execute(QUERIES["Q1"])
+    assert counters(engine) == (0, 1)
+    engine.execute(QUERIES["Q1"])
+    assert counters(engine) == (1, 1)
+    assert PLAN_CACHE.entries(catalog) == 1
+    # The per-engine counters surface through the metrics registry.
+    snapshot = engine.metrics.snapshot()
+    assert snapshot["plan_cache.hits"] == 1
+    assert snapshot["plan_cache.misses"] == 1
+
+
+def test_catalog_registration_invalidates():
+    catalog = fresh_catalog()
+    engine = make_engine(catalog)
+    engine.execute(QUERIES["Q1"])
+    assert PLAN_CACHE.entries(catalog) == 1
+    # Re-registering any table bumps the catalog version: every plan built
+    # against the old version must miss from now on.
+    catalog.register(catalog.table("nation"))
+    assert PLAN_CACHE.entries(catalog) == 0
+    engine.execute(QUERIES["Q1"])
+    assert counters(engine) == (0, 2)
+
+
+def test_differing_options_miss():
+    catalog = fresh_catalog()
+    engine = make_engine(catalog)
+    engine.execute(QUERIES["Q3"], QueryOptions())
+    engine.execute(QUERIES["Q3"], QueryOptions(initial_stage_dop=2))
+    # Same SQL, different options: both are misses and both are cached.
+    assert counters(engine) == (0, 2)
+    assert PLAN_CACHE.entries(catalog) == 2
+    engine.execute(QUERIES["Q3"], QueryOptions(initial_stage_dop=2))
+    assert counters(engine) == (1, 2)
+
+
+def test_cross_engine_reuse_over_same_catalog():
+    catalog = fresh_catalog()
+    first = make_engine(catalog)
+    result = first.execute(QUERIES["Q3"])
+    second = make_engine(catalog)
+    again = second.execute(QUERIES["Q3"])
+    assert counters(second) == (1, 0)
+    assert norm_rows(again.rows) == norm_rows(result.rows)
+
+
+def test_plan_cache_disabled_bypasses():
+    catalog = fresh_catalog()
+    engine = make_engine(catalog, plan_cache=False)
+    engine.execute(QUERIES["Q1"])
+    engine.execute(QUERIES["Q1"])
+    assert counters(engine) == (0, 0)
+    assert PLAN_CACHE.entries(catalog) == 0
+
+
+def test_cached_plan_gives_identical_answers():
+    catalog = fresh_catalog()
+    cached = make_engine(catalog)
+    baseline = make_engine(catalog, plan_cache=False)
+    for name in ("Q1", "Q3", "Q5"):
+        warm = cached.execute(QUERIES[name])      # miss, populates
+        hot = cached.execute(QUERIES[name])       # hit, reuses the plan
+        cold = baseline.execute(QUERIES[name])    # never touches the cache
+        assert norm_rows(hot.rows) == norm_rows(warm.rows) == norm_rows(cold.rows)
+    assert cached.coordinator.plan_cache_hits == 3
+
+
+def test_engine_config_defaults_enable_cache():
+    assert EngineConfig().plan_cache is True

@@ -254,3 +254,40 @@ def test_livelock_error_carries_simulation_state():
     # backward compatibility with generic guards.
     assert isinstance(err, AccordionError)
     assert isinstance(err, RuntimeError)
+
+
+def test_post_preserves_fifo_with_scheduled_events():
+    # post() routes zero-delay entries through the deque and delayed ones
+    # through the heap; regardless of path, same-timestamp events must fire
+    # in submission order (seq is global across both structures).
+    k = SimKernel()
+    order = []
+    k.schedule(1.0, lambda: order.append("heap-a"))
+    k.post(1.0, lambda: order.append("post-b"))
+    k.schedule(1.0, lambda: order.append("heap-c"))
+
+    def at_one():
+        # Runs at t=1.0: these become zero-delay deque entries that must
+        # still fire after the already-queued t=1.0 heap entries' peers.
+        k.post(0.0, lambda: order.append("post-soon"))
+        k.schedule(0.0, lambda: order.append("heap-soon"))
+
+    k.schedule(1.0, at_one)
+    k.run()
+    assert order == ["heap-a", "post-b", "heap-c", "post-soon", "heap-soon"]
+    assert k.now == 1.0
+
+
+def test_post_passes_argument_without_closure():
+    k = SimKernel()
+    seen = []
+    k.post(0.5, seen.append, "payload")
+    k.post(0.0, seen.append, "first")
+    k.run()
+    assert seen == ["first", "payload"]
+
+
+def test_post_rejects_negative_delay():
+    k = SimKernel()
+    with pytest.raises(ValueError):
+        k.post(-0.1, lambda: None)

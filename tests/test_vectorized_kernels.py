@@ -313,8 +313,7 @@ def test_object_dict_encoder_codes_are_stable_across_batches():
 
 def test_page_num_rows_is_cached():
     page = _page([INT], [[1, 2, 3]])
-    assert page._num_rows is None
+    # Computed once at construction (plain attribute, no property call).
     assert page.num_rows == 3
-    assert page._num_rows == 3
     assert page.size_bytes > 0  # reuses the cached count
     assert Page.end().num_rows == 0
