@@ -12,9 +12,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Catalog
-from repro.experiments import EVAL_SEED
-from repro.metrics import render_curve_points, render_series, render_table
+from repro import (
+    Catalog,
+    EVAL_SEED,
+    render_curve_points,
+    render_series,
+    render_table,
+)
 
 
 @pytest.fixture(scope="session")

@@ -122,11 +122,6 @@ def test_ablation_join_distribution(benchmark, small_catalog):
 
 
 def test_ablation_partial_topn_pushdown(benchmark, small_catalog):
-    from repro.plan import LogicalPlanner, prune_columns
-    from repro.plan.physical import PTopNNode
-    from repro.plan.physical_planner import PhysicalPlanner, PlannerOptions
-    from repro.sql.parser import parse
-
     def walk(node):
         yield node
         for child in node.children():
@@ -137,29 +132,29 @@ def test_ablation_partial_topn_pushdown(benchmark, small_catalog):
         "order by l_extendedprice desc limit 10"
     )
 
-    def count_partials(options):
-        logical = prune_columns(LogicalPlanner(small_catalog).plan(parse(topn_sql)))
-        plan = PhysicalPlanner(small_catalog, options).plan(logical)
+    def count_partials(partial_pushdown):
+        engine = engine_with(small_catalog)
+        plan = engine.coordinator.plan_sql(
+            topn_sql, QueryOptions(partial_pushdown=partial_pushdown)
+        )
         return sum(
             1
             for f in plan.fragments.values()
             for n in walk(f.root)
-            if isinstance(n, PTopNNode) and n.partial
+            if n.__class__.__name__ == "PTopNNode" and n.partial
         )
 
-    on = once(benchmark, lambda: count_partials(PlannerOptions(partial_pushdown=True)))
-    off = count_partials(PlannerOptions(partial_pushdown=False))
+    on = once(benchmark, lambda: count_partials(True))
+    off = count_partials(False)
 
     # The optimization must not change the answer.
     results = {}
-    for label, engine in (
-        ("on", engine_with(small_catalog)),
-        ("off", engine_with(small_catalog)),
-    ):
-        if label == "off":
-            engine.coordinator.scheduler  # same engine API; pushdown is a planner knob
+    for label, pushdown in (("on", True), ("off", False)):
+        engine = engine_with(small_catalog)
         results[label] = norm_rows(
-            engine.execute(topn_sql, max_virtual_seconds=1e6).rows
+            engine.submit(topn_sql, QueryOptions(partial_pushdown=pushdown))
+            .result(max_virtual_seconds=1e6)
+            .rows
         )
     emit_table(
         "Ablation: partial TopN pushdown",

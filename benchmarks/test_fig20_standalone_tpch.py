@@ -8,8 +8,7 @@ results.
 
 import pytest
 
-from repro.data.tpch.queries import STANDALONE_BENCHMARK
-from repro.experiments import standalone_engine
+from repro import STANDALONE_BENCHMARK, standalone_engine
 
 from conftest import emit_table, once
 

@@ -43,7 +43,7 @@ def run_incremental(catalog, verb, target):
     """Start at DOP 1 and ramp every tunable stage up to ``target``."""
     engine = make_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     step = 2
     time = RAMP_INTERVAL
     while step <= target:

@@ -7,8 +7,13 @@ further gain once CPU is saturated; the query finishes far faster than
 untuned (paper: 58.42% reduction).
 """
 
-from repro import AccordionEngine, CostModel, EngineConfig, TPCH_QUERIES as QUERIES
-from repro.script import run_script
+from repro import (
+    AccordionEngine,
+    CostModel,
+    EngineConfig,
+    TPCH_QUERIES as QUERIES,
+    run_script,
+)
 
 from conftest import emit, emit_stage_curves, norm_rows, once
 

@@ -10,8 +10,13 @@ are large (Q3: 73.71%).
 
 import pytest
 
-from repro import AccordionEngine, CostModel, EngineConfig, TPCH_QUERIES as QUERIES
-from repro.script import run_script
+from repro import (
+    AccordionEngine,
+    CostModel,
+    EngineConfig,
+    TPCH_QUERIES as QUERIES,
+    run_script,
+)
 
 from conftest import emit, emit_stage_curves, norm_rows, once
 

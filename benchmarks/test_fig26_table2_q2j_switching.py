@@ -34,7 +34,7 @@ def test_fig26_table2_dop_switching(benchmark, eval_catalog):
 
         engine = make_engine(eval_catalog)
         query = engine.submit(QUERIES["Q2J"], options())
-        elastic = engine.elastic(query)
+        elastic = query.tuning
         switches = []
         rejected = []
         for target in (4, 6):

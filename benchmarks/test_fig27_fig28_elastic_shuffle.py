@@ -9,9 +9,13 @@ until the bottleneck shifts to the join stage and further increases stop
 helping.
 """
 
-from repro import QueryOptions, TPCH_QUERIES as QUERIES, TuningRejected
-from repro.buffers import OutputMode
-from repro.experiments import shuffle_experiment_engine
+from repro import (
+    OutputMode,
+    QueryOptions,
+    TPCH_QUERIES as QUERIES,
+    TuningRejected,
+    shuffle_experiment_engine,
+)
 
 from conftest import emit, emit_table, norm_rows, once
 
@@ -78,7 +82,7 @@ def test_fig28_runtime_shuffle_tuning(benchmark):
     def experiment():
         engine = shuffle_experiment_engine()
         query = engine.submit(QUERIES["QSHUFFLE"], shuffle_options(1))
-        elastic = engine.elastic(query)
+        elastic = query.tuning
         applied = []
         for time, target in ((4.0, 4), (8.0, 8)):
             engine.kernel.run(until=time, stop_when=lambda: query.finished)

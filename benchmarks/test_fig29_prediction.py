@@ -27,7 +27,7 @@ def test_fig29_remaining_time_prediction(benchmark, eval_catalog):
         query = engine.submit(
             QUERIES["Q3"], QueryOptions(initial_stage_dop=2, initial_task_dop=3)
         )
-        elastic = engine.elastic(query)
+        elastic = query.tuning
         observations = []
         for stage_id, target in ((3, 6), (1, 8)):
             engine.kernel.run(

@@ -10,8 +10,14 @@ at ~150 s) and the auto-tuner re-plans.
 
 import pytest
 
-from repro import AccordionEngine, CostModel, EngineConfig, QueryOptions, TPCH_QUERIES as QUERIES
-from repro.autotune import DopPlanner
+from repro import (
+    AccordionEngine,
+    CostModel,
+    DopPlanner,
+    EngineConfig,
+    QueryOptions,
+    TPCH_QUERIES as QUERIES,
+)
 
 from conftest import emit, once
 
@@ -32,7 +38,7 @@ def run_autotuned(catalog, sql, deadline, midflight=None):
             initial_task_dop=dop_plan.initial_task_dop,
         ),
     )
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     for scan_stage, scan_deadline in dop_plan.scan_deadlines.items():
         elastic.set_constraint(scan_stage, scan_deadline)
     elastic.start_monitor(period=2.0)

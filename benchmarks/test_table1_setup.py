@@ -5,7 +5,7 @@ Paper: 107 GB total at SF100 across 10 storage nodes; lineitem gets
 check the structural facts (node counts, splits per node, size ordering).
 """
 
-from repro.data import SplitLayout
+from repro import SplitLayout
 
 from conftest import emit_table, once
 

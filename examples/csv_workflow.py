@@ -13,9 +13,16 @@ import tempfile
 from dataclasses import replace
 from pathlib import Path
 
-from repro import AccordionEngine, Catalog, EngineConfig, QueryOptions
-from repro.data import read_csv, write_csv
-from repro.data.tpch import TPCH_SCHEMAS, TpchGenerator
+from repro import (
+    AccordionEngine,
+    Catalog,
+    EngineConfig,
+    QueryOptions,
+    TPCH_SCHEMAS,
+    TpchGenerator,
+    read_csv,
+    write_csv,
+)
 
 
 def main() -> None:

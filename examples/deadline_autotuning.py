@@ -8,8 +8,14 @@ schedule (RP actions), scaling out when behind (AP actions).
     python examples/deadline_autotuning.py
 """
 
-from repro import AccordionEngine, CostModel, EngineConfig, QueryOptions, TPCH_QUERIES
-from repro.autotune import DopPlanner
+from repro import (
+    AccordionEngine,
+    CostModel,
+    DopPlanner,
+    EngineConfig,
+    QueryOptions,
+    TPCH_QUERIES,
+)
 
 
 def main() -> None:

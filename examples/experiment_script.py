@@ -9,9 +9,7 @@ coordinator rejects.
     python examples/experiment_script.py
 """
 
-from repro import AccordionEngine, CostModel, EngineConfig
-from repro.metrics import render_series
-from repro.script import run_script
+from repro import AccordionEngine, CostModel, EngineConfig, render_series, run_script
 
 SCRIPT = """
 # Q3 at minimal parallelism; tune the join stages while it runs.

@@ -11,8 +11,7 @@ times, and exports a Perfetto-loadable trace of the last query.
 import tempfile
 from pathlib import Path
 
-from repro import AccordionEngine, EngineConfig
-from repro.metrics import render_table
+from repro import AccordionEngine, EngineConfig, render_table
 
 
 def main() -> None:

@@ -11,8 +11,14 @@ at Accordion's controller UI (paper Figure 2):
     python examples/runtime_tuning.py
 """
 
-from repro import AccordionEngine, CostModel, EngineConfig, TPCH_QUERIES, TuningRejected
-from repro.metrics import render_series
+from repro import (
+    AccordionEngine,
+    CostModel,
+    EngineConfig,
+    TPCH_QUERIES,
+    TuningRejected,
+    render_series,
+)
 
 
 def main() -> None:

@@ -2,11 +2,13 @@
 
 A full reproduction of the SIGMOD'25 Accordion engine on a discrete-event
 simulated cluster.  Entry point: :class:`repro.AccordionEngine`; a
-submitted query is driven through its :class:`repro.QueryHandle`.
+submitted query is driven through its :class:`repro.QueryHandle`, and
+multi-tenant workloads go through :meth:`repro.AccordionEngine.session`
+and :class:`repro.Workload`.
 
 This module is the library's stable import surface — examples, benchmarks,
 and downstream code should import from ``repro`` directly instead of deep
-module paths.
+module paths (``tools/api_lint.py`` enforces this in CI).
 """
 
 from .config import (
@@ -17,33 +19,62 @@ from .config import (
     FaultConfig,
     NodeSpec,
     TraceConfig,
+    WorkloadConfig,
+    config_fingerprint,
     presto_config,
     prestissimo_config,
 )
+from .autotune import DopPlanner
+from .buffers import OutputMode
 from .cluster import QueryOptions
-from .data import Catalog
-from .data.tpch.queries import QUERIES as TPCH_QUERIES
+from .data import Catalog, SplitLayout, read_csv, write_csv
+from .data.tpch import TPCH_SCHEMAS, TpchGenerator
+from .data.tpch.queries import QUERIES as TPCH_QUERIES, STANDALONE_BENCHMARK
 from .engine import AccordionEngine
 from .errors import (
     AccordionError,
     ExecutionError,
+    QueryCancelledError,
     QueryFailedError,
+    QueryRejectedError,
     SqlError,
     TuningRejected,
 )
+from .experiments import (
+    EVAL_SCALE,
+    EVAL_SEED,
+    eval_config,
+    eval_engine,
+    shuffle_experiment_engine,
+    standalone_engine,
+)
 from .faults import FaultInjector, FaultPlan, NodeCrash, RpcOutage, RpcStorm, TaskCrash
 from .handle import QueryHandle, QueryResult
+from .metrics import render_curve_points, render_series, render_table
 from .obs import MetricsRegistry, ProfileReport, QueryTrace, Tracer
+from .script import ScriptResult, run_script
+from .workload import (
+    ClosedLoop,
+    PoissonArrivals,
+    Session,
+    TraceArrivals,
+    Workload,
+    WorkloadReport,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccordionEngine",
     "AccordionError",
     "BufferConfig",
     "Catalog",
+    "ClosedLoop",
     "ClusterConfig",
     "CostModel",
+    "DopPlanner",
+    "EVAL_SCALE",
+    "EVAL_SEED",
     "EngineConfig",
     "ExecutionError",
     "FaultConfig",
@@ -52,20 +83,45 @@ __all__ = [
     "MetricsRegistry",
     "NodeCrash",
     "NodeSpec",
+    "OutputMode",
+    "PoissonArrivals",
     "ProfileReport",
+    "QueryCancelledError",
     "QueryFailedError",
     "QueryHandle",
     "QueryOptions",
+    "QueryRejectedError",
     "QueryResult",
     "QueryTrace",
     "RpcOutage",
     "RpcStorm",
+    "STANDALONE_BENCHMARK",
+    "ScriptResult",
+    "Session",
+    "SplitLayout",
     "SqlError",
-    "TaskCrash",
     "TPCH_QUERIES",
+    "TPCH_SCHEMAS",
+    "TaskCrash",
+    "TpchGenerator",
+    "TraceArrivals",
     "TraceConfig",
     "Tracer",
     "TuningRejected",
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadReport",
+    "config_fingerprint",
+    "eval_config",
+    "eval_engine",
     "presto_config",
     "prestissimo_config",
+    "read_csv",
+    "render_curve_points",
+    "render_series",
+    "render_table",
+    "run_script",
+    "shuffle_experiment_engine",
+    "standalone_engine",
+    "write_csv",
 ]

@@ -26,6 +26,14 @@ class TuningRequestFilter:
     def __init__(self, whatif: WhatIfService):
         self.whatif = whatif
         self.rejections: list[tuple[float, TuningRequest, str]] = []
+        #: Stage id -> virtual time until which scale-ups are pinned.  Set
+        #: by the resource arbiter after revoking cores from a stage so
+        #: the victim's own monitor does not immediately re-grab them.
+        self.pins: dict[int, float] = {}
+
+    def pin(self, stage_id: int, until: float) -> None:
+        """Block scale-up requests against ``stage_id`` until ``until``."""
+        self.pins[stage_id] = max(self.pins.get(stage_id, 0.0), until)
 
     def check(self, query: "QueryExecution", request: TuningRequest) -> None:
         """Raises :class:`TuningRejected` if the request should be blocked."""
@@ -67,6 +75,17 @@ class TuningRequestFilter:
             return
         if request.target == stage.stage_dop:
             raise TuningRejected("already at target stage DOP", reason="noop")
+        pin_until = self.pins.get(request.stage)
+        if (
+            pin_until is not None
+            and request.target > stage.stage_dop
+            and query.kernel.now < pin_until
+        ):
+            raise TuningRejected(
+                f"stage {stage.id} pinned by the resource arbiter until "
+                f"t={pin_until:.2f} (cores were revoked)",
+                reason="pinned",
+            )
         if stage.has_join() and request.target > stage.stage_dop:
             self._check_join_worthwhile(query, stage, request)
 

@@ -35,6 +35,7 @@ class ElasticQuery:
         cluster: Cluster,
         scheduler: Scheduler,
         collector_period: float = 0.5,
+        arbiter=None,
     ):
         self.query = query
         self.kernel = query.kernel
@@ -45,6 +46,7 @@ class ElasticQuery:
         self.filter = TuningRequestFilter(self.whatif)
         self.dynamic_scheduler = DynamicScheduler(self.kernel, scheduler)
         self.optimizer = DynamicOptimizer(self.dynamic_scheduler)
+        self.arbiter = arbiter
         self.tuner = DopAutoTuner(
             query,
             self.collector,
@@ -52,7 +54,10 @@ class ElasticQuery:
             self.filter,
             self.optimizer,
             max_stage_dop=max(8, 2 * len(cluster.compute)),
+            arbiter=arbiter,
         )
+        if arbiter is not None:
+            arbiter.attach_elastic(query.id, self)
 
     # -- paper-notation direct tuning ------------------------------------
     def ac(self, stage: int, to: int) -> TuningResult:

@@ -68,6 +68,7 @@ class DopAutoTuner:
         request_filter: TuningRequestFilter,
         optimizer: DynamicOptimizer,
         max_stage_dop: int = 32,
+        arbiter=None,
     ):
         self.query = query
         self.kernel = query.kernel
@@ -76,6 +77,10 @@ class DopAutoTuner:
         self.filter = request_filter
         self.optimizer = optimizer
         self.max_stage_dop = max_stage_dop
+        #: Cluster-wide :class:`~repro.workload.ResourceArbiter`; when set,
+        #: every request that passes the filter becomes a *bid* the arbiter
+        #: may grant, trim, or defer before the optimizer applies it.
+        self.arbiter = arbiter
         #: Monitor state: indicator scan stage -> absolute virtual deadline.
         self.constraints: dict[int, float] = {}
         self._monitor_running = False
@@ -86,6 +91,8 @@ class DopAutoTuner:
     # ------------------------------------------------------------------
     def direct(self, request: TuningRequest) -> TuningResult:
         self.filter.check(self.query, request)
+        if self.arbiter is not None:
+            request = self.arbiter.arbitrate(self.query, request, self.whatif)
         result = self.optimizer.apply(self.query, request)
         self.applied.append(result)
         return result

@@ -12,9 +12,9 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
-from ..config import EngineConfig
+from ..config import EngineConfig, config_fingerprint
 from ..data import Catalog, SplitLayout
-from ..errors import ExecutionError, QueryFailedError
+from ..errors import ExecutionError, QueryCancelledError, QueryFailedError
 from ..metrics.throughput import ThroughputTracker
 from ..pages import Page, concat_pages
 from ..plan.cache import PLAN_CACHE
@@ -43,6 +43,8 @@ class QueryOptions:
     scan_stage_dop: int | None = None
     #: Per-stage initial DOP overrides (stage id -> task count).
     stage_dops: dict[int, int] = field(default_factory=dict)
+    #: Push partial aggregations / partial topN below the shuffle.
+    partial_pushdown: bool = True
 
     def planner_options(self, config: EngineConfig) -> PlannerOptions:
         return PlannerOptions(
@@ -50,6 +52,7 @@ class QueryOptions:
             broadcast_threshold_rows=self.broadcast_threshold_rows,
             shuffle_stage_tables=self.shuffle_stage_tables,
             intermediate_data_cache=config.intermediate_data_cache,
+            partial_pushdown=self.partial_pushdown,
         )
 
     def fingerprint(self) -> tuple:
@@ -57,23 +60,18 @@ class QueryOptions:
 
         Options differing in *any* field miss the cache — including the
         DOP hints, which do not change the produced plan; a spurious miss
-        only costs a re-plan and never serves a wrong plan.
+        only costs a re-plan and never serves a wrong plan.  Uses the same
+        :func:`repro.config.config_fingerprint` walk as every config
+        class, so the plan cache does not special-case this type.
         """
-        return (
-            self.join_distribution,
-            self.broadcast_threshold_rows,
-            tuple(sorted(self.shuffle_stage_tables)),
-            self.initial_stage_dop,
-            self.initial_task_dop,
-            self.scan_stage_dop,
-            tuple(sorted(self.stage_dops.items())),
-        )
+        return config_fingerprint(self)
 
 
 class QueryState(enum.Enum):
     RUNNING = "running"
     FINISHED = "finished"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 class QueryExecution:
@@ -106,6 +104,8 @@ class QueryExecution:
         self.state = QueryState.RUNNING
         self.error: QueryFailedError | None = None
         self.failed_at: float | None = None
+        #: Set by the workload layer when the query came through a session.
+        self.tenant: str | None = None
         #: Timeline of faults and recovery actions that touched this query
         #: (carried into ``QueryFailedError.fault_history`` on failure).
         self.fault_events: list[dict] = []
@@ -139,6 +139,10 @@ class QueryExecution:
     @property
     def failed(self) -> bool:
         return self.state is QueryState.FAILED
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state is QueryState.CANCELLED
 
     @property
     def elapsed(self) -> float:
@@ -235,6 +239,45 @@ class QueryExecution:
         for fn in callbacks:
             fn(self)
 
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Terminal cancellation with *clean* task teardown.
+
+        Unlike :meth:`fail` (which crashes tasks mid-quantum), cancel
+        sends end signals (Section 4.3/4.4): each running driver injects
+        an end page on its next quantum, stateful operators flush, and
+        the pipelines drain within bounded virtual time.  Tasks that were
+        scheduled but have no drivers yet are torn down directly —
+        there is nothing to flush.
+        """
+        if self.state is not QueryState.RUNNING:
+            return
+        self.record_fault("cancelled", reason)
+        self.state = QueryState.CANCELLED
+        error = QueryCancelledError(
+            f"query {self.id} cancelled: {reason}", query_id=self.id, reason=reason
+        )
+        error.fault_history = list(self.fault_events)
+        self.error = error
+        self.finished_at = self.kernel.now
+        for stage in self.stages.values():
+            for task in stage.tasks:
+                if task.finished or task.crashed:
+                    continue
+                drivers = [d for p in task.pipelines for d in p.drivers]
+                if drivers:
+                    for driver in drivers:
+                        driver.request_end()
+                else:
+                    task.crash(reason="cancelled before start")
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            for stage in self.stages.values():
+                tracer.end(stage.trace_span)
+            tracer.end(self.trace_span, cancelled=True, reason=reason)
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for fn in callbacks:
+            fn(self)
+
     # -- introspection -----------------------------------------------------
     def progress(self) -> dict[int, float]:
         """Scan progress per table-scan stage, in [0, 1].
@@ -283,6 +326,7 @@ class Coordinator:
         catalog: Catalog,
         split_layout: SplitLayout,
         config: EngineConfig,
+        metrics=None,
     ):
         self.kernel = kernel
         self.cluster = cluster
@@ -294,16 +338,31 @@ class Coordinator:
         self.scheduler = Scheduler(kernel, cluster, config, self.rpc, split_layout)
         self.queries: dict[int, QueryExecution] = {}
         self._ids = itertools.count(1)
-        #: Plan-cache traffic from this coordinator (engine.metrics gauge
-        #: ``plan_cache``); the cache itself is process-wide.
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
+        # Plan-cache traffic from *this* coordinator.  The cache itself is
+        # process-wide, but the counters live in the per-engine registry so
+        # two engines in one process never cross-contaminate each other's
+        # metrics.
+        if metrics is None:
+            from ..obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._plan_cache_hits = metrics.counter("plan_cache.hits")
+        self._plan_cache_misses = metrics.counter("plan_cache.misses")
         # Lazy import: repro.faults.recovery needs the execution structures
         # defined in this module.
         from ..faults.recovery import RecoveryManager
 
         self.recovery = RecoveryManager(self)
         self.scheduler.recovery = self.recovery
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return self._plan_cache_hits.value
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return self._plan_cache_misses.value
 
     def _action_failed(self, query_id: int | None, message: str) -> None:
         """A control-plane action exhausted its RPC retries."""
@@ -323,9 +382,9 @@ class Coordinator:
         if self.config.plan_cache:
             plan = PLAN_CACHE.get(self.catalog, key)
             if plan is not None:
-                self.plan_cache_hits += 1
+                self._plan_cache_hits.add()
                 return plan
-            self.plan_cache_misses += 1
+            self._plan_cache_misses.add()
         stmt = parse(sql)
         logical = prune_columns(LogicalPlanner(self.catalog).plan(stmt))
         plan = PhysicalPlanner(self.catalog, planner_options).plan(logical)

@@ -59,6 +59,11 @@ class Scheduler:
         query.init_requests = requests
 
         def start_all() -> None:
+            # The query may have been cancelled/failed while its control
+            # plane RPCs were in flight; starting drivers for it would run
+            # the whole query with nobody collecting the result.
+            if query.finished:
+                return
             query.started_at = self.kernel.now
             for stage in query.stages.values():
                 for task in stage.tasks:

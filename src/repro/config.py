@@ -10,11 +10,50 @@ factors, crossovers) at reduced scale factors.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 
 
+def config_fingerprint(obj) -> tuple:
+    """Stable, hashable identity of a config object.
+
+    Walks dataclass fields recursively, freezing containers (dicts become
+    sorted item tuples, lists/sets become tuples) so the result is usable
+    as a cache key.  Every config class in the ``EngineConfig`` hierarchy
+    — and :class:`~repro.cluster.coordinator.QueryOptions` — exposes this
+    via ``.fingerprint()``; the plan cache keys on it uniformly instead of
+    special-casing individual classes.
+    """
+    return _freeze(obj)
+
+
+def _freeze(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, _freeze(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+class _Fingerprinted:
+    """Mixin giving every config dataclass a uniform ``fingerprint()``."""
+
+    def fingerprint(self) -> tuple:
+        return config_fingerprint(self)
+
+
 @dataclass(frozen=True)
-class CostModel:
+class CostModel(_Fingerprinted):
     """Virtual-time cost coefficients for the simulated engine.
 
     All times are in virtual seconds.  ``cpu_multiplier`` lets baseline
@@ -67,7 +106,7 @@ class CostModel:
 
 
 @dataclass(frozen=True)
-class BufferConfig:
+class BufferConfig(_Fingerprinted):
     """Output/exchange buffer behaviour.
 
     ``elastic=True`` enables the paper's runtime elastic buffer
@@ -89,7 +128,7 @@ class BufferConfig:
 
 
 @dataclass(frozen=True)
-class FaultConfig:
+class FaultConfig(_Fingerprinted):
     """Failure-recovery behaviour (fault injection, ``repro.faults``).
 
     All delays are virtual seconds.  Retries are bounded so an injected
@@ -114,7 +153,7 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
-class NodeSpec:
+class NodeSpec(_Fingerprinted):
     """Hardware description of one simulated node (default: c5.2xlarge)."""
 
     cores: int = 8
@@ -127,7 +166,7 @@ class NodeSpec:
 
 
 @dataclass(frozen=True)
-class ClusterConfig:
+class ClusterConfig(_Fingerprinted):
     """Topology of the simulated cluster (paper Section 6.1).
 
     The paper uses 1 coordinator + 10 storage + 10 compute nodes.  Tests
@@ -185,7 +224,7 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
-class TraceConfig:
+class TraceConfig(_Fingerprinted):
     """Observability switches (``repro.obs``).
 
     Tracing is **inert**: turning it on changes no virtual timing, answer,
@@ -209,8 +248,62 @@ class TraceConfig:
 
 
 @dataclass(frozen=True)
-class EngineConfig:
-    """Top-level engine configuration and feature switches."""
+class WorkloadConfig(_Fingerprinted):
+    """Multi-tenant workload behaviour (``repro.workload``).
+
+    Controls the admission controller sitting in front of
+    ``Session.submit`` and the cluster-wide :class:`ResourceArbiter` that
+    turns per-query tuning requests into bids.  All times are virtual
+    seconds.  ``None`` limits mean "unlimited".
+    """
+
+    #: Maximum queries running concurrently; further submissions queue.
+    max_concurrent_queries: int | None = None
+    #: Cap on the summed *planned* task count of admitted queries.
+    max_admitted_cores: int | None = None
+    #: Cap on the summed declared memory of admitted queries.
+    max_admitted_memory_bytes: int | None = None
+    #: Queue discipline: ``"fifo"`` or ``"priority"`` (with aging).
+    queue_policy: str = "fifo"
+    #: Virtual seconds a submission may wait before it is rejected with a
+    #: :class:`QueryRejectedError`; ``None`` waits forever.
+    queue_timeout: float | None = None
+    #: Priority points gained per queued virtual second (prevents
+    #: starvation under the priority policy; 0 disables aging).
+    priority_aging_rate: float = 0.0
+    #: Arbitration policy for tuning bids: ``"none"`` (first come, first
+    #: served against free cores), ``"fair_share"`` (per-tenant core
+    #: budget), ``"strict_priority"``, or ``"deadline"`` (deadline-aware
+    #: via the what-if service's T_remain, may revoke cores).
+    arbitration: str = "fair_share"
+    #: Virtual seconds between arbiter rebalance passes.
+    arbiter_period: float = 1.0
+    #: Allow the arbiter to revoke granted cores (end-signal task removal
+    #: on the victim, Section 4.4) for deadline-endangered queries.
+    revocation_enabled: bool = True
+    #: Virtual seconds a revoked stage stays pinned against re-tuning.
+    revocation_pin_seconds: float = 5.0
+    #: Memory charged per query when the session does not declare one.
+    default_query_memory_bytes: int = 1 * 1024**3
+
+
+@dataclass(frozen=True)
+class EngineConfig(_Fingerprinted):
+    """Top-level engine configuration and feature switches.
+
+    ``EngineConfig`` is the root of the config hierarchy::
+
+        EngineConfig
+        ├── cluster:  ClusterConfig (topology, placement; NodeSpec)
+        ├── cost:     CostModel     (virtual-time coefficients)
+        ├── buffers:  BufferConfig  (elastic output buffers)
+        ├── faults:   FaultConfig   (retry/recovery behaviour)
+        ├── tracing:  TraceConfig   (observability switches)
+        └── workload: WorkloadConfig (admission + arbitration)
+
+    Every node is a frozen dataclass with a stable ``fingerprint()`` and
+    an immutable ``with_<section>(**fields)`` builder on this root class.
+    """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     cost: CostModel = field(default_factory=CostModel)
@@ -244,6 +337,8 @@ class EngineConfig:
     engine_name: str = "accordion"
     #: Observability (tracing/profiling) switches; off by default.
     tracing: TraceConfig = field(default_factory=TraceConfig)
+    #: Multi-tenant admission control and resource arbitration.
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
 
     def with_cluster(self, **kwargs) -> "EngineConfig":
         """Return a copy with cluster fields replaced (test convenience)."""
@@ -253,6 +348,22 @@ class EngineConfig:
         """Return a copy with tracing enabled (plus any TraceConfig fields)."""
         kwargs.setdefault("enabled", True)
         return replace(self, tracing=replace(self.tracing, **kwargs))
+
+    def with_cost(self, **kwargs) -> "EngineConfig":
+        """Return a copy with cost-model fields replaced."""
+        return replace(self, cost=replace(self.cost, **kwargs))
+
+    def with_buffers(self, **kwargs) -> "EngineConfig":
+        """Return a copy with buffer fields replaced."""
+        return replace(self, buffers=replace(self.buffers, **kwargs))
+
+    def with_faults(self, **kwargs) -> "EngineConfig":
+        """Return a copy with fault/recovery fields replaced."""
+        return replace(self, faults=replace(self.faults, **kwargs))
+
+    def with_workload(self, **kwargs) -> "EngineConfig":
+        """Return a copy with workload fields replaced."""
+        return replace(self, workload=replace(self.workload, **kwargs))
 
 
 def presto_config(base: EngineConfig | None = None) -> EngineConfig:

@@ -65,6 +65,10 @@ class DynamicScheduler:
 
     # -- instrumentation hooks ----------------------------------------------
     def mark_build_ready(self, query: "QueryExecution", stage: StageExecution) -> None:
+        # Bridge on_ready callbacks can fire after the query was cancelled
+        # (the rebuild drains cleanly); a terminal query records nothing.
+        if query.finished:
+            return
         stage.build_ready_times.append(self.kernel.now)
         if query.tracker is not None:
             query.tracker.mark("build_ready", stage.id)

@@ -20,8 +20,7 @@ including cluster topology, split placement, and tracing.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import replace
+from typing import TYPE_CHECKING
 
 from .autotune import ElasticQuery
 from .cluster import Cluster, Coordinator, QueryExecution, QueryOptions
@@ -31,6 +30,9 @@ from .errors import ExecutionError
 from .handle import QueryHandle, QueryResult
 from .obs import MetricsRegistry, NULL_TRACER, Tracer
 from .sim import SimKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .workload import Session, WorkloadManager
 
 __all__ = ["AccordionEngine", "QueryHandle", "QueryResult"]
 
@@ -45,37 +47,8 @@ def _unwrap(query: "QueryHandle | QueryExecution") -> QueryExecution:
 class AccordionEngine:
     """A complete Accordion deployment on a simulated cluster."""
 
-    def __init__(
-        self,
-        catalog: Catalog,
-        config: EngineConfig | None = None,
-        split_scheme: dict | None = None,
-        node_overrides: dict[str, list[int]] | None = None,
-        combined_nodes: bool | None = None,
-    ):
+    def __init__(self, catalog: Catalog, config: EngineConfig | None = None):
         config = config or EngineConfig()
-        # Deprecated constructor stragglers: fold into the cluster config so
-        # one EngineConfig fully describes the deployment.
-        if (
-            split_scheme is not None
-            or node_overrides is not None
-            or combined_nodes is not None
-        ):
-            warnings.warn(
-                "split_scheme/node_overrides/combined_nodes constructor "
-                "arguments are deprecated; use "
-                "config.with_cluster or ClusterConfig.with_placement instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = replace(
-                config,
-                cluster=config.cluster.with_placement(
-                    split_scheme=split_scheme,
-                    node_overrides=node_overrides,
-                    combined=combined_nodes,
-                ),
-            )
         self.config = config
         self.kernel = SimKernel()
         tracing = config.tracing
@@ -94,12 +67,14 @@ class AccordionEngine:
             scheme=config.cluster.split_scheme_dict,
             node_overrides=config.cluster.node_overrides_dict,
         )
+        self.metrics = MetricsRegistry()
         self.coordinator = Coordinator(
-            self.kernel, self.cluster, catalog, self.split_layout, config
+            self.kernel, self.cluster, catalog, self.split_layout, config,
+            metrics=self.metrics,
         )
         self.fault_injector = None
         self._elastic: dict[int, ElasticQuery] = {}
-        self.metrics = MetricsRegistry()
+        self._workload: "WorkloadManager | None" = None
         rpc = self.coordinator.rpc
         self.metrics.gauge(
             "rpc",
@@ -124,14 +99,8 @@ class AccordionEngine:
                 "dropped": self.tracer.dropped,
             },
         )
-        coordinator = self.coordinator
-        self.metrics.gauge(
-            "plan_cache",
-            lambda: {
-                "hits": coordinator.plan_cache_hits,
-                "misses": coordinator.plan_cache_misses,
-            },
-        )
+        # plan_cache.hits / plan_cache.misses are per-engine counters owned
+        # by this registry (created by the Coordinator above).
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -140,23 +109,27 @@ class AccordionEngine:
         scale: float = 0.01,
         config: EngineConfig | None = None,
         seed: int = 20250622,
-        **kwargs,
     ) -> "AccordionEngine":
         """Engine over a generated TPC-H database at ``scale``."""
-        return cls(Catalog.tpch(scale, seed), config=config, **kwargs)
+        return cls(Catalog.tpch(scale, seed), config=config)
 
     @classmethod
-    def presto_baseline(cls, catalog: Catalog, **kwargs) -> "AccordionEngine":
+    def presto_baseline(cls, catalog: Catalog) -> "AccordionEngine":
         """Presto baseline mode: fixed buffers, no elasticity (Figure 20)."""
-        return cls(catalog, config=presto_config(), **kwargs)
+        return cls(catalog, config=presto_config())
 
     @classmethod
-    def prestissimo_baseline(cls, catalog: Catalog, **kwargs) -> "AccordionEngine":
-        return cls(catalog, config=prestissimo_config(), **kwargs)
+    def prestissimo_baseline(cls, catalog: Catalog) -> "AccordionEngine":
+        return cls(catalog, config=prestissimo_config())
 
     # -- query execution ----------------------------------------------------
     def submit(self, sql: str, options: QueryOptions | None = None) -> QueryHandle:
-        """Submit a query; advance the simulation to make it progress."""
+        """Submit a query; advance the simulation to make it progress.
+
+        Bypasses the workload layer: the query starts immediately, outside
+        any admission limits.  Multi-tenant code paths go through
+        :meth:`session` instead.
+        """
         return QueryHandle(self, self.coordinator.submit(sql, options))
 
     def execute(
@@ -168,14 +141,31 @@ class AccordionEngine:
         """Submit and run to completion."""
         return self.submit(sql, options).result(max_virtual_seconds)
 
-    def result_of(self, query: "QueryHandle | QueryExecution") -> QueryResult:
-        """Deprecated: use ``handle.result()`` instead."""
-        warnings.warn(
-            "engine.result_of(query) is deprecated; use handle.result()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return QueryHandle(self, _unwrap(query))._materialize()
+    # -- multi-tenant workload ---------------------------------------------
+    @property
+    def workload(self) -> "WorkloadManager":
+        """The workload layer: admission controller + resource arbiter.
+
+        Created lazily on first use (``engine.session`` / this property),
+        configured by ``EngineConfig.workload``.
+        """
+        if self._workload is None:
+            from .workload import WorkloadManager
+
+            self._workload = WorkloadManager(self)
+        return self._workload
+
+    def session(
+        self, tenant: str, priority: float = 0.0, deadline: float | None = None
+    ) -> "Session":
+        """Open a tenant session whose submissions go through admission.
+
+        ``priority`` orders the admission queue under the ``"priority"``
+        policy and picks revocation victims under ``"strict_priority"``
+        arbitration; ``deadline`` (virtual seconds from each submission)
+        marks queries the ``"deadline"`` arbiter may grab cores for.
+        """
+        return self.workload.session(tenant, priority=priority, deadline=deadline)
 
     # -- runtime elasticity ----------------------------------------------------
     def _elastic_for(self, execution: QueryExecution) -> ElasticQuery:
@@ -185,22 +175,18 @@ class AccordionEngine:
                 f"engine mode {self.config.engine_name!r} does not support IQRE"
             )
         if execution.id not in self._elastic:
+            # Once a workload manager exists, every tuner bids through the
+            # cluster-wide arbiter — including queries submitted outside a
+            # session (they count as the anonymous tenant).
+            arbiter = self._workload.arbiter if self._workload is not None else None
             self._elastic[execution.id] = ElasticQuery(
                 execution,
                 self.cluster,
                 self.coordinator.scheduler,
                 collector_period=self.config.collector_period,
+                arbiter=arbiter,
             )
         return self._elastic[execution.id]
-
-    def elastic(self, query: "QueryHandle | QueryExecution") -> ElasticQuery:
-        """Deprecated: use ``handle.tuning`` instead."""
-        warnings.warn(
-            "engine.elastic(query) is deprecated; use handle.tuning",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._elastic_for(_unwrap(query))
 
     # -- fault injection ----------------------------------------------------
     def inject_faults(self, plan) -> "object":
@@ -229,26 +215,47 @@ class AccordionEngine:
         max_virtual_seconds: float = 1e7,
         max_events: int | None = None,
     ) -> None:
-        """Advance the simulation until the query reaches a terminal state.
+        """Advance the simulation until *this* query reaches a terminal
+        state (finished, failed, cancelled, or — for session submissions —
+        rejected by admission).
 
-        A query that *failed* (fault injection, operator error) raises its
-        structured :class:`~repro.errors.QueryFailedError`; one that makes
+        Multi-query contract: the simulation is global, so every other
+        in-flight query also makes progress while this one runs; the loop
+        stops at the first event after which the *target* query is
+        terminal, leaving the rest mid-flight.  Calling ``result()`` on
+        several handles in any order is therefore safe and returns the
+        same answers in any order.
+
+        A query that failed or was cancelled raises its structured
+        :class:`~repro.errors.QueryFailedError` /
+        :class:`~repro.errors.QueryCancelledError`; a rejected submission
+        raises :class:`~repro.errors.QueryRejectedError`; one that makes
         no progress raises within ``max_virtual_seconds`` / ``max_events``
         instead of hanging.
         """
-        execution = _unwrap(query)
+        if isinstance(query, QueryHandle):
+            handle = query
+        else:
+            handle = QueryHandle(self, query)
         deadline = self.kernel.now + max_virtual_seconds
         self.kernel.run(
             until=deadline,
-            stop_when=lambda: execution.finished,
+            stop_when=lambda: handle.finished,
             max_events=max_events,
         )
-        if execution.failed:
-            raise execution.error
-        if not execution.finished:
+        if handle.failed:
+            raise handle.error
+        if not handle.finished:
+            label = (
+                f"query {handle.id}" if handle.id is not None
+                else f"queued submission ({handle.state})"
+            )
+            detail = (
+                handle.execution.describe() if handle.execution is not None else ""
+            )
             raise ExecutionError(
-                f"query {execution.id} did not finish within {max_virtual_seconds} "
-                f"virtual seconds\n{execution.describe()}"
+                f"{label} did not finish within {max_virtual_seconds} "
+                f"virtual seconds\n{detail}"
             )
 
     def run_for(self, virtual_seconds: float) -> None:

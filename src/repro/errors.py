@@ -89,6 +89,43 @@ class QueryFailedError(ExecutionError):
         return "\n".join(lines)
 
 
+class QueryRejectedError(AccordionError):
+    """The admission controller refused to run a query.
+
+    Raised (from :meth:`QueryHandle.result` / :meth:`QueryHandle.wait`)
+    when a submission exceeds the workload policy's limits and either the
+    queue timeout expires or the controller rejects it outright.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str | None = None,
+        reason: str = "rejected",
+        queued_seconds: float = 0.0,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.queued_seconds = queued_seconds
+
+
+class QueryCancelledError(QueryFailedError):
+    """A query was cancelled (``QueryHandle.cancel()``).
+
+    Cancellation is a *clean* teardown: running drivers receive end
+    signals (Section 4.3/4.4) so stateful operators flush and buffers
+    drain instead of being ripped out mid-quantum.  Subclasses
+    :class:`QueryFailedError` so existing ``except QueryFailedError``
+    handlers treat a cancelled query as a failed one.
+    """
+
+    def __init__(self, message: str, query_id: int | None = None,
+                 reason: str = "cancelled"):
+        super().__init__(message, query_id=query_id)
+        self.reason = reason
+
+
 class SimulationLivelockError(AccordionError, RuntimeError):
     """The simulation processed ``max_events`` events without finishing.
 

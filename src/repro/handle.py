@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from .cluster import QueryExecution
-from .errors import ExecutionError
+from .errors import ExecutionError, QueryCancelledError
 from .pages import Page
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,11 +41,52 @@ class QueryResult:
 
 
 class QueryHandle:
-    """Live handle to one submitted query (see module docstring)."""
+    """Live handle to one submitted query (see module docstring).
 
-    def __init__(self, engine: "AccordionEngine", execution: QueryExecution):
-        self._engine = engine
+    A handle is *pending* while the workload layer's admission controller
+    holds the submission in its queue: ``execution`` is ``None`` and
+    ``state`` is ``"queued"``.  Admission binds the handle to a live
+    :class:`QueryExecution`; a queue timeout / policy rejection moves it
+    to the terminal ``"rejected"`` state instead.  Handles returned by
+    ``engine.submit()`` are always bound immediately.
+    """
+
+    def __init__(
+        self, engine: "AccordionEngine", execution: QueryExecution | None = None,
+        sql: str | None = None,
+    ):
         self._execution = execution
+        self._engine = engine
+        self._sql = sql if sql is not None else (
+            execution.sql if execution is not None else None
+        )
+        #: "queued" | "rejected" | "cancelled" while unbound, else None.
+        self._queue_state: str | None = None if execution is not None else "queued"
+        self._queue_error = None
+        self._pending_callbacks: list = []
+        #: Hook installed by the admission controller to dequeue on cancel.
+        self._on_cancel_queued = None
+
+    # -- workload-layer transitions (internal) -----------------------------
+    def _bind(self, execution: QueryExecution) -> None:
+        """Admission: attach the live execution and replay callbacks."""
+        self._execution = execution
+        self._queue_state = None
+        self._on_cancel_queued = None
+        callbacks, self._pending_callbacks = self._pending_callbacks, []
+        for fn in callbacks:
+            execution.on_done(lambda _exec, fn=fn: fn(self))
+
+    def _reject(self, error) -> None:
+        """Rejection / queued-cancellation: terminal without an execution."""
+        self._queue_state = (
+            "cancelled" if isinstance(error, QueryCancelledError) else "rejected"
+        )
+        self._queue_error = error
+        self._on_cancel_queued = None
+        callbacks, self._pending_callbacks = self._pending_callbacks, []
+        for fn in callbacks:
+            fn(self)
 
     # -- identity / state --------------------------------------------------
     @property
@@ -53,52 +94,125 @@ class QueryHandle:
         return self._engine
 
     @property
-    def execution(self) -> QueryExecution:
-        """The underlying runtime state (stages, tracker, fault events)."""
+    def execution(self) -> QueryExecution | None:
+        """The underlying runtime state (``None`` while queued/rejected)."""
         return self._execution
 
     @property
-    def id(self) -> int:
-        return self._execution.id
+    def id(self) -> int | None:
+        return self._execution.id if self._execution is not None else None
 
     @property
-    def sql(self) -> str:
-        return self._execution.sql
+    def sql(self) -> str | None:
+        return self._sql
+
+    @property
+    def state(self) -> str:
+        """One of ``queued``, ``rejected``, ``running``, ``finished``,
+        ``failed``, ``cancelled``."""
+        if self._execution is None:
+            return self._queue_state
+        return self._execution.state.value
 
     @property
     def finished(self) -> bool:
+        """Terminal: finished, failed, cancelled, or rejected."""
+        if self._execution is None:
+            return self._queue_state in ("rejected", "cancelled")
         return self._execution.finished
 
     @property
     def succeeded(self) -> bool:
-        return self._execution.succeeded
+        return self._execution is not None and self._execution.succeeded
 
     @property
     def failed(self) -> bool:
+        if self._execution is None:
+            return self._queue_state in ("rejected", "cancelled")
         return self._execution.failed
 
     @property
+    def cancelled(self) -> bool:
+        if self._execution is None:
+            return self._queue_state == "cancelled"
+        return self._execution.cancelled
+
+    @property
+    def error(self):
+        """The structured error for a rejected/failed/cancelled query."""
+        if self._execution is None:
+            return self._queue_error
+        return self._execution.error
+
+    @property
     def elapsed(self) -> float:
-        return self._execution.elapsed
+        return self._execution.elapsed if self._execution is not None else 0.0
 
     @property
     def initialization_seconds(self) -> float:
+        if self._execution is None:
+            return 0.0
         return self._execution.initialization_seconds
+
+    # -- lifecycle ---------------------------------------------------------
+    def cancel(self, reason: str = "cancelled by user") -> None:
+        """Cancel this query with clean task teardown.
+
+        Running queries receive end signals (Section 4.3/4.4) so stateful
+        operators flush and pipelines drain; queued submissions are
+        removed from the admission queue.  Subsequent ``result()`` /
+        ``wait()`` raise / report the structured
+        :class:`~repro.errors.QueryCancelledError`.  Cancelling a
+        terminal query is a no-op.
+        """
+        if self._execution is not None:
+            self._execution.cancel(reason)
+        elif self._queue_state == "queued" and self._on_cancel_queued is not None:
+            self._on_cancel_queued(self, reason)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Advance the simulation until this query is terminal.
+
+        ``timeout`` is in *virtual* seconds (``None``: no bound).  Returns
+        whether the query reached a terminal state; unlike ``result()`` it
+        does not raise on failure/rejection — inspect ``state`` /
+        ``error``.
+        """
+        if not self.finished:
+            kernel = self._engine.kernel
+            until = None if timeout is None else kernel.now + timeout
+            kernel.run(until=until, stop_when=lambda: self.finished)
+        return self.finished
+
+    def on_done(self, fn) -> None:
+        """Call ``fn(handle)`` once this query is terminal (admitted or
+        not); fires immediately if it already is."""
+        if self._execution is not None:
+            self._execution.on_done(lambda _exec: fn(self))
+        elif self.finished:
+            fn(self)
+        else:
+            self._pending_callbacks.append(fn)
 
     # -- results -----------------------------------------------------------
     def result(self, max_virtual_seconds: float = 1e7) -> QueryResult:
         """Run the simulation to this query's completion and materialise.
 
-        Raises the query's structured :class:`QueryFailedError` if it
-        failed, and :class:`ExecutionError` if it cannot finish within
-        ``max_virtual_seconds``."""
-        if not self._execution.finished:
-            self._engine.run_until_done(self._execution, max_virtual_seconds)
+        Raises the query's structured :class:`QueryFailedError` /
+        :class:`QueryCancelledError` / :class:`QueryRejectedError` if it
+        did not succeed, and :class:`ExecutionError` if it cannot finish
+        within ``max_virtual_seconds``."""
+        if not self.finished:
+            self._engine.run_until_done(self, max_virtual_seconds)
         return self._materialize()
 
     def _materialize(self) -> QueryResult:
+        if self._execution is None:
+            if self._queue_error is not None:
+                raise self._queue_error
+            raise ExecutionError("query is still queued for admission")
         execution = self._execution
-        if execution.failed:
+        if execution.failed or execution.cancelled:
             raise execution.error
         if not execution.finished:
             raise ExecutionError(f"query {execution.id} has not finished")
@@ -118,6 +232,10 @@ class QueryHandle:
 
         Only available in Accordion mode — baseline engines (Presto /
         Prestissimo) have elasticity disabled and raise here."""
+        if self._execution is None:
+            raise ExecutionError(
+                f"query is {self._queue_state}; tuning requires an admitted query"
+            )
         return self._engine._elastic_for(self._execution)
 
     # -- observability -----------------------------------------------------
@@ -176,4 +294,9 @@ class QueryHandle:
     # (``.stages``, ``.tracker``, ``.fault_events``, ...) directly; delegate
     # anything QueryHandle does not define itself.
     def __getattr__(self, name: str):
+        if self._execution is None:
+            raise AttributeError(
+                f"QueryHandle has no attribute {name!r} (query is "
+                f"{self._queue_state}; no execution is bound)"
+            )
         return getattr(self._execution, name)

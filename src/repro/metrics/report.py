@@ -6,7 +6,6 @@ these helpers keep the formatting consistent.
 
 from __future__ import annotations
 
-import warnings
 from typing import Sequence
 
 from .timeseries import TimeSeries
@@ -39,27 +38,15 @@ def render_fault_report(target) -> str:
     retry/failure totals (engine-wide plus this query's share), the
     query's own fault-event timeline, and — when faults were injected —
     the injector's recorded timeline.
-
-    Passing an engine still works but is deprecated (the report then has
-    no per-query sections).
     """
     from ..handle import QueryHandle
 
-    if isinstance(target, QueryHandle):
-        engine = target.engine
-        execution = target.execution
-    elif hasattr(target, "coordinator"):
-        warnings.warn(
-            "render_fault_report(engine) is deprecated; pass a QueryHandle",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        engine = target
-        execution = None
-    else:
+    if not isinstance(target, QueryHandle):
         raise TypeError(
             f"render_fault_report expects a QueryHandle (got {type(target).__name__})"
         )
+    engine = target.engine
+    execution = target.execution
     recovery = engine.coordinator.recovery
     rpc = engine.coordinator.rpc
     rows = list(recovery.stats().items())

@@ -1,0 +1,58 @@
+"""repro.workload: multi-tenant concurrent-query layer.
+
+Sessions + admission control (``engine.session(...).submit(...)``),
+cluster-wide resource arbitration of tuning bids (grant / trim / defer /
+revoke), and workload drivers with per-tenant metrics.  See DESIGN.md
+§11 for the policies and the determinism contract.
+"""
+
+from .admission import AdmissionController, PendingQuery, planned_cores
+from .arbiter import ANONYMOUS, ArbiterEntry, Bid, ResourceArbiter
+from .policies import (
+    ARBITRATION_POLICIES,
+    QUEUE_POLICIES,
+    effective_priority,
+    fair_share_budget,
+    grantable_units,
+    jain_fairness,
+    pick_next,
+    queue_key,
+)
+from .runner import (
+    ClosedLoop,
+    PoissonArrivals,
+    TenantSpec,
+    TenantStats,
+    TraceArrivals,
+    Workload,
+    WorkloadReport,
+)
+from .session import QueryRecord, Session, WorkloadManager
+
+__all__ = [
+    "ANONYMOUS",
+    "ARBITRATION_POLICIES",
+    "AdmissionController",
+    "ArbiterEntry",
+    "Bid",
+    "ClosedLoop",
+    "PendingQuery",
+    "PoissonArrivals",
+    "QUEUE_POLICIES",
+    "QueryRecord",
+    "ResourceArbiter",
+    "Session",
+    "TenantSpec",
+    "TenantStats",
+    "TraceArrivals",
+    "Workload",
+    "WorkloadManager",
+    "WorkloadReport",
+    "effective_priority",
+    "fair_share_budget",
+    "grantable_units",
+    "jain_fairness",
+    "pick_next",
+    "planned_cores",
+    "queue_key",
+]

@@ -1,0 +1,302 @@
+"""Admission controller: the gate between ``Session.submit`` and the
+coordinator.
+
+Submissions join a queue; the controller admits the head whenever the
+configured limits (concurrent queries, summed planned cores, summed
+declared memory) allow it.  Queue order is FIFO or aged priority
+(:mod:`repro.workload.policies`); a queue timeout rejects the submission
+with a structured :class:`~repro.errors.QueryRejectedError` instead of
+holding it forever.  Every decision happens at a deterministic point in
+virtual time, so a workload replays identically from (seed, trace).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from ..errors import QueryCancelledError, QueryRejectedError
+from ..handle import QueryHandle
+from .policies import pick_next
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryOptions
+    from ..plan.physical import PhysicalPlan
+    from .session import Session, WorkloadManager
+
+
+def planned_cores(plan: "PhysicalPlan", options: "QueryOptions", config) -> int:
+    """Cores a query will occupy at its *initial* DOPs.
+
+    Mirrors :meth:`Scheduler._initial_dop` over the plan's fragments —
+    one core per initial task.  Runtime tuning beyond this goes through
+    the resource arbiter, not admission."""
+    total = 0
+    for fragment in plan.bottom_up():
+        if fragment.dop_fixed:
+            total += 1
+        elif fragment.id in options.stage_dops:
+            total += max(1, options.stage_dops[fragment.id])
+        elif fragment.is_source and options.scan_stage_dop is not None:
+            total += max(1, options.scan_stage_dop)
+        elif options.initial_stage_dop is not None:
+            total += max(1, options.initial_stage_dop)
+        else:
+            total += max(1, config.default_stage_dop)
+    return total
+
+
+class PendingQuery:
+    """One queued submission, from ``Session.submit`` until admission,
+    rejection, or queued-cancellation."""
+
+    __slots__ = (
+        "handle", "session", "sql", "options", "seq", "priority",
+        "submitted_at", "deadline", "cores", "memory_bytes",
+        "timeout_event", "record",
+    )
+
+    def __init__(self, handle, session, sql, options, seq, priority,
+                 submitted_at, deadline, cores, memory_bytes, record):
+        self.handle = handle
+        self.session = session
+        self.sql = sql
+        self.options = options
+        self.seq = seq
+        self.priority = priority
+        self.submitted_at = submitted_at
+        self.deadline = deadline
+        self.cores = cores
+        self.memory_bytes = memory_bytes
+        self.timeout_event = None
+        self.record = record
+
+
+class AdmissionController:
+    def __init__(self, manager: "WorkloadManager"):
+        self.manager = manager
+        self.engine = manager.engine
+        self.kernel = manager.engine.kernel
+        self.config = manager.config
+        self.queue: list[PendingQuery] = []
+        #: query id -> PendingQuery, for every admitted, still-running query.
+        self.running: dict[int, PendingQuery] = {}
+        self.admitted_cores = 0
+        self.admitted_memory = 0
+        #: Policy-violation log: must stay empty; every entry is a bug.
+        self.violations: list[str] = []
+        self._seq = itertools.count(1)
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.cancelled_queued = 0
+        self.max_queue_depth = 0
+        self._pump_scheduled = False
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        session: "Session",
+        sql: str,
+        options: "QueryOptions | None" = None,
+        deadline: float | None = None,
+        memory_bytes: int | None = None,
+    ) -> QueryHandle:
+        from ..cluster.coordinator import QueryOptions
+
+        options = options or QueryOptions()
+        plan = self.engine.coordinator.plan_sql(sql, options)
+        cores = planned_cores(plan, options, self.engine.config)
+        memory = (
+            memory_bytes
+            if memory_bytes is not None
+            else self.config.default_query_memory_bytes
+        )
+        handle = QueryHandle(self.engine, sql=sql)
+        record = self.manager.new_record(session.tenant, sql, deadline)
+        pending = PendingQuery(
+            handle, session, sql, options, next(self._seq), session.priority,
+            self.kernel.now, deadline, cores, memory, record,
+        )
+        handle._on_cancel_queued = self._cancel_queued
+        self.submitted += 1
+        self.queue.append(pending)
+        self.max_queue_depth = max(self.max_queue_depth, len(self.queue))
+        if self.config.queue_timeout is not None:
+            pending.timeout_event = self.kernel.schedule(
+                self.config.queue_timeout, lambda p=pending: self._timeout(p)
+            )
+        self._trace("queued", pending)
+        self._pump()
+        return handle
+
+    # -- queue dynamics -----------------------------------------------------
+    def _pump(self) -> None:
+        """Admit head-of-line submissions while they fit the limits."""
+        self._pump_scheduled = False
+        while self.queue:
+            head = pick_next(
+                self.queue,
+                self.config.queue_policy,
+                self.config.priority_aging_rate,
+                self.kernel.now,
+            )
+            if head is None or not self._fits(head):
+                break
+            self.queue.remove(head)
+            self._admit(head)
+        self._check_invariants()
+
+    def _schedule_pump(self) -> None:
+        """Re-pump on the next zero-delay event (after a completion)."""
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            self.kernel.call_soon(self._pump)
+
+    def _fits(self, pending: PendingQuery) -> bool:
+        cfg = self.config
+        if (
+            cfg.max_concurrent_queries is not None
+            and len(self.running) >= cfg.max_concurrent_queries
+        ):
+            return False
+        if (
+            cfg.max_admitted_cores is not None
+            and self.admitted_cores + pending.cores > cfg.max_admitted_cores
+            # A query wider than the whole budget could never run at all;
+            # admit it alone rather than deadlocking the queue.
+            and self.admitted_cores > 0
+        ):
+            return False
+        if (
+            cfg.max_admitted_memory_bytes is not None
+            and self.admitted_memory + pending.memory_bytes
+            > cfg.max_admitted_memory_bytes
+            and self.admitted_memory > 0
+        ):
+            return False
+        return True
+
+    def _admit(self, pending: PendingQuery) -> None:
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+            pending.timeout_event = None
+        execution = self.engine.coordinator.submit(pending.sql, pending.options)
+        execution.tenant = pending.session.tenant
+        pending.handle._bind(execution)
+        self.running[execution.id] = pending
+        self.admitted_cores += pending.cores
+        self.admitted_memory += pending.memory_bytes
+        self.admitted += 1
+        self.manager.on_admitted(pending, execution)
+        execution.on_done(lambda _exec, p=pending: self._released(p, _exec))
+        self._trace("admitted", pending, query_id=execution.id)
+
+    def _released(self, pending: PendingQuery, execution) -> None:
+        if self.running.pop(execution.id, None) is None:
+            return
+        self.admitted_cores -= pending.cores
+        self.admitted_memory -= pending.memory_bytes
+        self.manager.on_finished(pending, execution)
+        if self.queue:
+            self._schedule_pump()
+
+    def _timeout(self, pending: PendingQuery) -> None:
+        if pending not in self.queue:
+            return
+        self.queue.remove(pending)
+        self.timeouts += 1
+        queued = self.kernel.now - pending.submitted_at
+        self._finish_queued(
+            pending,
+            QueryRejectedError(
+                f"tenant {pending.session.tenant!r}: queue timeout after "
+                f"{queued:.2f} virtual seconds",
+                tenant=pending.session.tenant,
+                reason="queue-timeout",
+                queued_seconds=queued,
+            ),
+            "rejected",
+        )
+        self.rejected += 1
+        self._trace("rejected", pending, reason="queue-timeout")
+        self._check_invariants()
+
+    def _cancel_queued(self, handle: QueryHandle, reason: str) -> None:
+        for pending in self.queue:
+            if pending.handle is handle:
+                break
+        else:
+            return
+        self.queue.remove(pending)
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+            pending.timeout_event = None
+        self.cancelled_queued += 1
+        self._finish_queued(
+            pending,
+            QueryCancelledError(f"cancelled while queued: {reason}",
+                                reason=reason),
+            "cancelled",
+        )
+        self._trace("cancelled_queued", pending, reason=reason)
+
+    def _finish_queued(self, pending: PendingQuery, error, state: str) -> None:
+        pending.record.state = state
+        pending.record.finished_at = self.kernel.now
+        pending.handle._reject(error)
+
+    # -- policy invariants --------------------------------------------------
+    def _check_invariants(self) -> None:
+        cfg = self.config
+        now = self.kernel.now
+        if (
+            cfg.max_concurrent_queries is not None
+            and len(self.running) > cfg.max_concurrent_queries
+        ):
+            self.violations.append(
+                f"t={now:.4f}: {len(self.running)} running > "
+                f"max_concurrent_queries={cfg.max_concurrent_queries}"
+            )
+        if (
+            cfg.max_admitted_cores is not None
+            and self.admitted_cores > cfg.max_admitted_cores
+            and len(self.running) > 1
+        ):
+            self.violations.append(
+                f"t={now:.4f}: admitted_cores={self.admitted_cores} > "
+                f"max_admitted_cores={cfg.max_admitted_cores}"
+            )
+        if (
+            cfg.max_admitted_memory_bytes is not None
+            and self.admitted_memory > cfg.max_admitted_memory_bytes
+            and len(self.running) > 1
+        ):
+            self.violations.append(
+                f"t={now:.4f}: admitted_memory={self.admitted_memory} > "
+                f"max_admitted_memory_bytes={cfg.max_admitted_memory_bytes}"
+            )
+
+    # -- observability ------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "queue_depth": len(self.queue),
+            "max_queue_depth": self.max_queue_depth,
+            "running": len(self.running),
+            "admitted_cores": self.admitted_cores,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "cancelled_queued": self.cancelled_queued,
+            "violations": len(self.violations),
+        }
+
+    def _trace(self, event: str, pending: PendingQuery, **meta) -> None:
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "workload", f"admission:{event}", node="coordinator",
+                tenant=pending.session.tenant, seq=pending.seq, **meta,
+            )

@@ -1,0 +1,428 @@
+"""ResourceArbiter: cluster-wide owner of the core inventory.
+
+The per-query auto-tuner (Section 5) assumes the cluster is its own; with
+many tenants that assumption breaks.  Every tuning request that passes
+the request filter therefore becomes a *bid* — (query, stage, requested
+DOP, predicted benefit from the what-if service) — which the arbiter
+grants, trims to the cores actually available, or defers
+(:class:`~repro.errors.TuningRejected` with reason ``arbiter-deferred``).
+
+Under the ``"deadline"`` policy the arbiter also runs a periodic
+rebalance pass: queries whose what-if ``T_remain`` exceeds their
+remaining slack get cores *granted*, and if the cluster is full the
+arbiter *revokes* cores from the least-important over-baseline query —
+the revocation is a Section 4.4 end-signal task removal on the victim,
+whose stage is then pinned against immediate re-tuning.
+
+Determinism: decisions depend only on virtual time, registered entries
+(iterated in query-id order), and counters — never on wall clock or
+unseeded randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..elastic.tuning import TuningKind, TuningRequest
+from ..errors import TuningRejected
+from .policies import fair_share_budget, grantable_units
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution
+    from .session import WorkloadManager
+
+#: Tenant label for queries submitted outside any session.
+ANONYMOUS = "(anonymous)"
+
+
+@dataclass
+class Bid:
+    """One arbitrated tuning request (kept in ``ResourceArbiter.log``)."""
+
+    time: float
+    query_id: int
+    tenant: str
+    stage: int
+    kind: str
+    current: int
+    requested: int
+    granted: int
+    decision: str  # "grant" | "trim" | "defer" | "release"
+    free_cores: int
+    predicted_seconds: float | None = None
+
+
+@dataclass
+class ArbiterEntry:
+    """Arbiter-side metadata for one registered (session) query."""
+
+    execution: "QueryExecution"
+    tenant: str
+    priority: float
+    deadline_at: float | None
+    #: Stage id -> stage DOP at registration; anything above this is
+    #: revocable ("extra") under rebalancing.
+    baseline: dict[int, int] = field(default_factory=dict)
+    revoked: int = 0
+
+
+class ResourceArbiter:
+    def __init__(self, manager: "WorkloadManager"):
+        self.manager = manager
+        self.engine = manager.engine
+        self.kernel = manager.engine.kernel
+        self.config = manager.config
+        self.cluster = manager.engine.cluster
+        self.capacity = self.cluster.total_compute_cores()
+        self.entries: dict[int, ArbiterEntry] = {}
+        self._elastic: dict[int, object] = {}
+        self.grants = 0
+        self.trims = 0
+        self.deferrals = 0
+        self.revocations = 0
+        self.log: list[Bid] = []
+        #: Re-entrancy flag: the arbiter's own grant/revoke applications
+        #: must not be re-arbitrated.
+        self._bypass = False
+        self._tick_running = False
+
+    # -- registration -------------------------------------------------------
+    def register(
+        self,
+        execution: "QueryExecution",
+        tenant: str,
+        priority: float = 0.0,
+        deadline_at: float | None = None,
+    ) -> None:
+        entry = ArbiterEntry(
+            execution=execution,
+            tenant=tenant,
+            priority=priority,
+            deadline_at=deadline_at,
+            baseline={
+                sid: stage.stage_dop
+                for sid, stage in execution.stages.items()
+            },
+        )
+        self.entries[execution.id] = entry
+        execution.on_done(lambda _exec: self._unregister(_exec.id))
+        if self.config.arbitration == "deadline":
+            self._ensure_tick()
+
+    def _unregister(self, query_id: int) -> None:
+        self.entries.pop(query_id, None)
+        self._elastic.pop(query_id, None)
+
+    def attach_elastic(self, query_id: int, elastic) -> None:
+        """Called by :class:`ElasticQuery` so rebalancing can reach the
+        query's what-if service, filter, and tuner."""
+        self._elastic[query_id] = elastic
+
+    # -- usage accounting (dynamic, from live structures) -------------------
+    def query_cores(self, execution: "QueryExecution") -> int:
+        """Cores a query currently occupies: one per active driver slot."""
+        if execution.finished:
+            return 0
+        total = 0
+        for sid in sorted(execution.stages):
+            stage = execution.stages[sid]
+            if stage.finished:
+                continue
+            for task in stage.active_tasks:
+                total += max(1, task.driver_count())
+        return total
+
+    def cluster_usage(self) -> int:
+        coordinator = self.engine.coordinator
+        return sum(
+            self.query_cores(q)
+            for qid, q in sorted(coordinator.queries.items())
+            if not q.finished
+        )
+
+    def tenant_of(self, query_id: int) -> str:
+        entry = self.entries.get(query_id)
+        return entry.tenant if entry is not None else ANONYMOUS
+
+    def tenant_usage(self, tenant: str) -> int:
+        coordinator = self.engine.coordinator
+        return sum(
+            self.query_cores(q)
+            for qid, q in sorted(coordinator.queries.items())
+            if not q.finished and self.tenant_of(qid) == tenant
+        )
+
+    def active_tenants(self) -> list[str]:
+        coordinator = self.engine.coordinator
+        names = {
+            self.tenant_of(qid)
+            for qid, q in coordinator.queries.items()
+            if not q.finished
+        }
+        return sorted(names)
+
+    # -- bidding ------------------------------------------------------------
+    def arbitrate(
+        self, query: "QueryExecution", request: TuningRequest, whatif
+    ) -> TuningRequest:
+        """Grant, trim, or defer one filtered tuning request.
+
+        Returns the (possibly trimmed) request to apply; raises
+        :class:`TuningRejected` (reason ``arbiter-deferred``) when no
+        cores can be granted now."""
+        if self._bypass:
+            return request
+        stage = query.stage(request.stage)
+        if request.kind is TuningKind.TASK_DOP:
+            current = stage.task_dop
+            per_unit = max(1, len(stage.active_tasks))
+        else:
+            current = stage.stage_dop
+            per_unit = max(1, stage.task_dop)
+        delta_units = request.target - current
+        if delta_units <= 0:
+            # Releases always pass; the freed cores show up in usage.
+            self._record(query, request, current, request.target, "release", 0)
+            return request
+
+        free = self.capacity - self.cluster_usage()
+        tenant = self.tenant_of(query.id)
+        headroom: int | None = None
+        if self.config.arbitration == "fair_share":
+            budget = fair_share_budget(self.capacity, len(self.active_tenants()))
+            headroom = budget - self.tenant_usage(tenant)
+        elif self.config.arbitration == "strict_priority":
+            # Cores already held by strictly higher-priority tenants are
+            # untouchable; lower-priority usage is (only) reclaimable via
+            # rebalance revocation, not at bid time.
+            free = min(free, self.capacity - self._usage_at_or_above(query.id))
+        granted_units = grantable_units(delta_units, per_unit, free, headroom)
+        prediction = None
+        if granted_units > 0 and request.kind is not TuningKind.TASK_DOP:
+            prediction = whatif.predict(request.stage, current + granted_units)
+
+        if granted_units <= 0:
+            self.deferrals += 1
+            self._record(query, request, current, current, "defer", free)
+            raise TuningRejected(
+                f"arbiter deferred: {delta_units * per_unit} cores requested, "
+                f"{max(0, free)} free"
+                + (f", tenant headroom {headroom}" if headroom is not None else ""),
+                reason="arbiter-deferred",
+            )
+        target = current + granted_units
+        if target >= request.target:
+            self.grants += 1
+            self._record(
+                query, request, current, request.target, "grant", free, prediction
+            )
+            return request
+        self.trims += 1
+        self._record(query, request, current, target, "trim", free, prediction)
+        return TuningRequest(request.stage, request.kind, target)
+
+    def _usage_at_or_above(self, query_id: int) -> int:
+        """Cores held by queries with strictly higher priority than
+        ``query_id`` (anonymous queries have priority 0)."""
+        mine = self.entries[query_id].priority if query_id in self.entries else 0.0
+        coordinator = self.engine.coordinator
+        total = 0
+        for qid, q in sorted(coordinator.queries.items()):
+            if q.finished or qid == query_id:
+                continue
+            theirs = self.entries[qid].priority if qid in self.entries else 0.0
+            if theirs > mine:
+                total += self.query_cores(q)
+        return total
+
+    def _record(
+        self, query, request, current, granted, decision, free, prediction=None
+    ) -> None:
+        bid = Bid(
+            time=self.kernel.now,
+            query_id=query.id,
+            tenant=self.tenant_of(query.id),
+            stage=request.stage,
+            kind=request.kind.name.lower(),
+            current=current,
+            requested=request.target,
+            granted=granted,
+            decision=decision,
+            free_cores=max(0, free),
+            predicted_seconds=(
+                prediction.t_predicted if prediction is not None else None
+            ),
+        )
+        self.log.append(bid)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "workload", f"bid:{decision}",
+                parent=tracer.root_for_query(query.id), node="coordinator",
+                query_id=query.id, stage=request.stage, tenant=bid.tenant,
+                requested=request.target, granted=granted,
+            )
+
+    # -- deadline-aware rebalancing -----------------------------------------
+    def _ensure_tick(self) -> None:
+        if not self._tick_running:
+            self._tick_running = True
+            self.kernel.schedule(self.config.arbiter_period, self._tick)
+
+    def _tick(self) -> None:
+        live = [e for e in self._sorted_entries() if not e.execution.finished]
+        if not live:
+            # Self-terminate so drained workloads do not keep the event
+            # loop alive; registration restarts the tick.
+            self._tick_running = False
+            return
+        self._rebalance(live)
+        self.kernel.schedule(self.config.arbiter_period, self._tick)
+
+    def _sorted_entries(self) -> list[ArbiterEntry]:
+        return [self.entries[qid] for qid in sorted(self.entries)]
+
+    def _rebalance(self, live: list[ArbiterEntry]) -> None:
+        for entry in live:
+            if entry.deadline_at is None:
+                continue
+            elastic = self._elastic.get(entry.execution.id)
+            if elastic is None:
+                continue
+            plan = self._endangered_plan(entry, elastic)
+            if plan is None:
+                continue
+            stage_id, current, target = plan
+            per_unit = max(1, entry.execution.stage(stage_id).task_dop)
+            need = (target - current) * per_unit
+            free = self.capacity - self.cluster_usage()
+            if free < need and self.config.revocation_enabled:
+                self._revoke(need - free, exempt=entry.execution.id)
+                free = self.capacity - self.cluster_usage()
+            granted_units = grantable_units(target - current, per_unit, free, None)
+            if granted_units <= 0:
+                continue
+            self._apply_grant(entry, elastic, stage_id, current + granted_units)
+
+    def _endangered_plan(self, entry, elastic):
+        """Returns (stage, current_dop, desired_dop) when the query's
+        predicted remaining time exceeds its remaining slack."""
+        query = entry.execution
+        slack = entry.deadline_at - self.kernel.now
+        for unit in elastic.units():
+            stage = query.stages.get(unit.knob_stage)
+            if stage is None or stage.finished:
+                continue
+            t_remain = elastic.whatif.remaining_time(unit.knob_stage)
+            if t_remain is None:
+                continue
+            if slack <= 0:
+                # Deadline already blown: push as hard as the tuner allows.
+                ratio = 2.0
+            else:
+                ratio = t_remain / slack
+                if ratio <= 1.05:  # on track (5% guard band)
+                    continue
+            current = max(1, stage.stage_dop)
+            desired = min(
+                elastic.tuner.max_stage_dop, math.ceil(current * ratio)
+            )
+            if desired > current:
+                return (unit.knob_stage, current, desired)
+        return None
+
+    def _revoke(self, cores_needed: int, exempt: int) -> None:
+        """Claw back up to ``cores_needed`` cores from over-baseline
+        queries (lowest priority first, most-inflated first), via
+        Section 4.4 end-signal task removal."""
+        victims = []
+        for qid in sorted(self.entries):
+            entry = self.entries[qid]
+            if qid == exempt or entry.execution.finished:
+                continue
+            if entry.deadline_at is not None and qid != exempt:
+                endangered = False
+                elastic = self._elastic.get(qid)
+                if elastic is not None:
+                    endangered = self._endangered_plan(entry, elastic) is not None
+                if endangered:
+                    continue
+            for sid in sorted(entry.execution.stages):
+                stage = entry.execution.stages[sid]
+                base = entry.baseline.get(sid, 1)
+                if not stage.finished and stage.stage_dop > base:
+                    extra = (stage.stage_dop - base) * max(1, stage.task_dop)
+                    victims.append((entry.priority, -extra, qid, sid, base))
+        victims.sort()
+        reclaimed = 0
+        for _prio, _neg_extra, qid, sid, base in victims:
+            if reclaimed >= cores_needed:
+                break
+            entry = self.entries[qid]
+            elastic = self._elastic.get(qid)
+            if elastic is None:
+                continue
+            if elastic.filter.pins.get(sid, 0.0) > self.kernel.now:
+                # Already revoked within the pin window; the end-signal
+                # removal is still draining, so the stage DOP has not
+                # caught up yet — do not double-revoke.
+                continue
+            stage = entry.execution.stages[sid]
+            take_units = min(
+                stage.stage_dop - base,
+                max(1, math.ceil((cores_needed - reclaimed)
+                                 / max(1, stage.task_dop))),
+            )
+            target = stage.stage_dop - take_units
+            self._bypass = True
+            try:
+                elastic.rp(sid, target)
+            except TuningRejected:
+                continue
+            finally:
+                self._bypass = False
+            self.revocations += 1
+            reclaimed += take_units * max(1, stage.task_dop)
+            entry.revoked += take_units
+            elastic.filter.pin(
+                sid, self.kernel.now + self.config.revocation_pin_seconds
+            )
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "workload", f"revoke S{sid} -{take_units}",
+                    parent=tracer.root_for_query(qid), node="coordinator",
+                    query_id=qid, stage=sid, tenant=entry.tenant,
+                    cores=take_units * max(1, stage.task_dop),
+                )
+
+    def _apply_grant(self, entry, elastic, stage_id: int, target: int) -> None:
+        self._bypass = True
+        try:
+            elastic.ap(stage_id, target)
+        except TuningRejected:
+            return
+        finally:
+            self._bypass = False
+        self.grants += 1
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "workload", f"deadline-grant S{stage_id} ->{target}",
+                parent=tracer.root_for_query(entry.execution.id),
+                node="coordinator", query_id=entry.execution.id,
+                stage=stage_id, tenant=entry.tenant, target=target,
+            )
+
+    # -- observability ------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "capacity_cores": self.capacity,
+            "usage_cores": self.cluster_usage(),
+            "grants": self.grants,
+            "trims": self.trims,
+            "deferrals": self.deferrals,
+            "revocations": self.revocations,
+        }

@@ -1,0 +1,341 @@
+"""Workload drivers: arrival processes, the multi-tenant runner, and the
+per-tenant report.
+
+A :class:`Workload` binds tenants (each with a query mix, an arrival
+process, a priority, and optionally a deadline) to one engine and runs
+them genuinely interleaved in virtual time.  Arrivals are deterministic
+given (seed, trace): the Poisson process draws every inter-arrival gap
+up front from a per-tenant ``random.Random`` stream, so two runs with
+the same seed produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .policies import jain_fairness
+from .session import QueryRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryOptions
+    from ..engine import AccordionEngine
+    from ..handle import QueryHandle
+
+
+# -- arrival processes ------------------------------------------------------
+@dataclass(frozen=True)
+class ClosedLoop:
+    """Closed loop: each completion triggers the next submission after
+    ``think_time`` virtual seconds; ``count`` queries total."""
+
+    count: int
+    think_time: float = 0.0
+    start: float = 0.0
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Open arrivals: ``count`` submissions with Exp(rate) gaps."""
+
+    rate: float  # arrivals per virtual second
+    count: int
+    start: float = 0.0
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Scripted arrivals at explicit virtual times."""
+
+    times: tuple[float, ...]
+
+
+@dataclass
+class TenantSpec:
+    name: str
+    queries: list
+    arrival: object
+    priority: float = 0.0
+    deadline: float | None = None
+    options: "QueryOptions | None" = None
+
+
+# -- report -----------------------------------------------------------------
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile on pre-sorted data (deterministic)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+@dataclass
+class TenantStats:
+    tenant: str
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    failed: int = 0
+    deadline_total: int = 0
+    deadline_met: int = 0
+    latencies: list[float] = field(default_factory=list)
+    queue_waits: list[float] = field(default_factory=list)
+    service_seconds: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def p50_latency(self) -> float:
+        return _percentile(sorted(self.latencies), 0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        return _percentile(sorted(self.latencies), 0.95)
+
+    @property
+    def mean_queue_wait(self) -> float:
+        if not self.queue_waits:
+            return 0.0
+        return sum(self.queue_waits) / len(self.queue_waits)
+
+
+@dataclass
+class WorkloadReport:
+    """Per-tenant latency/throughput/queue/fairness summary of one run."""
+
+    horizon: float
+    tenants: dict[str, TenantStats]
+    fairness: float
+    admission: dict
+    arbiter: dict
+    violations: list[str]
+
+    def throughput(self, tenant: str) -> float:
+        if self.horizon <= 0:
+            return 0.0
+        return self.tenants[tenant].completed / self.horizon
+
+    def to_dict(self) -> dict:
+        return {
+            "horizon": self.horizon,
+            "fairness": self.fairness,
+            "admission": dict(self.admission),
+            "arbiter": dict(self.arbiter),
+            "violations": list(self.violations),
+            "tenants": {
+                name: {
+                    "submitted": s.submitted,
+                    "completed": s.completed,
+                    "rejected": s.rejected,
+                    "cancelled": s.cancelled,
+                    "failed": s.failed,
+                    "mean_latency": s.mean_latency,
+                    "p50_latency": s.p50_latency,
+                    "p95_latency": s.p95_latency,
+                    "mean_queue_wait": s.mean_queue_wait,
+                    "throughput": self.throughput(name),
+                    "deadline_met": s.deadline_met,
+                    "deadline_total": s.deadline_total,
+                    "service_seconds": s.service_seconds,
+                }
+                for name, s in sorted(self.tenants.items())
+            },
+        }
+
+    def render(self) -> str:
+        from ..metrics.report import render_table
+
+        rows = []
+        for name in sorted(self.tenants):
+            s = self.tenants[name]
+            deadline = (
+                f"{s.deadline_met}/{s.deadline_total}"
+                if s.deadline_total else "-"
+            )
+            rows.append((
+                name, s.submitted, s.completed, s.rejected + s.cancelled,
+                f"{s.mean_queue_wait:.3f}", f"{s.mean_latency:.3f}",
+                f"{s.p95_latency:.3f}", f"{self.throughput(name):.4f}",
+                deadline,
+            ))
+        table = render_table(
+            ["tenant", "sub", "done", "rej", "queue_s", "lat_s",
+             "p95_s", "qps", "deadline"],
+            rows,
+        )
+        lines = [
+            table,
+            f"horizon: {self.horizon:.3f} virtual seconds",
+            f"fairness (Jain, service time): {self.fairness:.4f}",
+            f"admission: admitted={self.admission.get('admitted', 0)} "
+            f"rejected={self.admission.get('rejected', 0)} "
+            f"max_queue_depth={self.admission.get('max_queue_depth', 0)} "
+            f"violations={len(self.violations)}",
+            f"arbiter: grants={self.arbiter.get('grants', 0)} "
+            f"trims={self.arbiter.get('trims', 0)} "
+            f"deferrals={self.arbiter.get('deferrals', 0)} "
+            f"revocations={self.arbiter.get('revocations', 0)}",
+        ]
+        return "\n".join(lines)
+
+
+# -- the runner -------------------------------------------------------------
+class Workload:
+    """Drive a multi-tenant query mix against one engine.
+
+    >>> workload = Workload(engine, seed=7)
+    >>> workload.add_tenant("etl", [q1], PoissonArrivals(rate=0.5, count=10))
+    >>> workload.add_tenant("bi", [q3, q5], ClosedLoop(count=5), priority=1)
+    >>> report = workload.run()
+    """
+
+    def __init__(self, engine: "AccordionEngine", seed: int = 0):
+        self.engine = engine
+        self.kernel = engine.kernel
+        self.seed = seed
+        self.specs: list[TenantSpec] = []
+        self.handles: list["QueryHandle"] = []
+        self._expected = 0
+        self._submitted = 0
+        self._done = 0
+
+    def add_tenant(
+        self,
+        name: str,
+        queries: list,
+        arrival,
+        priority: float = 0.0,
+        deadline: float | None = None,
+        options: "QueryOptions | None" = None,
+    ) -> None:
+        """Register a tenant: a query mix (cycled round-robin), an arrival
+        process, and admission/arbitration attributes."""
+        self.specs.append(
+            TenantSpec(name, list(queries), arrival, priority, deadline, options)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, max_virtual_seconds: float = 1e6) -> WorkloadReport:
+        """Run every tenant to completion (or the horizon) and report.
+
+        Deterministic: with the same engine config, seed, and tenant
+        specs, two runs produce byte-identical ``render()`` output."""
+        start = self.kernel.now
+        manager = self.engine.workload
+        baseline_records = len(manager.records)
+        for index, spec in enumerate(self.specs):
+            session = manager.session(
+                spec.name, priority=spec.priority, deadline=spec.deadline
+            )
+            self._launch(spec, session, index)
+        deadline = start + max_virtual_seconds
+        self.kernel.run(
+            until=deadline,
+            stop_when=lambda: (
+                self._submitted >= self._expected and self._done >= self._expected
+            ),
+        )
+        horizon = self.kernel.now - start
+        return self._report(manager.records[baseline_records:], horizon, manager)
+
+    # ------------------------------------------------------------------
+    def _launch(self, spec: TenantSpec, session, index: int) -> None:
+        arrival = spec.arrival
+        if isinstance(arrival, ClosedLoop):
+            self._expected += arrival.count
+            if arrival.count > 0:
+                self.kernel.schedule_at(
+                    self.kernel.now + max(0.0, arrival.start),
+                    lambda: self._closed_loop_next(spec, session, 0),
+                )
+        elif isinstance(arrival, PoissonArrivals):
+            self._expected += arrival.count
+            rng = random.Random(self.seed * 1_000_003 + index)
+            t = self.kernel.now + arrival.start
+            for i in range(arrival.count):
+                t += rng.expovariate(arrival.rate)
+                self.kernel.schedule_at(
+                    t, lambda s=spec, sess=session, i=i: self._submit(s, sess, i)
+                )
+        elif isinstance(arrival, TraceArrivals):
+            self._expected += len(arrival.times)
+            for i, t in enumerate(arrival.times):
+                self.kernel.schedule_at(
+                    self.kernel.now + t,
+                    lambda s=spec, sess=session, i=i: self._submit(s, sess, i),
+                )
+        else:
+            raise TypeError(f"unknown arrival process: {arrival!r}")
+
+    def _closed_loop_next(self, spec: TenantSpec, session, issued: int) -> None:
+        arrival: ClosedLoop = spec.arrival
+        if issued >= arrival.count:
+            return
+        handle = self._submit(spec, session, issued)
+        if issued + 1 < arrival.count:
+            handle.on_done(
+                lambda _h: self.kernel.schedule(
+                    arrival.think_time,
+                    lambda: self._closed_loop_next(spec, session, issued + 1),
+                )
+            )
+
+    def _submit(self, spec: TenantSpec, session, index: int) -> "QueryHandle":
+        item = spec.queries[index % len(spec.queries)]
+        if isinstance(item, tuple):
+            sql, options = item
+        else:
+            sql, options = item, spec.options
+        handle = session.submit(sql, options=options)
+        self._submitted += 1
+        self.handles.append(handle)
+        handle.on_done(self._one_done)
+        return handle
+
+    def _one_done(self, _handle) -> None:
+        self._done += 1
+
+    # ------------------------------------------------------------------
+    def _report(
+        self, records: list[QueryRecord], horizon: float, manager
+    ) -> WorkloadReport:
+        tenants: dict[str, TenantStats] = {}
+        for spec in self.specs:
+            tenants.setdefault(spec.name, TenantStats(tenant=spec.name))
+        for record in records:
+            stats = tenants.setdefault(
+                record.tenant, TenantStats(tenant=record.tenant)
+            )
+            stats.submitted += 1
+            if record.state == "finished":
+                stats.completed += 1
+                stats.latencies.append(record.latency)
+                if record.queue_seconds is not None:
+                    stats.queue_waits.append(record.queue_seconds)
+                if record.admitted_at is not None:
+                    stats.service_seconds += record.finished_at - record.admitted_at
+            elif record.state == "rejected":
+                stats.rejected += 1
+            elif record.state == "cancelled":
+                stats.cancelled += 1
+            elif record.state == "failed":
+                stats.failed += 1
+            if record.deadline_at is not None:
+                stats.deadline_total += 1
+                if record.deadline_met:
+                    stats.deadline_met += 1
+        fairness = jain_fairness(
+            [tenants[name].service_seconds for name in sorted(tenants)]
+        )
+        return WorkloadReport(
+            horizon=horizon,
+            tenants=tenants,
+            fairness=fairness,
+            admission=manager.admission.stats(),
+            arbiter=manager.arbiter.stats(),
+            violations=list(manager.admission.violations),
+        )

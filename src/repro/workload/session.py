@@ -1,0 +1,179 @@
+"""Sessions and the per-engine WorkloadManager.
+
+``engine.session(tenant, priority, deadline)`` opens a :class:`Session`;
+its ``submit()`` goes through the admission controller instead of
+straight to the coordinator, and the queries it admits are registered
+with the cluster-wide resource arbiter.  The manager also keeps one
+:class:`QueryRecord` per submission — the raw material for the workload
+report and the per-tenant metrics gauges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .admission import AdmissionController
+from .arbiter import ResourceArbiter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution, QueryOptions
+    from ..engine import AccordionEngine
+    from ..handle import QueryHandle, QueryResult
+
+
+@dataclass
+class QueryRecord:
+    """Lifecycle of one session submission, in virtual time."""
+
+    tenant: str
+    sql: str
+    submitted_at: float
+    deadline_at: float | None = None
+    admitted_at: float | None = None
+    finished_at: float | None = None
+    #: queued | rejected | cancelled | running | finished | failed
+    state: str = "queued"
+    query_id: int | None = None
+    rows: int | None = None
+
+    @property
+    def queue_seconds(self) -> float | None:
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.submitted_at
+
+    @property
+    def latency(self) -> float | None:
+        """Submission-to-completion, including queueing (None until done)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def deadline_met(self) -> bool | None:
+        if self.deadline_at is None:
+            return None
+        if self.finished_at is None or self.state != "finished":
+            return False
+        return self.finished_at <= self.deadline_at
+
+
+class Session:
+    """One tenant's submission channel (cheap; open as many as needed)."""
+
+    def __init__(
+        self,
+        manager: "WorkloadManager",
+        tenant: str,
+        priority: float = 0.0,
+        deadline: float | None = None,
+    ):
+        self.manager = manager
+        self.tenant = tenant
+        self.priority = priority
+        #: Default per-query deadline, virtual seconds from submission.
+        self.deadline = deadline
+
+    def submit(
+        self,
+        sql: str,
+        options: "QueryOptions | None" = None,
+        deadline: float | None = None,
+        memory_bytes: int | None = None,
+    ) -> "QueryHandle":
+        """Queue a query for admission; returns immediately.
+
+        The handle starts in the ``"queued"`` state (possibly admitted
+        synchronously if capacity allows); ``deadline`` overrides the
+        session default for this query."""
+        effective_deadline = deadline if deadline is not None else self.deadline
+        return self.manager.admission.submit(
+            self, sql, options=options, deadline=effective_deadline,
+            memory_bytes=memory_bytes,
+        )
+
+    def execute(
+        self,
+        sql: str,
+        options: "QueryOptions | None" = None,
+        max_virtual_seconds: float = 1e7,
+    ) -> "QueryResult":
+        """Submit through admission and run to completion."""
+        return self.submit(sql, options).result(max_virtual_seconds)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.manager.admission.queue)
+
+    def __repr__(self) -> str:
+        return f"Session(tenant={self.tenant!r}, priority={self.priority})"
+
+
+class WorkloadManager:
+    """Per-engine workload layer: admission + arbitration + records."""
+
+    def __init__(self, engine: "AccordionEngine"):
+        self.engine = engine
+        self.kernel = engine.kernel
+        self.config = engine.config.workload
+        self.arbiter = ResourceArbiter(self)
+        self.admission = AdmissionController(self)
+        self.records: list[QueryRecord] = []
+        engine.metrics.gauge("workload", self.admission.stats)
+        engine.metrics.gauge("arbiter", self.arbiter.stats)
+
+    def session(
+        self, tenant: str, priority: float = 0.0, deadline: float | None = None
+    ) -> Session:
+        return Session(self, tenant, priority=priority, deadline=deadline)
+
+    # -- admission callbacks ------------------------------------------------
+    def new_record(
+        self, tenant: str, sql: str, deadline: float | None
+    ) -> QueryRecord:
+        record = QueryRecord(
+            tenant=tenant,
+            sql=sql,
+            submitted_at=self.kernel.now,
+            deadline_at=(
+                self.kernel.now + deadline if deadline is not None else None
+            ),
+        )
+        self.records.append(record)
+        return record
+
+    def on_admitted(self, pending, execution: "QueryExecution") -> None:
+        record = pending.record
+        record.admitted_at = self.kernel.now
+        record.state = "running"
+        record.query_id = execution.id
+        self.arbiter.register(
+            execution,
+            tenant=pending.session.tenant,
+            priority=pending.priority,
+            deadline_at=record.deadline_at,
+        )
+        # Deadline-constrained queries need a collector/what-if service
+        # from the start so the arbiter's rebalance pass can estimate
+        # T_remain; create the elastic handle eagerly.
+        if (
+            record.deadline_at is not None
+            and self.engine.config.elasticity_enabled
+            and self.config.arbitration == "deadline"
+        ):
+            self.engine._elastic_for(execution)
+
+    def on_finished(self, pending, execution: "QueryExecution") -> None:
+        record = pending.record
+        record.finished_at = self.kernel.now
+        record.state = execution.state.value
+        if execution.succeeded:
+            record.rows = execution.result_rows
+
+    # -- aggregation --------------------------------------------------------
+    def tenant_records(self) -> dict[str, list[QueryRecord]]:
+        out: dict[str, list[QueryRecord]] = {}
+        for record in self.records:
+            out.setdefault(record.tenant, []).append(record)
+        return out

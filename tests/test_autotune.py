@@ -18,7 +18,7 @@ from conftest import builds_ready, norm_rows, run_until_cond, slow_engine
 def start_q3(catalog, **opts):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"], QueryOptions(**opts) if opts else None)
-    return engine, query, engine.elastic(query)
+    return engine, query, query.tuning
 
 
 # -- collector -----------------------------------------------------------------

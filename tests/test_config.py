@@ -73,3 +73,64 @@ def test_cluster_config_defaults_match_paper():
     assert cluster.storage_nodes == 10
     assert cluster.node.cores == 8  # c5.2xlarge vCPUs
     assert cluster.node.nic_gbps == 10.0
+
+
+# -- config hierarchy: builders + fingerprints --------------------------------
+def test_uniform_section_builders():
+    config = (
+        EngineConfig()
+        .with_cost(cpu_multiplier=3.0)
+        .with_buffers(elastic=False)
+        .with_faults(task_retry_budget=7)
+        .with_workload(max_concurrent_queries=2, queue_policy="priority")
+        .with_cluster(compute_nodes=4)
+        .with_tracing()
+    )
+    assert config.cost.cpu_multiplier == 3.0
+    assert not config.buffers.elastic
+    assert config.faults.task_retry_budget == 7
+    assert config.workload.max_concurrent_queries == 2
+    assert config.workload.queue_policy == "priority"
+    assert config.cluster.compute_nodes == 4
+    assert config.tracing.enabled
+    # Builders never mutate their receiver.
+    assert EngineConfig().workload.max_concurrent_queries is None
+
+
+def test_every_section_has_a_fingerprint():
+    from repro import WorkloadConfig
+    from repro.config import FaultConfig, TraceConfig
+
+    sections = [
+        EngineConfig(),
+        ClusterConfig(),
+        CostModel(),
+        BufferConfig(),
+        FaultConfig(),
+        TraceConfig(),
+        WorkloadConfig(),
+        NodeSpec(),
+    ]
+    for section in sections:
+        fp = section.fingerprint()
+        assert isinstance(fp, tuple) and hash(fp) is not None
+        assert fp == type(section)().fingerprint()  # deterministic
+
+
+def test_fingerprint_changes_with_any_field():
+    base = EngineConfig()
+    assert base.fingerprint() != base.with_cost(cpu_multiplier=2.0).fingerprint()
+    assert base.fingerprint() != base.with_workload(arbiter_period=2.0).fingerprint()
+    assert (
+        base.cluster.fingerprint()
+        != base.with_cluster(compute_nodes=3).cluster.fingerprint()
+    )
+
+
+def test_query_options_fingerprint_uses_config_fingerprint():
+    from repro import QueryOptions, config_fingerprint
+
+    a = QueryOptions(initial_stage_dop=2)
+    assert a.fingerprint() == config_fingerprint(a)
+    assert a.fingerprint() == QueryOptions(initial_stage_dop=2).fingerprint()
+    assert a.fingerprint() != QueryOptions(partial_pushdown=False).fingerprint()

@@ -28,7 +28,7 @@ def test_intra_task_increase_preserves_results_and_speeds_up(catalog):
 
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(2.0)
     elastic.ac(3, 3)
     elastic.ac(1, 4)
@@ -40,7 +40,7 @@ def test_intra_task_increase_preserves_results_and_speeds_up(catalog):
 def test_intra_task_increase_spawns_drivers(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(2.0)
     before = query.stages[1].task_dop
     result = elastic.ac(1, before + 3)
@@ -52,7 +52,7 @@ def test_intra_task_increase_spawns_drivers(catalog):
 def test_intra_task_decrease_keeps_at_least_one_driver(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"], QueryOptions(initial_task_dop=4))
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(2.0)
     elastic.ac(1, 1)
     engine.run_for(2.0)
@@ -64,7 +64,7 @@ def test_intra_task_decrease_keeps_at_least_one_driver(catalog):
 def test_task_dop_noop_rejected(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"], QueryOptions(initial_task_dop=2))
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(1.0)
     with pytest.raises(TuningRejected):
         elastic.ac(1, 2)
@@ -76,7 +76,7 @@ def test_stage_dop_increase_broadcast_join(catalog):
     base = baseline_rows(catalog, QUERIES["Q3"])
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(1.5)
     result = elastic.ap(1, 3)
     assert result.accepted
@@ -88,7 +88,7 @@ def test_stage_dop_increase_broadcast_join(catalog):
 def test_stage_dop_increase_rebuilds_hash_tables(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(1.5)
     elastic.ap(1, 3)
     run_until_cond(engine, builds_ready(query, 1))
@@ -104,7 +104,7 @@ def test_stage_dop_decrease_scan_stage(catalog):
     base = baseline_rows(catalog, QUERIES["Q1"], QueryOptions(stage_dops={1: 3}))
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q1"], QueryOptions(stage_dops={1: 3}))
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(2.0)
     elastic.rp(1, 1)
     engine.run_for(3.0)
@@ -117,7 +117,7 @@ def test_stage_dop_decrease_join_stage(catalog):
     base = baseline_rows(catalog, QUERIES["Q3"], QueryOptions(initial_stage_dop=3))
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"], QueryOptions(initial_stage_dop=3))
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(2.0)
     elastic.rp(1, 1)
     engine.run_for(3.0)
@@ -130,7 +130,7 @@ def test_new_task_address_propagates_to_parents(catalog):
     """Figure 14 step 2: parent tasks learn the new task's address."""
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(1.5)
     elastic.ap(1, 2)
     engine.run_for(1.0)
@@ -144,7 +144,7 @@ def test_new_task_address_propagates_to_parents(catalog):
 def test_tuning_finished_stage_rejected(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until_done(query, 1e6)
     with pytest.raises(TuningRejected):
         elastic.ap(1, 4)
@@ -154,7 +154,7 @@ def test_tuning_finished_stage_rejected(catalog):
 def test_tuning_fixed_stage_rejected(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(1.0)
     with pytest.raises(TuningRejected):
         elastic.ap(0, 4)  # stage 0 = final aggregation, pinned to 1
@@ -164,7 +164,7 @@ def test_tuning_fixed_stage_rejected(catalog):
 def test_tuning_markers_recorded(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_until(1.5)
     elastic.ap(3, 2)
     tuning_markers = query.tracker.markers_of("tuning")
@@ -182,7 +182,7 @@ def test_dop_switch_preserves_results(catalog):
     base = baseline_rows(catalog, QUERIES["Q2J"], q2j_options())
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q2J"], q2j_options())
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     run_until_cond(engine, builds_ready(query, 1))
     result = elastic.ap(1, 4)
     rows = finish(engine, query)
@@ -195,7 +195,7 @@ def test_dop_switch_preserves_results(catalog):
 def test_dop_switch_creates_new_task_group(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q2J"], q2j_options())
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     run_until_cond(engine, builds_ready(query, 1))
     elastic.ap(1, 4)
     stage = query.stages[1]
@@ -212,7 +212,7 @@ def test_dop_switch_down(catalog):
     base = baseline_rows(catalog, QUERIES["Q2J"], q2j_options(3))
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q2J"], q2j_options(3))
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     run_until_cond(engine, builds_ready(query, 1))
     elastic.rp(1, 1)
     rows = finish(engine, query)
@@ -223,7 +223,7 @@ def test_double_switch(catalog):
     base = baseline_rows(catalog, QUERIES["Q2J"], q2j_options())
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q2J"], q2j_options())
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     run_until_cond(engine, builds_ready(query, 1))
     elastic.ap(1, 4)
     run_until_cond(engine, builds_ready(query, 1))
@@ -254,7 +254,7 @@ def test_probe_not_interrupted_during_switch(catalog):
 
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q2J"], q2j_options())
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     run_until_cond(engine, builds_ready(query, 1))
     old_group = list(query.stages[1].active_group)
     probed_before = rows_probed(old_group)

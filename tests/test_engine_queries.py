@@ -107,7 +107,7 @@ def test_baselines_reject_elastic_tuning(catalog):
     presto = AccordionEngine.presto_baseline(catalog)
     query = presto.submit(QUERIES["Q6"])
     with pytest.raises(ExecutionError):
-        presto.elastic(query)
+        query.tuning
 
 
 def test_query_result_metadata(catalog):
@@ -126,7 +126,7 @@ def test_unfinished_query_result_raises(catalog):
     engine = AccordionEngine(catalog)
     query = engine.submit(QUERIES["Q6"])
     with pytest.raises(ExecutionError):
-        engine.result_of(query)
+        query._materialize()
 
 
 def test_concurrent_queries(catalog):

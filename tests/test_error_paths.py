@@ -62,6 +62,6 @@ def test_unknown_stage_lookup_raises_execution_error(engine):
 def test_unfinished_query_result_raises(engine):
     query = engine.submit(QUERIES["Q1"])
     with pytest.raises(ExecutionError, match="has not finished"):
-        engine.result_of(query)
+        query._materialize()
     engine.run_until_done(query)
-    assert engine.result_of(query).num_rows >= 1
+    assert query.result().num_rows >= 1

@@ -209,8 +209,8 @@ def test_recovery_is_visible_in_metrics_report(tiny_catalog):
     sql = QUERIES["Q3"]
     horizon = clean_runtime(tiny_catalog, sql)
     plan = FaultPlan(events=(NodeCrash(at=horizon * 0.5, node="compute2"),))
-    engine, _, _ = run_with_faults(tiny_catalog, sql, plan)
-    report = render_fault_report(engine)
+    engine, query, _ = run_with_faults(tiny_catalog, sql, plan)
+    report = render_fault_report(query)
     assert "node_failures" in report and "rpc_requests" in report
     assert "node_crash: compute2" in report
 
@@ -260,14 +260,14 @@ def test_retry_budget_exhaustion_fails_query(tiny_catalog):
         assert norm_rows(query.result().rows) == reference_rows(tiny_catalog, sql)
 
 
-def test_failed_query_raises_from_result_of(tiny_catalog):
+def test_failed_query_raises_from_result(tiny_catalog):
     engine = slow_engine(tiny_catalog)
     engine.inject_faults(FaultPlan(events=(NodeCrash(at=0.0, node="coordinator"),)))
     query = engine.submit(QUERIES["Q3"])
     with pytest.raises(QueryFailedError):
         engine.run_until_done(query, max_events=MAX_EVENTS)
     with pytest.raises(QueryFailedError) as info:
-        engine.result_of(query)
+        query.result()
     assert info.value.query_id == query.id
     assert "coordinator" in info.value.describe()
 

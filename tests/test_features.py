@@ -103,7 +103,7 @@ def test_progress_bars_render(catalog):
 def test_panel_lists_tuning_units(catalog):
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     engine.run_for(5.0)
     panel = elastic.panel()
     assert "knob S1" in panel and "scan S2" in panel

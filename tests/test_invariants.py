@@ -41,7 +41,7 @@ def reference_rows(catalog, sql):
 def run_with_schedule(catalog, sql, schedule, options=None):
     engine = slow_engine(catalog)
     query = engine.submit(sql, options)
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     for time, verb, stage, target in sorted(schedule):
         engine.kernel.run(until=time, stop_when=lambda: query.finished)
         if query.finished or stage not in query.stages:
@@ -122,7 +122,7 @@ def test_tuning_during_monitor_q3(catalog):
     """Auto-tuner monitor plus manual actions must still be exact."""
     engine = slow_engine(catalog)
     query = engine.submit(QUERIES["Q3"])
-    elastic = engine.elastic(query)
+    elastic = query.tuning
     elastic.set_constraint(1, 30.0)
     elastic.start_monitor(period=1.5)
     engine.run_until(2.5)

@@ -68,6 +68,11 @@ def test_cross_engine_reuse_over_same_catalog():
     second = make_engine(catalog)
     again = second.execute(QUERIES["Q3"])
     assert counters(second) == (1, 0)
+    # Hit/miss counters are per-engine state: the second engine's hit must
+    # not leak into the first engine's registry.
+    assert counters(first) == (0, 1)
+    assert first.metrics.snapshot()["plan_cache.hits"] == 0
+    assert second.metrics.snapshot()["plan_cache.hits"] == 1
     assert norm_rows(again.rows) == norm_rows(result.rows)
 
 

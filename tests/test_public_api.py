@@ -1,0 +1,60 @@
+"""The public-API import lint (tools/api_lint.py) as a tier-1 test:
+examples/ and benchmarks/ must only import from the top-level ``repro``
+package, and the linter must actually catch violations."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINTER = REPO / "tools" / "api_lint.py"
+
+
+def run_lint(*paths: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINTER), *paths],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_examples_and_benchmarks_use_public_surface():
+    result = run_lint("examples", "benchmarks")
+    assert result.returncode == 0, (
+        "deep repro.* imports found:\n" + result.stdout + result.stderr
+    )
+
+
+def test_linter_flags_deep_imports(tmp_path):
+    bad = tmp_path / "bad_example.py"
+    bad.write_text(
+        "from repro.cluster.coordinator import QueryOptions\n"
+        "import repro.autotune\n"
+        "from repro import AccordionEngine  # fine\n"
+    )
+    result = run_lint(str(tmp_path))
+    assert result.returncode == 1
+    assert "repro.cluster.coordinator" in result.stdout
+    assert "repro.autotune" in result.stdout
+    assert "AccordionEngine" not in result.stdout
+
+
+def test_linter_ignores_relative_and_stdlib_imports(tmp_path):
+    ok = tmp_path / "ok_example.py"
+    ok.write_text(
+        "import math\n"
+        "from pathlib import Path\n"
+        "from repro import AccordionEngine\n"
+    )
+    result = run_lint(str(tmp_path))
+    assert result.returncode == 0
+
+
+def test_public_surface_is_importable():
+    import repro
+
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert missing == []

@@ -1,11 +1,12 @@
-"""Tests for the QueryHandle public API and the deprecation shims that
-cover the pre-handle entry points."""
+"""Tests for the QueryHandle public API: results, state, cancel/wait,
+and the removal of the pre-handle entry points."""
 
 import pytest
 
 from repro import (
     AccordionEngine,
     EngineConfig,
+    QueryCancelledError,
     QueryHandle,
     QueryResult,
     TPCH_QUERIES,
@@ -78,31 +79,70 @@ def test_fault_report_from_handle(engine):
     assert f"rpc_requests_q{handle.id}" in report
 
 
-# -- deprecation shims -------------------------------------------------------
-def test_engine_elastic_is_deprecated(catalog):
+# -- state / wait / cancel ---------------------------------------------------
+def test_handle_state_transitions(engine):
+    handle = engine.submit(COUNT_SQL)
+    assert handle.state == "running"
+    handle.result()
+    assert handle.state == "finished"
+    assert not handle.cancelled
+
+
+def test_wait_with_timeout_returns_progress(catalog):
     engine = slow_engine(catalog)
     handle = engine.submit(TPCH_QUERIES["Q3"])
-    with pytest.warns(DeprecationWarning, match="handle.tuning"):
-        elastic = engine.elastic(handle)
-    assert elastic is handle.tuning
+    assert handle.wait(timeout=0.5) is False
+    assert handle.state == "running"
+    assert handle.wait() is True
+    assert handle.succeeded
+    assert handle.result().num_rows > 0
+
+
+def test_cancel_running_query(catalog):
+    engine = slow_engine(catalog)
+    handle = engine.submit(TPCH_QUERIES["Q3"])
+    engine.run_until(2.0)
+    handle.cancel("changed my mind")
+    assert handle.state == "cancelled"
+    assert handle.cancelled and handle.finished and not handle.succeeded
+    with pytest.raises(QueryCancelledError, match="changed my mind"):
+        handle.result()
+    # Cancelling again is a no-op; the sim keeps running cleanly.
+    handle.cancel()
+    engine.run_for(5.0)
+    assert handle.wait(timeout=1.0) is True
+
+
+def test_cancel_is_clean_teardown(catalog):
+    """After a cancel, other queries on the same engine still work."""
+    engine = slow_engine(catalog)
+    victim = engine.submit(TPCH_QUERIES["Q3"])
+    engine.run_until(1.0)
+    victim.cancel()
+    survivor = engine.submit(COUNT_SQL)
+    assert survivor.result().num_rows == 1
+
+
+# -- removed pre-handle entry points -----------------------------------------
+def test_engine_elastic_is_removed(catalog):
+    engine = slow_engine(catalog)
+    handle = engine.submit(TPCH_QUERIES["Q3"])
+    with pytest.raises(AttributeError):
+        engine.elastic(handle)
+    assert handle.tuning is handle.tuning  # the replacement
     handle.result()
 
 
-def test_engine_result_of_is_deprecated(engine):
+def test_engine_result_of_is_removed(engine):
     handle = engine.submit(COUNT_SQL)
-    handle.result()
-    with pytest.warns(DeprecationWarning, match="handle.result"):
-        result = engine.result_of(handle)
-    assert result.rows == handle.result().rows
+    with pytest.raises(AttributeError):
+        engine.result_of(handle)
+    assert handle.result().num_rows == 1
 
 
-def test_engine_ctor_placement_kwargs_are_deprecated(catalog):
-    with pytest.warns(DeprecationWarning, match="with_placement"):
-        engine = AccordionEngine(catalog, node_overrides={"orders": [0, 1]})
-    # The deprecated kwarg still takes effect (folded into the config).
-    assert engine.config.cluster.node_overrides_dict == {"orders": [0, 1]}
-    splits = engine.split_layout.splits("orders")
-    assert {split.storage_node for split in splits} <= {0, 1}
+def test_engine_ctor_placement_kwargs_are_removed(catalog):
+    with pytest.raises(TypeError):
+        AccordionEngine(catalog, node_overrides={"orders": [0, 1]})
 
 
 def test_placement_lives_in_config(catalog):
@@ -116,11 +156,11 @@ def test_placement_lives_in_config(catalog):
     assert engine.execute(COUNT_SQL).num_rows == 1
 
 
-def test_render_fault_report_engine_is_deprecated(engine):
+def test_render_fault_report_rejects_non_handle(engine):
     handle = engine.submit(COUNT_SQL)
     handle.result()
-    with pytest.warns(DeprecationWarning, match="QueryHandle"):
-        report = render_fault_report(engine)
-    assert "rpc_requests" in report
+    assert "rpc_requests" in render_fault_report(handle)
+    with pytest.raises(TypeError):
+        render_fault_report(engine)
     with pytest.raises(TypeError):
         render_fault_report(object())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Public-API import lint for examples/ and benchmarks/.
+
+``repro``'s top-level module is the stable import surface; examples and
+benchmarks are the user-facing showcase, so they must not reach into
+submodules (``from repro.cluster.coordinator import ...``).  Anything
+they legitimately need belongs in ``repro/__init__.py`` — if this lint
+fails, widen the public surface instead of whitelisting the import.
+
+Usage::
+
+    python tools/api_lint.py [paths...]     # default: examples benchmarks
+
+Exit status 1 if any deep ``repro.*`` import is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ("examples", "benchmarks")
+
+
+def deep_imports(path: Path) -> list[tuple[int, str]]:
+    """(line, statement) for every ``repro.*`` submodule import in a file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro."):
+                    hits.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            # Relative imports (level > 0) cannot name repro submodules here.
+            if node.level == 0 and node.module and node.module.startswith("repro."):
+                names = ", ".join(alias.name for alias in node.names)
+                hits.append((node.lineno, f"from {node.module} import {names}"))
+    return hits
+
+
+def lint(paths: list[str]) -> int:
+    failures = 0
+    for root in paths:
+        for path in sorted(Path(root).rglob("*.py")):
+            for lineno, stmt in deep_imports(path):
+                print(f"{path}:{lineno}: deep import of a repro submodule: {stmt}")
+                failures += 1
+    if failures:
+        print(
+            f"\napi-lint: {failures} deep import(s); import from the top-level "
+            "'repro' package instead (extend repro/__init__.py if needed)."
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(lint(sys.argv[1:] or list(DEFAULT_PATHS)))
