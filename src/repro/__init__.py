@@ -26,7 +26,14 @@ from .config import (
 )
 from .autotune import DopPlanner
 from .buffers import OutputMode
-from .cluster import QueryOptions
+from .cluster import (
+    ClusterMembership,
+    MembershipPlan,
+    NodeDrain,
+    NodeJoin,
+    QueryOptions,
+    SpotPreemption,
+)
 from .data import Catalog, SplitLayout, read_csv, write_csv
 from .data.tpch import TPCH_SCHEMAS, TpchGenerator
 from .data.tpch.queries import QUERIES as TPCH_QUERIES, STANDALONE_BENCHMARK
@@ -54,6 +61,7 @@ from .metrics import render_curve_points, render_series, render_table
 from .obs import MetricsRegistry, ProfileReport, QueryTrace, Tracer
 from .script import ScriptResult, run_script
 from .workload import (
+    Autoscaler,
     ClosedLoop,
     PoissonArrivals,
     Session,
@@ -62,15 +70,17 @@ from .workload import (
     WorkloadReport,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AccordionEngine",
     "AccordionError",
+    "Autoscaler",
     "BufferConfig",
     "Catalog",
     "ClosedLoop",
     "ClusterConfig",
+    "ClusterMembership",
     "CostModel",
     "DopPlanner",
     "EVAL_SCALE",
@@ -80,8 +90,11 @@ __all__ = [
     "FaultConfig",
     "FaultInjector",
     "FaultPlan",
+    "MembershipPlan",
     "MetricsRegistry",
     "NodeCrash",
+    "NodeDrain",
+    "NodeJoin",
     "NodeSpec",
     "OutputMode",
     "PoissonArrivals",
@@ -99,6 +112,7 @@ __all__ = [
     "ScriptResult",
     "Session",
     "SplitLayout",
+    "SpotPreemption",
     "SqlError",
     "TPCH_QUERIES",
     "TPCH_SCHEMAS",

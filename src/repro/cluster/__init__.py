@@ -1,7 +1,15 @@
-"""Simulated cluster: nodes, RPC, scheduler, coordinator, stages."""
+"""Simulated cluster: nodes, RPC, scheduler, coordinator, stages,
+and runtime membership (join / drain / spot preemption)."""
 
 from .cluster import Cluster
 from .coordinator import Coordinator, QueryExecution, QueryOptions
+from .membership import (
+    ClusterMembership,
+    MembershipPlan,
+    NodeDrain,
+    NodeJoin,
+    SpotPreemption,
+)
 from .node import Node
 from .rpc import RpcTracker
 from .scheduler import Scheduler
@@ -9,11 +17,16 @@ from .stage import StageExecution
 
 __all__ = [
     "Cluster",
+    "ClusterMembership",
     "Coordinator",
+    "MembershipPlan",
     "Node",
+    "NodeDrain",
+    "NodeJoin",
     "QueryExecution",
     "QueryOptions",
     "RpcTracker",
     "Scheduler",
+    "SpotPreemption",
     "StageExecution",
 ]

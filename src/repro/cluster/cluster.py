@@ -33,16 +33,48 @@ class Cluster:
         self.storage_map: dict[int, Node] = {n.id: n for n in self.storage}
 
     def least_loaded_compute(self) -> Node:
-        alive = self.alive_compute
-        if not alive:
-            raise SchedulingError("no alive compute nodes left in the cluster")
-        return min(alive, key=lambda n: (n.task_count, n.id))
+        """Placement target: least-loaded *schedulable* node.  Draining
+        nodes still run their tasks but receive nothing new."""
+        candidates = self.schedulable_compute
+        if not candidates:
+            raise SchedulingError("no schedulable compute nodes left in the cluster")
+        return min(candidates, key=lambda n: (n.task_count, n.id))
 
     def compute_node(self, index: int) -> Node:
         return self.compute[index % len(self.compute)]
 
     def total_compute_cores(self) -> int:
         return sum(n.spec.cores for n in self.compute)
+
+    # -- membership ----------------------------------------------------------
+    def add_compute(self, spec=None, spot: bool = False) -> Node:
+        """Register a new compute node at runtime (cluster membership).
+
+        Node ids keep growing monotonically — a departed node's id is
+        never reused, so lineage and trace records stay unambiguous.
+        """
+        node_id = max((n.id for n in self.compute), default=-1) + 1
+        node = Node(
+            self.kernel, node_id, spec or self.config.node, "compute", spot=spot
+        )
+        self.compute.append(node)
+        return node
+
+    @property
+    def schedulable_compute(self) -> list[Node]:
+        return [n for n in self.compute if n.schedulable]
+
+    def schedulable_cores(self) -> int:
+        return sum(n.spec.cores for n in self.schedulable_compute)
+
+    def topology_fingerprint(self) -> tuple:
+        """Hashable identity of the *schedulable* topology, used in the
+        plan-cache key: a plan produced against N nodes must not be
+        reused verbatim once the cluster scales to M nodes."""
+        return (
+            tuple(sorted(n.id for n in self.schedulable_compute)),
+            tuple(sorted(n.id for n in self.alive_storage)),
+        )
 
     # -- fault injection -----------------------------------------------------
     @property

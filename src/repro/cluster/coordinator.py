@@ -378,7 +378,15 @@ class Coordinator:
     # ------------------------------------------------------------------
     def plan_sql(self, sql: str, options: QueryOptions) -> PhysicalPlan:
         planner_options = options.planner_options(self.config)
-        key = (sql, options.fingerprint(), planner_options)
+        # The schedulable topology is part of the key: a plan cached at N
+        # nodes is not reused once membership changes the cluster to M
+        # nodes (spurious misses only cost a re-plan, never a wrong plan).
+        key = (
+            sql,
+            options.fingerprint(),
+            planner_options,
+            self.cluster.topology_fingerprint(),
+        )
         if self.config.plan_cache:
             plan = PLAN_CACHE.get(self.catalog, key)
             if plan is not None:

@@ -1,0 +1,481 @@
+"""Cluster membership: node join, graceful leave, and spot preemption.
+
+The paper makes *intra-query* resources elastic over a fixed fleet; this
+module makes the fleet itself elastic while keeping every run seeded and
+reproducible.  Three operations, all in virtual time:
+
+* **Join** — after a provisioning delay and a control-plane registration
+  charged to the RPC tracker, a new compute node (CpuPool + NIC) appears
+  in the cluster.  Placement (`Cluster.least_loaded_compute`) sees it
+  immediately, so in-flight queries can expand onto it via the usual
+  intra-stage task addition (Section 4.4).
+
+* **Graceful drain** — the drain state machine::
+
+      active ──drain()──▶ draining ──(task_count == 0)──▶ left
+                             │
+                 (timeout / preemption notice)
+                             ▼
+                  dead (crash/recovery path)
+
+  A draining node is removed from placement, then its removable tasks
+  are shut down through the Section 4.4 end-signal path: scan drivers
+  get end requests (unread splits return to the feed for survivors —
+  spawned first if the drained node held the only scan tasks), and
+  non-source tasks whose exchanges are not hash-partitioned relay end
+  pages through the child output buffers.  Anything else (root tasks,
+  hash-partitioned consumers) simply runs to completion on the draining
+  node.  If the node is not idle by the deadline the drain *escalates*
+  to :meth:`RecoveryManager.node_down` — exactly a crash, recovered by
+  lineage replay.
+
+* **Spot preemption** — a drain with a short deadline (the provider's
+  preemption notice).  Whatever has not drained when the notice expires
+  is killed via the ``NodeCrash`` path and recovered like any failure.
+
+Determinism: membership actions are scheduled on the virtual clock, the
+only randomness in a :class:`MembershipPlan` comes from its seed, and
+the history (like ``FaultInjector.history``) is bit-identical across
+same-seed runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..buffers import OutputMode
+from ..config import ClusterConfig, NodeSpec
+from ..errors import SchedulingError, TuningRejected
+from ..sim import SimKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coordinator import Coordinator
+    from .node import Node
+
+#: Control-plane requests to register a node (announce + install links).
+RPC_NODE_JOIN = 2
+#: Control-plane request announcing a drain (stop-placement broadcast).
+RPC_NODE_DRAIN = 1
+
+
+# -- membership plans (data, mirroring repro.faults.plan) -------------------
+@dataclass(frozen=True)
+class NodeJoin:
+    """Provision ``count`` compute nodes at virtual time ``at``."""
+
+    at: float
+    count: int = 1
+    spot: bool = False
+    kind: str = field(default="node_join", repr=False)
+
+
+@dataclass(frozen=True)
+class NodeDrain:
+    """Gracefully drain a compute node at ``at``.  ``node`` is a name
+    (``compute3``) or ``"newest"`` (the most recently joined node still
+    active at fire time)."""
+
+    at: float
+    node: str = "newest"
+    timeout: float | None = None
+    kind: str = field(default="node_drain", repr=False)
+
+
+@dataclass(frozen=True)
+class SpotPreemption:
+    """Preempt a (spot) node at ``at`` with ``notice`` virtual seconds of
+    warning; undrained work is killed and recovered via lineage replay."""
+
+    at: float
+    node: str = "newest"
+    notice: float = 0.5
+    kind: str = field(default="spot_preemption", repr=False)
+
+
+@dataclass(frozen=True)
+class MembershipPlan:
+    """An ordered, seeded schedule of membership churn (data, not
+    behaviour — :meth:`ClusterMembership.apply_plan` executes it)."""
+
+    seed: int = 0
+    events: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def joins(self) -> list[NodeJoin]:
+        return [e for e in self.events if isinstance(e, NodeJoin)]
+
+    @property
+    def drains(self) -> list[NodeDrain]:
+        return [e for e in self.events if isinstance(e, NodeDrain)]
+
+    @property
+    def preemptions(self) -> list[SpotPreemption]:
+        return [e for e in self.events if isinstance(e, SpotPreemption)]
+
+    def describe(self) -> str:
+        lines = [f"membership plan (seed={self.seed}):"]
+        for event in self.events:
+            lines.append(f"  {event!r}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def random(
+        seed: int,
+        *,
+        horizon: float,
+        joins: int = 1,
+        drains: int = 0,
+        preemptions: int = 0,
+        spot: bool = True,
+        notice: float = 0.5,
+    ) -> "MembershipPlan":
+        """A seeded random churn plan within ``[0, horizon]``.
+
+        Draws from ``random.Random(seed)`` in a fixed order (joins, then
+        drains, then preemptions), so the same arguments always produce
+        the same plan.  Drains and preemptions target ``"newest"`` —
+        the most recently joined node — so base capacity survives.
+        """
+        rng = random.Random(seed)
+        events: list = []
+        for _ in range(joins):
+            events.append(
+                NodeJoin(at=rng.uniform(0.0, horizon), spot=spot)
+            )
+        for _ in range(drains):
+            events.append(NodeDrain(at=rng.uniform(0.05, horizon)))
+        for _ in range(preemptions):
+            events.append(
+                SpotPreemption(at=rng.uniform(0.05, horizon), notice=notice)
+            )
+        events.sort(key=lambda e: (e.at, e.kind))
+        return MembershipPlan(seed=seed, events=tuple(events))
+
+
+# -- the membership manager -------------------------------------------------
+class ClusterMembership:
+    """Runtime node arrivals and departures for one engine's cluster."""
+
+    def __init__(self, kernel: SimKernel, coordinator: "Coordinator"):
+        self.kernel = kernel
+        self.coordinator = coordinator
+        self.cluster = coordinator.cluster
+        self.config: ClusterConfig = coordinator.config.cluster
+        #: Membership timeline: dicts of ``{"t", "kind", "detail"}`` —
+        #: bit-identical across same-seed runs.
+        self.history: list[dict] = []
+        #: Fired (no args) after every membership change; the workload
+        #: layer subscribes to re-pump admission when capacity grows.
+        self.on_change: list[Callable[[], None]] = []
+        # -- counters surfaced via metrics ------------------------------
+        self.joins = 0
+        self.drains_started = 0
+        self.drains_clean = 0
+        self.drains_escalated = 0
+        self.preemption_notices = 0
+        self.preemptions = 0
+        #: Nodes with a join scheduled but not yet active (so autoscaler
+        #: policy can count capacity already on the way).
+        self.pending_joins = 0
+        #: Nodes added at runtime, in activation order.  ``"newest"`` in a
+        #: churn plan resolves against this list, so the base fleet the
+        #: engine started with is never a drain/preemption target.
+        self.joined_nodes: list["Node"] = []
+        #: Highest concurrent alive-compute count ever observed.
+        self.nodes_peak = len(self.cluster.compute)
+        #: seqs already end-signalled per (query, stage), so repeated
+        #: drain passes stay idempotent.
+        self._signalled: dict[tuple[int, int], set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # join
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        count: int = 1,
+        spec: NodeSpec | None = None,
+        spot: bool = False,
+        on_active: "Callable[[Node], None] | None" = None,
+    ) -> None:
+        """Provision ``count`` compute nodes: after the provisioning delay
+        plus the registration RPCs, each node is live and schedulable.
+        ``on_active`` (if given) receives each node as it activates."""
+        for _ in range(count):
+            self.pending_joins += 1
+            self.kernel.schedule(
+                self.config.node_join_delay,
+                lambda: self.coordinator.rpc.after_requests(
+                    RPC_NODE_JOIN, lambda: self._activate(spec, spot, on_active)
+                ),
+            )
+
+    def _activate(
+        self,
+        spec: NodeSpec | None,
+        spot: bool,
+        on_active: "Callable[[Node], None] | None" = None,
+    ) -> None:
+        node = self.cluster.add_compute(spec=spec, spot=spot)
+        self.pending_joins -= 1
+        self.joins += 1
+        self.joined_nodes.append(node)
+        self.nodes_peak = max(self.nodes_peak, len(self.cluster.alive_compute))
+        self._record(
+            "node_join", f"{node.name}{' (spot)' if spot else ''}"
+        )
+        if on_active is not None:
+            on_active(node)
+        self._changed()
+
+    # ------------------------------------------------------------------
+    # graceful leave
+    # ------------------------------------------------------------------
+    def drain(self, node: "Node", timeout: float | None = None) -> None:
+        """Begin a graceful leave; escalates to the crash path on timeout."""
+        deadline = self.kernel.now + (
+            timeout if timeout is not None else self.config.drain_timeout
+        )
+        self._begin_drain(node, deadline, escalation="drain_escalated")
+
+    def preempt(self, node: "Node", notice: float | None = None) -> None:
+        """Spot preemption: a drain whose deadline is the provider notice;
+        at expiry the node dies and lineage replay recovers its work."""
+        window = notice if notice is not None else 0.5
+        self.preemption_notices += 1
+        self._record("preemption_notice", f"{node.name} ({window:.3f}s)")
+        self._begin_drain(
+            node, self.kernel.now + window, escalation="preempted"
+        )
+
+    def _begin_drain(
+        self, node: "Node", deadline: float, escalation: str
+    ) -> None:
+        if node.role != "compute":
+            raise SchedulingError(f"only compute nodes drain, not {node.name}")
+        if node.state != "active":
+            return  # already draining, dead, or gone — idempotent
+        if len(self.cluster.schedulable_compute) <= 1:
+            raise SchedulingError(
+                f"cannot drain {node.name}: it is the last schedulable node"
+            )
+        node.start_drain()
+        self.drains_started += 1
+        self.coordinator.rpc.charge(RPC_NODE_DRAIN)
+        self._record("drain_start", node.name)
+        tracer = self.kernel.tracer
+        span = tracer.begin(
+            "membership", f"drain {node.name}", node=node.name
+        )
+        self._teardown_pass(node)
+        self._changed()
+        self.kernel.schedule(
+            self.config.drain_poll,
+            lambda: self._poll(node, deadline, escalation, span),
+        )
+
+    def _poll(
+        self, node: "Node", deadline: float, escalation: str, span: int
+    ) -> None:
+        if node.state != "draining":
+            # Crashed (or otherwise terminal) mid-drain; the recovery
+            # manager owns it now.
+            self.kernel.tracer.end(span, outcome=node.state)
+            return
+        if node.task_count == 0:
+            node.leave()
+            self.drains_clean += 1
+            self._record("node_left", node.name)
+            self.kernel.tracer.end(span, outcome="left")
+            self._changed()
+            return
+        if self.kernel.now >= deadline:
+            self.drains_escalated += 1
+            if escalation == "preempted":
+                self.preemptions += 1
+            self._record(
+                escalation, f"{node.name} ({node.task_count} tasks undrained)"
+            )
+            self.kernel.tracer.end(span, outcome=escalation)
+            self.coordinator.recovery.node_down(node)
+            self._changed()
+            return
+        # Tasks may have landed between the drain announcement and the
+        # placement cutoff; re-run the (idempotent) end-signal pass.
+        self._teardown_pass(node)
+        self.kernel.schedule(
+            self.config.drain_poll,
+            lambda: self._poll(node, deadline, escalation, span),
+        )
+
+    # ------------------------------------------------------------------
+    # end-signal teardown (Section 4.4) of a draining node's tasks
+    # ------------------------------------------------------------------
+    def _teardown_pass(self, node: "Node") -> None:
+        for query in list(self.coordinator.queries.values()):
+            if query.finished:
+                continue
+            touched = False
+            for stage in query.stages.values():
+                touched |= self._drain_stage(query, stage, node)
+            if touched:
+                query.record_fault("drain", node.name)
+
+    def _drain_stage(self, query, stage, node: "Node") -> bool:
+        signalled = self._signalled.setdefault((query.id, stage.id), set())
+        active = stage.active_group
+        victims = [
+            t
+            for t in active
+            if t.node is node
+            and not t.finished
+            and t.task_id.seq not in signalled
+            and any(d for p in t.pipelines for d in p.drivers)
+        ]
+        if not victims:
+            return False
+        survivors = [t for t in active if t.node is not node]
+        if stage.fragment.is_source:
+            # End-signal the scan drivers; unread splits return to the
+            # feed.  If the draining node held the whole scan, spawn
+            # replacements on schedulable nodes first so the returned
+            # splits have consumers.
+            if not survivors:
+                try:
+                    self._dynamic().add_stage_tasks(
+                        query, stage, len(victims)
+                    )
+                except (TuningRejected, SchedulingError):
+                    return False  # leave to timeout escalation
+            for task in victims:
+                for runtime in task.pipelines:
+                    for driver in runtime.drivers:
+                        driver.request_end()
+                signalled.add(task.task_id.seq)
+            self.coordinator.rpc.charge(len(victims))
+            return True
+        # Non-source: removal via child end signals is only safe when no
+        # child exchange is hash-partitioned (the partition map would
+        # break) and a survivor remains to absorb the work.
+        if not survivors or stage.id == 0:
+            return False
+        for child_id in stage.fragment.children:
+            child = query.stages[child_id]
+            if (
+                child.fragment.output.mode is OutputMode.HASH
+                and not stage.is_partitioned_join
+            ):
+                return False
+        requests = 0
+        for task in victims:
+            for child_id in stage.fragment.children:
+                child = query.stages[child_id]
+                for upstream in child.tasks:
+                    upstream.output_buffer.end_consumer(task.task_id.seq)
+                    requests += 1
+            signalled.add(task.task_id.seq)
+        self.coordinator.rpc.charge(requests)
+        return True
+
+    def _dynamic(self):
+        from ..elastic.dynamic_scheduler import DynamicScheduler
+
+        return DynamicScheduler(self.kernel, self.coordinator.scheduler)
+
+    # ------------------------------------------------------------------
+    # plans
+    # ------------------------------------------------------------------
+    def apply_plan(self, plan: MembershipPlan) -> None:
+        """Schedule a churn plan on the virtual clock (like FaultInjector)."""
+        for event in plan.events:
+            at = max(self.kernel.now, event.at)
+            if isinstance(event, NodeJoin):
+                self.kernel.schedule_at(
+                    at, lambda e=event: self.join(e.count, spot=e.spot)
+                )
+            elif isinstance(event, NodeDrain):
+                self.kernel.schedule_at(
+                    at, lambda e=event: self._plan_drain(e)
+                )
+            elif isinstance(event, SpotPreemption):
+                self.kernel.schedule_at(
+                    at, lambda e=event: self._plan_preempt(e)
+                )
+
+    def _resolve(self, name: str) -> "Node | None":
+        if name == "newest":
+            # Only runtime-joined nodes qualify: churn plans shed elastic
+            # capacity, they never eat into the base fleet.
+            active = [n for n in self.joined_nodes if n.state == "active"]
+            if not active:
+                return None
+            return max(active, key=lambda n: (n.provisioned_at, n.id))
+        node = self.cluster.node_by_name(name)
+        return node if node.state == "active" else None
+
+    def _plan_drain(self, event: NodeDrain) -> None:
+        node = self._resolve(event.node)
+        if node is not None and len(self.cluster.schedulable_compute) > 1:
+            self.drain(node, timeout=event.timeout)
+
+    def _plan_preempt(self, event: SpotPreemption) -> None:
+        node = self._resolve(event.node)
+        if node is not None and len(self.cluster.schedulable_compute) > 1:
+            self.preempt(node, notice=event.notice)
+
+    # ------------------------------------------------------------------
+    # cost model: node-seconds = dollars
+    # ------------------------------------------------------------------
+    def node_seconds(self, until: float | None = None) -> float:
+        return sum(
+            n.provisioned_seconds(until) for n in self.cluster.compute
+        )
+
+    def cost_between(self, since: float, until: float | None = None) -> float:
+        """Dollars billed for compute in ``[since, until]`` (default: now),
+        at ``cost_per_node_second`` with the spot discount applied."""
+        end_default = self.kernel.now if until is None else until
+        total = 0.0
+        for node in self.cluster.compute:
+            start = max(node.provisioned_at, since)
+            end = node.released_at if node.released_at is not None else end_default
+            end = min(end, end_default)
+            seconds = max(0.0, end - start)
+            rate = self.config.cost_per_node_second
+            if node.spot:
+                rate *= self.config.spot_price_multiplier
+            total += seconds * rate
+        return total
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, detail: str) -> None:
+        self.history.append(
+            {"t": self.kernel.now, "kind": kind, "detail": detail}
+        )
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant("membership", kind, node="coordinator", detail=detail)
+
+    def _changed(self) -> None:
+        for fn in list(self.on_change):
+            fn()
+
+    def stats(self) -> dict:
+        cluster = self.cluster
+        return {
+            "joins": self.joins,
+            "drains_started": self.drains_started,
+            "drains_clean": self.drains_clean,
+            "drains_escalated": self.drains_escalated,
+            "preemption_notices": self.preemption_notices,
+            "preemptions": self.preemptions,
+            "nodes_total": len(cluster.compute),
+            "nodes_schedulable": len(cluster.schedulable_compute),
+            "nodes_peak": self.nodes_peak,
+            "node_seconds": self.node_seconds(),
+        }

@@ -17,6 +17,7 @@ fails the whole control-plane action; the owning query is torn down through
 
 from __future__ import annotations
 
+import random
 from typing import Callable
 
 from ..config import CostModel, FaultConfig
@@ -44,6 +45,10 @@ class RpcTracker:
         #: Requests attributed per query id (65-request Q3 anchor).
         self.query_requests: dict[int, int] = {}
         self._clock = 0.0  # virtual time when the control plane frees up
+        # Seeded backoff jitter (FaultConfig.with_rpc_policy): draws are
+        # made only when jitter > 0 and only in retry order, so the
+        # unjittered timeline consumes no randomness at all.
+        self._jitter_rng = random.Random(self.faults.rpc_jitter_seed)
         self._fault_hook: Callable[[float], object] | None = None
         #: Called as ``on_action_failed(query_id, message)`` when an action
         #: gives up; wired to query teardown by the coordinator.
@@ -159,10 +164,16 @@ class RpcTracker:
                     return t
                 self.retried_requests += 1
                 retried += 1
-                t += min(
+                backoff = min(
                     faults.rpc_backoff_cap,
-                    faults.rpc_backoff_base * (2.0 ** attempt),
+                    faults.rpc_backoff_base
+                    * (faults.rpc_backoff_multiplier ** attempt),
                 )
+                if faults.rpc_backoff_jitter > 0.0:
+                    backoff *= 1.0 + (
+                        faults.rpc_backoff_jitter * self._jitter_rng.random()
+                    )
+                t += backoff
                 attempt += 1
         self._clock = max(self._clock, t)
         self._trace(start, t, count, query_id, retries=retried)

@@ -132,10 +132,14 @@ class Scheduler:
             )
             # Dead storage nodes are blacklisted; their splits stay readable
             # through durable disaggregated storage from any survivor.
-            alive = [n for n in nodes if self.cluster.storage_map[n].alive]
-            if alive:
-                index = len(stage.tasks) % len(alive)
-                return self.cluster.storage_map[alive[index]]
+            # Draining (combined) nodes are likewise skipped for *new*
+            # placements while keeping their running scans.
+            candidates = [
+                n for n in nodes if self.cluster.storage_map[n].schedulable
+            ] or [n for n in nodes if self.cluster.storage_map[n].alive]
+            if candidates:
+                index = len(stage.tasks) % len(candidates)
+                return self.cluster.storage_map[candidates[index]]
         return self.cluster.least_loaded_compute()
 
     # ------------------------------------------------------------------

@@ -141,15 +141,56 @@ class FaultConfig(_Fingerprinted):
     rpc_max_retries: int = 3
     #: Virtual seconds before a lost RPC request is declared failed.
     rpc_timeout: float = 0.05
-    #: First retry backoff; doubles per attempt, bounded by the cap.
+    #: First retry backoff; grows by ``rpc_backoff_multiplier`` per
+    #: attempt, bounded by the cap.
     rpc_backoff_base: float = 0.01
     rpc_backoff_cap: float = 0.2
+    #: Geometric growth factor of the retry backoff.
+    rpc_backoff_multiplier: float = 2.0
+    #: Seeded backoff jitter: each retry's backoff is stretched by up to
+    #: this fraction, drawn from ``random.Random(rpc_jitter_seed)``.  0
+    #: disables jitter (and consumes no randomness), keeping the retry
+    #: timeline bit-identical to the unjittered one.
+    rpc_backoff_jitter: float = 0.0
+    rpc_jitter_seed: int = 0
     #: How many times the tasks of one stage may be respawned before a
     #: further crash is declared unrecoverable.
     task_retry_budget: int = 3
     #: Virtual seconds between a node/task death and the coordinator
     #: noticing it (heartbeat interval).
     detection_delay: float = 0.05
+
+    def with_rpc_policy(
+        self,
+        *,
+        max_retries: int | None = None,
+        timeout: float | None = None,
+        backoff_base: float | None = None,
+        backoff_cap: float | None = None,
+        backoff_multiplier: float | None = None,
+        jitter: float | None = None,
+        jitter_seed: int | None = None,
+    ) -> "FaultConfig":
+        """Copy with the RPC retry/timeout/backoff policy replaced.
+
+        This is the uniform-config entry point for the knobs the
+        :class:`~repro.cluster.rpc.RpcTracker` consumes; ``None`` keeps
+        the current value.  The jitter is *seeded*: the tracker draws
+        from ``random.Random(jitter_seed)`` in request order, so a
+        jittered retry timeline is still bit-identical across runs.
+        """
+        fields = {
+            "rpc_max_retries": max_retries,
+            "rpc_timeout": timeout,
+            "rpc_backoff_base": backoff_base,
+            "rpc_backoff_cap": backoff_cap,
+            "rpc_backoff_multiplier": backoff_multiplier,
+            "rpc_backoff_jitter": jitter,
+            "rpc_jitter_seed": jitter_seed,
+        }
+        return replace(
+            self, **{k: v for k, v in fields.items() if v is not None}
+        )
 
 
 @dataclass(frozen=True)
@@ -189,6 +230,44 @@ class ClusterConfig(_Fingerprinted):
     #: table's splits to specific storage nodes.
     node_overrides: tuple[tuple[str, tuple[int, ...]], ...] | None = None
 
+    # -- membership / autoscaling (repro.cluster.membership) ----------------
+    #: Enable the queue/deadline-driven autoscaler in the workload layer.
+    autoscale: bool = False
+    #: Autoscaler fleet bounds; ``None`` max means "no upper bound".
+    autoscale_min_nodes: int | None = None
+    autoscale_max_nodes: int | None = None
+    #: Virtual seconds between autoscaler policy evaluations.
+    autoscale_period: float = 0.5
+    #: Scale out when the admission queue depth reaches this.
+    autoscale_queue_high: int = 1
+    #: Scale in when cluster usage / capacity stays below this fraction.
+    autoscale_usage_low: float = 0.5
+    #: Consecutive low-usage ticks required before a scale-in.
+    autoscale_idle_ticks: int = 2
+    #: Virtual seconds between two autoscaler actions (join or drain).
+    autoscale_cooldown: float = 1.0
+    #: Scale out when a queued query's deadline is closer than this.
+    autoscale_deadline_slack: float = 5.0
+    #: Max nodes joined per policy tick.
+    autoscale_max_join_per_tick: int = 2
+    #: Request spot (preemptible, cheaper) capacity when scaling out.
+    autoscale_spot: bool = False
+
+    # -- drain / provisioning timing ----------------------------------------
+    #: Virtual seconds a graceful drain may take before it escalates to
+    #: the crash/recovery path.
+    drain_timeout: float = 10.0
+    #: Virtual seconds between drain-completion checks.
+    drain_poll: float = 0.05
+    #: Virtual seconds between a join request and the node being usable.
+    node_join_delay: float = 0.5
+
+    # -- cost model (node-seconds = dollars) --------------------------------
+    #: Dollars charged per node per virtual second of provisioned time.
+    cost_per_node_second: float = 1.0
+    #: Price factor for spot nodes (typically well below 1).
+    spot_price_multiplier: float = 0.3
+
     def with_placement(
         self,
         split_scheme: dict | None = None,
@@ -221,6 +300,19 @@ class ClusterConfig(_Fingerprinted):
         if self.node_overrides is None:
             return None
         return {table: list(nodes) for table, nodes in self.node_overrides}
+
+    def with_autoscaling(self, **kwargs) -> "ClusterConfig":
+        """Copy with autoscaling enabled (plus any autoscaler fields).
+
+        ``ClusterConfig(compute_nodes=2).with_autoscaling(
+        autoscale_max_nodes=6)`` describes a fleet that starts at 2 nodes
+        and may grow to 6 under queue or deadline pressure.  The min
+        defaults to the configured ``compute_nodes``.
+        """
+        kwargs.setdefault("autoscale", True)
+        if kwargs.get("autoscale_min_nodes") is None:
+            kwargs.setdefault("autoscale_min_nodes", self.compute_nodes)
+        return replace(self, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -285,6 +377,10 @@ class WorkloadConfig(_Fingerprinted):
     revocation_pin_seconds: float = 5.0
     #: Memory charged per query when the session does not declare one.
     default_query_memory_bytes: int = 1 * 1024**3
+    #: Dynamic concurrency cap: at most ``ceil(this * schedulable compute
+    #: nodes)`` queries run at once, so admission tracks the live cluster
+    #: size under autoscaling.  ``None`` disables the dynamic cap.
+    max_queries_per_node: float | None = None
 
 
 @dataclass(frozen=True)

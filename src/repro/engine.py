@@ -73,6 +73,10 @@ class AccordionEngine:
             metrics=self.metrics,
         )
         self.fault_injector = None
+        from .cluster.membership import ClusterMembership
+
+        #: Runtime node join/leave/preemption (DESIGN.md §12).
+        self.membership = ClusterMembership(self.kernel, self.coordinator)
         self._elastic: dict[int, ElasticQuery] = {}
         self._workload: "WorkloadManager | None" = None
         rpc = self.coordinator.rpc
@@ -85,6 +89,7 @@ class AccordionEngine:
             },
         )
         self.metrics.gauge("recovery", self.coordinator.recovery.stats)
+        self.metrics.gauge("cluster", self.membership.stats)
         self.metrics.gauge(
             "sim",
             lambda: {

@@ -8,6 +8,7 @@ revoke), and workload drivers with per-tenant metrics.  See DESIGN.md
 
 from .admission import AdmissionController, PendingQuery, planned_cores
 from .arbiter import ANONYMOUS, ArbiterEntry, Bid, ResourceArbiter
+from .autoscaler import Autoscaler
 from .policies import (
     ARBITRATION_POLICIES,
     QUEUE_POLICIES,
@@ -34,6 +35,7 @@ __all__ = [
     "ARBITRATION_POLICIES",
     "AdmissionController",
     "ArbiterEntry",
+    "Autoscaler",
     "Bid",
     "ClosedLoop",
     "PendingQuery",

@@ -13,6 +13,7 @@ virtual time, so a workload replays identically from (seed, trace).
 from __future__ import annotations
 
 import itertools
+import math
 from typing import TYPE_CHECKING
 
 from ..errors import QueryCancelledError, QueryRejectedError
@@ -129,6 +130,8 @@ class AdmissionController:
             )
         self._trace("queued", pending)
         self._pump()
+        if self.manager.autoscaler is not None:
+            self.manager.autoscaler.ensure_tick()
         return handle
 
     # -- queue dynamics -----------------------------------------------------
@@ -161,6 +164,16 @@ class AdmissionController:
             and len(self.running) >= cfg.max_concurrent_queries
         ):
             return False
+        if cfg.max_queries_per_node is not None:
+            # Dynamic cap tracking the live fleet: under autoscaling the
+            # concurrency limit grows with joins and shrinks with drains.
+            # Enforced at admission only — a scale-down never cancels
+            # already-running queries, so a transient excess is legal
+            # (and deliberately not an invariant violation).
+            nodes = len(self.engine.cluster.schedulable_compute)
+            limit = max(1, math.ceil(cfg.max_queries_per_node * nodes))
+            if len(self.running) >= limit:
+                return False
         if (
             cfg.max_admitted_cores is not None
             and self.admitted_cores + pending.cores > cfg.max_admitted_cores

@@ -75,7 +75,6 @@ class ResourceArbiter:
         self.kernel = manager.engine.kernel
         self.config = manager.config
         self.cluster = manager.engine.cluster
-        self.capacity = self.cluster.total_compute_cores()
         self.entries: dict[int, ArbiterEntry] = {}
         self._elastic: dict[int, object] = {}
         self.grants = 0
@@ -87,6 +86,13 @@ class ResourceArbiter:
         #: must not be re-arbitrated.
         self._bypass = False
         self._tick_running = False
+
+    @property
+    def capacity(self) -> int:
+        """Core inventory of the *schedulable* fleet — tracks membership
+        (a draining or departed node's cores stop being grantable; a
+        joined node's cores become grantable immediately)."""
+        return self.cluster.schedulable_cores()
 
     # -- registration -------------------------------------------------------
     def register(

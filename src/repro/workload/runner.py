@@ -113,6 +113,11 @@ class WorkloadReport:
     admission: dict
     arbiter: dict
     violations: list[str]
+    #: Fleet/cost summary for the run window: membership churn counters,
+    #: node-seconds billed, and dollars (node-seconds x rate, with the
+    #: spot discount).  Empty dict for engines without membership churn
+    #: history is still rendered — byte-identical per seed either way.
+    cluster: dict = field(default_factory=dict)
 
     def throughput(self, tenant: str) -> float:
         if self.horizon <= 0:
@@ -125,6 +130,7 @@ class WorkloadReport:
             "fairness": self.fairness,
             "admission": dict(self.admission),
             "arbiter": dict(self.arbiter),
+            "cluster": dict(self.cluster),
             "violations": list(self.violations),
             "tenants": {
                 name: {
@@ -180,6 +186,18 @@ class WorkloadReport:
             f"deferrals={self.arbiter.get('deferrals', 0)} "
             f"revocations={self.arbiter.get('revocations', 0)}",
         ]
+        if self.cluster:
+            c = self.cluster
+            lines.append(
+                f"cluster: nodes={c.get('nodes_final', 0)} "
+                f"(peak {c.get('nodes_peak', 0)}) "
+                f"joins={c.get('joins', 0)} "
+                f"drains={c.get('drains_clean', 0)}+"
+                f"{c.get('drains_escalated', 0)}esc "
+                f"preemptions={c.get('preemptions', 0)} "
+                f"node_seconds={c.get('node_seconds', 0.0):.3f} "
+                f"cost=${c.get('cost_dollars', 0.0):.3f}"
+            )
         return "\n".join(lines)
 
 
@@ -240,7 +258,17 @@ class Workload:
             ),
         )
         horizon = self.kernel.now - start
-        return self._report(manager.records[baseline_records:], horizon, manager)
+        if manager.autoscaler is not None:
+            # Let the fleet settle (idle elastic capacity drains away) so
+            # the report's node-seconds/cost cover the whole provisioned
+            # window, not a snapshot taken mid-drain.  The makespan above
+            # deliberately excludes this billing tail: queries are done.
+            self.kernel.run(
+                until=deadline, stop_when=lambda: manager.autoscaler.settled
+            )
+        return self._report(
+            manager.records[baseline_records:], horizon, manager, start
+        )
 
     # ------------------------------------------------------------------
     def _launch(self, spec: TenantSpec, session, index: int) -> None:
@@ -301,7 +329,7 @@ class Workload:
 
     # ------------------------------------------------------------------
     def _report(
-        self, records: list[QueryRecord], horizon: float, manager
+        self, records: list[QueryRecord], horizon: float, manager, start: float = 0.0
     ) -> WorkloadReport:
         tenants: dict[str, TenantStats] = {}
         for spec in self.specs:
@@ -331,6 +359,18 @@ class Workload:
         fairness = jain_fairness(
             [tenants[name].service_seconds for name in sorted(tenants)]
         )
+        membership = self.engine.membership
+        stats = membership.stats()
+        cluster = {
+            "joins": stats["joins"],
+            "drains_clean": stats["drains_clean"],
+            "drains_escalated": stats["drains_escalated"],
+            "preemptions": stats["preemptions"],
+            "nodes_final": stats["nodes_schedulable"],
+            "nodes_peak": stats["nodes_peak"],
+            "node_seconds": membership.node_seconds(),
+            "cost_dollars": membership.cost_between(start),
+        }
         return WorkloadReport(
             horizon=horizon,
             tenants=tenants,
@@ -338,4 +378,5 @@ class Workload:
             admission=manager.admission.stats(),
             arbiter=manager.arbiter.stats(),
             violations=list(manager.admission.violations),
+            cluster=cluster,
         )

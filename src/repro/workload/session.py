@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.coordinator import QueryExecution, QueryOptions
     from ..engine import AccordionEngine
     from ..handle import QueryHandle, QueryResult
+    from .autoscaler import Autoscaler
 
 
 @dataclass
@@ -120,6 +121,17 @@ class WorkloadManager:
         self.arbiter = ResourceArbiter(self)
         self.admission = AdmissionController(self)
         self.records: list[QueryRecord] = []
+        #: Queue/deadline-driven fleet sizing (ClusterConfig.autoscale).
+        self.autoscaler: "Autoscaler | None" = None
+        if engine.config.cluster.autoscale:
+            from .autoscaler import Autoscaler
+
+            self.autoscaler = Autoscaler(self)
+            engine.metrics.gauge("autoscaler", self.autoscaler.stats)
+        else:
+            # Capacity changes (manual joins/drains) still unblock queued
+            # admissions even without the autoscaler.
+            engine.membership.on_change.append(self.admission._schedule_pump)
         engine.metrics.gauge("workload", self.admission.stats)
         engine.metrics.gauge("arbiter", self.arbiter.stats)
 

@@ -1,0 +1,371 @@
+"""Elastic cluster membership: join, graceful drain, spot preemption,
+membership plans, the node-seconds cost model, and the RPC retry-policy
+builder.
+
+The invariants mirror test_faults.py: membership churn must never change
+answers — a drained or preempted node's work either migrates through the
+Section 4.4 end-signal path or is recovered by lineage replay, and every
+query still returns exactly the reference rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ClusterConfig,
+    FaultConfig,
+    MembershipPlan,
+    NodeDrain,
+    NodeJoin,
+    SpotPreemption,
+    TPCH_QUERIES as QUERIES,
+)
+from repro.cluster.rpc import RpcTracker
+from repro.config import CostModel
+from repro.errors import SchedulingError
+from repro.sim import SimKernel
+
+from conftest import make_engine, norm_rows, run_until_cond, slow_engine
+from test_faults import MAX_EVENTS, reference_rows
+
+Q_AGG = "select l_returnflag, count(*), sum(l_quantity) from lineitem group by l_returnflag"
+
+#: Small fixed topology so membership arithmetic is easy to assert on.
+SMALL = ClusterConfig(compute_nodes=2, storage_nodes=2)
+
+
+def settle(engine, seconds: float = 5.0) -> None:
+    """Advance virtual time so scheduled membership actions complete."""
+    engine.kernel.run(until=engine.now + seconds)
+
+
+# -- join -------------------------------------------------------------------
+def test_join_grows_schedulable_capacity(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    before_nodes = len(engine.cluster.schedulable_compute)
+    before_cores = engine.cluster.schedulable_cores()
+    engine.membership.join(2)
+    assert engine.membership.pending_joins == 2
+    settle(engine)
+    assert engine.membership.pending_joins == 0
+    assert len(engine.cluster.schedulable_compute) == before_nodes + 2
+    assert engine.cluster.schedulable_cores() > before_cores
+    stats = engine.membership.stats()
+    assert stats["joins"] == 2
+    assert stats["nodes_peak"] == before_nodes + 2
+    kinds = [h["kind"] for h in engine.membership.history]
+    assert kinds.count("node_join") == 2
+
+
+def test_joined_node_ids_are_monotonic(catalog):
+    """Node ids are never reused, even across leave/join cycles."""
+    engine = make_engine(catalog, cluster=SMALL)
+    engine.membership.join(1)
+    settle(engine)
+    joined = max(engine.cluster.compute, key=lambda n: n.id)
+    first = joined.id
+    engine.membership.drain(joined)
+    settle(engine)
+    assert joined.state == "left"
+    engine.membership.join(1)
+    settle(engine)
+    assert max(n.id for n in engine.cluster.compute) > first
+
+
+def test_join_takes_provisioning_delay_and_rpc(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    engine.membership.join(1)
+    # Before the provisioning delay elapses nothing is active yet.
+    engine.kernel.run(until=engine.now + engine.config.cluster.node_join_delay / 2)
+    assert engine.membership.joins == 0
+    settle(engine)
+    assert engine.membership.joins == 1
+    join_events = [h for h in engine.membership.history if h["kind"] == "node_join"]
+    assert join_events[0]["t"] >= engine.config.cluster.node_join_delay
+
+
+def test_new_node_is_used_by_later_queries(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    engine.membership.join(2)
+    settle(engine)
+    rows = engine.execute(Q_AGG).rows
+    assert norm_rows(rows) == reference_rows(catalog, Q_AGG)
+
+
+# -- graceful drain ---------------------------------------------------------
+def test_drain_idle_node_leaves_cleanly(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    engine.membership.join(1)
+    settle(engine)
+    node = max(engine.cluster.compute, key=lambda n: n.id)
+    engine.membership.drain(node)
+    assert node.state == "draining"
+    settle(engine)
+    assert node.state == "left"
+    assert node.released_at is not None
+    assert engine.membership.drains_clean == 1
+    assert engine.membership.drains_escalated == 0
+    kinds = [h["kind"] for h in engine.membership.history]
+    assert "drain_start" in kinds and "node_left" in kinds
+
+
+def test_drain_is_idempotent(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    engine.membership.join(1)
+    settle(engine)
+    node = max(engine.cluster.compute, key=lambda n: n.id)
+    engine.membership.drain(node)
+    engine.membership.drain(node)  # second call is a no-op
+    settle(engine)
+    assert engine.membership.drains_started == 1
+    assert engine.membership.drains_clean == 1
+
+
+def test_cannot_drain_last_schedulable_node(catalog):
+    engine = make_engine(
+        catalog, cluster=ClusterConfig(compute_nodes=1, storage_nodes=2)
+    )
+    with pytest.raises(SchedulingError):
+        engine.membership.drain(engine.cluster.compute[0])
+
+
+def test_cannot_drain_storage_node(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    with pytest.raises(SchedulingError):
+        engine.membership.drain(engine.cluster.storage[0])
+
+
+def test_draining_node_excluded_from_placement(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    engine.membership.join(1)
+    settle(engine)
+    node = max(engine.cluster.compute, key=lambda n: n.id)
+    node.start_drain()
+    assert node not in engine.cluster.schedulable_compute
+    picked = {engine.cluster.least_loaded_compute() for _ in range(8)}
+    assert node not in picked
+
+
+def test_drain_loaded_node_escalates_and_answers_stay_exact(catalog):
+    """Draining a node that hosts an unremovable (root) task escalates to
+    the crash path at the timeout; lineage replay still yields exactly
+    the reference rows."""
+    engine = slow_engine(catalog, cluster=SMALL)
+    query = engine.submit(Q_AGG)
+    run_until_cond(engine, lambda: query.started_at is not None)
+    settle(engine, 1.0)
+    loaded = [n for n in engine.cluster.compute if n.task_count > 0]
+    assert loaded, "expected the root stage to occupy a compute node"
+    engine.membership.drain(loaded[0], timeout=0.5)
+    engine.run_until_done(query, max_events=MAX_EVENTS)
+    assert engine.membership.drains_escalated == 1
+    assert norm_rows(query.result().rows) == reference_rows(catalog, Q_AGG)
+    assert query.fault_events  # the drain was recorded on the query
+
+
+# -- spot preemption --------------------------------------------------------
+def test_preempt_idle_spot_node_inside_notice(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    engine.membership.join(1, spot=True)
+    settle(engine)
+    node = max(engine.cluster.compute, key=lambda n: n.id)
+    assert node.spot
+    engine.membership.preempt(node, notice=1.0)
+    settle(engine)
+    # Idle node drains within the notice window: a clean leave, not a kill.
+    assert node.state == "left"
+    assert engine.membership.preemption_notices == 1
+    assert engine.membership.preemptions == 0
+
+
+def test_preempt_loaded_node_kills_and_recovers(catalog):
+    engine = slow_engine(catalog, cluster=SMALL)
+    query = engine.submit(Q_AGG)
+    run_until_cond(engine, lambda: query.started_at is not None)
+    settle(engine, 1.0)
+    loaded = [n for n in engine.cluster.compute if n.task_count > 0]
+    assert loaded
+    engine.membership.preempt(loaded[0], notice=0.2)
+    engine.run_until_done(query, max_events=MAX_EVENTS)
+    assert engine.membership.preemptions == 1
+    assert loaded[0].state == "dead"
+    assert norm_rows(query.result().rows) == reference_rows(catalog, Q_AGG)
+
+
+# -- membership plans -------------------------------------------------------
+def test_membership_plan_random_is_seed_deterministic():
+    a = MembershipPlan.random(seed=9, horizon=20.0, joins=3, drains=2, preemptions=2)
+    b = MembershipPlan.random(seed=9, horizon=20.0, joins=3, drains=2, preemptions=2)
+    c = MembershipPlan.random(seed=10, horizon=20.0, joins=3, drains=2, preemptions=2)
+    assert a.events == b.events
+    assert a.events != c.events
+    assert len(a.joins) == 3 and len(a.drains) == 2 and len(a.preemptions) == 2
+    assert [e.at for e in a.events] == sorted(e.at for e in a.events)
+    assert "membership plan" in a.describe()
+
+
+def test_apply_plan_runs_scheduled_churn(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    plan = MembershipPlan(
+        seed=1,
+        events=(
+            NodeJoin(at=0.5, count=1, spot=True),
+            NodeDrain(at=3.0, node="newest"),
+        ),
+    )
+    engine.membership.apply_plan(plan)
+    settle(engine, 10.0)
+    assert engine.membership.joins == 1
+    assert engine.membership.drains_clean == 1
+    # Base capacity survived; the churned node is gone.
+    assert len(engine.cluster.schedulable_compute) == 2
+
+
+def test_plan_drain_of_newest_never_targets_base_capacity(catalog):
+    """With no joined nodes, "newest" resolves to nothing: the base fleet
+    is never drained by a churn plan."""
+    engine = make_engine(catalog, cluster=SMALL)
+    engine.membership.apply_plan(
+        MembershipPlan(seed=2, events=(NodeDrain(at=0.5, node="newest"),))
+    )
+    settle(engine)
+    assert engine.membership.drains_started == 0
+    assert len(engine.cluster.schedulable_compute) == 2
+
+
+def test_plan_churn_history_is_bit_identical_per_seed(catalog):
+    def run(seed):
+        engine = slow_engine(catalog, cluster=SMALL)
+        plan = MembershipPlan.random(
+            seed=seed, horizon=8.0, joins=2, drains=1, preemptions=1
+        )
+        engine.membership.apply_plan(plan)
+        query = engine.submit(Q_AGG)
+        engine.run_until_done(query, max_events=MAX_EVENTS)
+        settle(engine, 30.0)
+        return engine.membership.history, norm_rows(query.result().rows)
+
+    history_a, rows_a = run(5)
+    history_b, rows_b = run(5)
+    assert history_a == history_b
+    assert rows_a == rows_b == reference_rows(catalog, Q_AGG)
+
+
+# -- cost model -------------------------------------------------------------
+def test_node_seconds_bill_only_while_provisioned(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    base = len(engine.cluster.compute)
+    start = engine.now
+    engine.membership.join(1)
+    settle(engine, 2.0)
+    node = max(engine.cluster.compute, key=lambda n: n.id)
+    engine.membership.drain(node)
+    settle(engine, 2.0)
+    assert node.state == "left"
+    window = node.released_at - node.provisioned_at
+    assert window > 0
+    # Total bill = base nodes for the whole window + the churned node's span.
+    elapsed = engine.now - start
+    expected = base * elapsed + window
+    assert engine.membership.cost_between(start) == pytest.approx(expected)
+    # After leaving, the bill stops growing for that node.
+    frozen = node.provisioned_seconds()
+    settle(engine, 5.0)
+    assert node.provisioned_seconds() == pytest.approx(frozen)
+
+
+def test_spot_nodes_bill_at_discount(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    start = engine.now
+    engine.membership.join(1, spot=True)
+    settle(engine, 3.0)
+    node = max(engine.cluster.compute, key=lambda n: n.id)
+    cfg = engine.config.cluster
+    base_cost = len(engine.cluster.compute) - 1
+    expected = (
+        base_cost * (engine.now - start)
+        + (engine.now - node.provisioned_at) * cfg.spot_price_multiplier
+    ) * cfg.cost_per_node_second
+    assert engine.membership.cost_between(start) == pytest.approx(expected)
+
+
+# -- plan cache topology key ------------------------------------------------
+def test_topology_change_invalidates_plan_cache_key(catalog):
+    engine = make_engine(catalog, cluster=SMALL)
+    coordinator = engine.coordinator
+    fp_before = engine.cluster.topology_fingerprint()
+    engine.execute(QUERIES["Q6"])
+    hits0 = coordinator._plan_cache_hits.value
+    misses0 = coordinator._plan_cache_misses.value
+    engine.execute(QUERIES["Q6"])  # same topology: a hit
+    assert coordinator._plan_cache_hits.value == hits0 + 1
+    engine.membership.join(1)
+    settle(engine)
+    assert engine.cluster.topology_fingerprint() != fp_before
+    engine.execute(QUERIES["Q6"])  # changed topology: keyed apart
+    assert coordinator._plan_cache_misses.value == misses0 + 1
+
+
+# -- RPC retry-policy builder ----------------------------------------------
+def test_with_rpc_policy_builder_maps_friendly_names():
+    faults = FaultConfig().with_rpc_policy(
+        max_retries=7,
+        timeout=0.9,
+        backoff_base=0.05,
+        backoff_cap=2.5,
+        backoff_multiplier=3.0,
+        jitter=0.25,
+        jitter_seed=42,
+    )
+    assert faults.rpc_max_retries == 7
+    assert faults.rpc_timeout == 0.9
+    assert faults.rpc_backoff_base == 0.05
+    assert faults.rpc_backoff_cap == 2.5
+    assert faults.rpc_backoff_multiplier == 3.0
+    assert faults.rpc_backoff_jitter == 0.25
+    assert faults.rpc_jitter_seed == 42
+    # Untouched fields keep their defaults; the original is unchanged.
+    assert faults.task_retry_budget == FaultConfig().task_retry_budget
+    assert FaultConfig().rpc_backoff_multiplier == 2.0
+    assert FaultConfig().rpc_backoff_jitter == 0.0
+
+
+def _retry_finish_time(faults: FaultConfig, failures: int = 3) -> float:
+    kernel = SimKernel()
+    tracker = RpcTracker(kernel, CostModel(), faults=faults)
+    outcomes = iter(["fail"] * failures + ["ok"])
+    tracker.set_fault_hook(lambda t: next(outcomes))
+    return tracker.after_requests(1, lambda: None)
+
+
+def test_rpc_backoff_jitter_is_seeded_and_deterministic():
+    plain = FaultConfig().with_rpc_policy(max_retries=5)
+    jittered = plain.with_rpc_policy(jitter=0.5, jitter_seed=11)
+    t_plain = _retry_finish_time(plain)
+    t_a = _retry_finish_time(jittered)
+    t_b = _retry_finish_time(jittered)
+    # Same seed: identical timing.  Jitter only ever lengthens backoff.
+    assert t_a == t_b
+    assert t_a > t_plain
+    other_seed = plain.with_rpc_policy(jitter=0.5, jitter_seed=12)
+    assert _retry_finish_time(other_seed) != t_a
+
+
+def test_rpc_backoff_multiplier_shapes_schedule():
+    """With multiplier m and no jitter the k-th retry backs off by
+    base * m**k (capped)."""
+    faults = FaultConfig().with_rpc_policy(
+        max_retries=5,
+        backoff_base=0.1,
+        backoff_cap=10.0,
+        backoff_multiplier=3.0,
+        jitter=0.0,
+    )
+    finish = _retry_finish_time(faults, failures=2)
+    expected = (
+        2 * faults.rpc_timeout
+        + 0.1 * (1 + 3)
+        + CostModel().rpc_request_cost
+    )
+    assert finish == pytest.approx(expected)

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Chaos smoke: seeded membership churn must be deterministic and exact.
+
+Runs one multi-tenant workload on an autoscaled fleet under a seeded
+churn plan (spot joins, mid-burst preemptions, graceful drains) —
+**twice, from scratch** — and checks the two invariants the membership
+layer promises:
+
+1. **Bit-identical answers**: every query returns exactly the same rows
+   in both runs (and all copies of the same query agree), no matter how
+   many nodes died under it.
+2. **Byte-identical reports**: the rendered workload report — latencies,
+   churn counters, node-seconds, dollars — is identical across the two
+   same-seed runs.
+
+Exit status 0 on success, 1 with a diff summary on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_smoke.py [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    AccordionEngine,
+    Catalog,
+    ClusterConfig,
+    CostModel,
+    EngineConfig,
+    MembershipPlan,
+    SpotPreemption,
+    TraceArrivals,
+    Workload,
+)
+
+QUERIES = [
+    "select l_returnflag, count(*), sum(l_quantity) "
+    "from lineitem group by l_returnflag",
+    "select count(*), sum(l_extendedprice) from lineitem "
+    "where l_quantity < 30",
+]
+SCALE = 0.005
+
+
+def run_once(seed: int):
+    catalog = Catalog.tpch(scale=SCALE, seed=seed)
+    cluster = ClusterConfig(compute_nodes=1, storage_nodes=2).with_autoscaling(
+        autoscale_max_nodes=3,
+        autoscale_spot=True,
+        autoscale_cooldown=0.5,
+    )
+    config = EngineConfig(
+        cost=CostModel().scaled(200.0), page_row_limit=256, cluster=cluster
+    ).with_workload(max_queries_per_node=2.0)
+    engine = AccordionEngine(catalog, config=config)
+    # Seeded random churn early in the burst, plus one preemption pinned
+    # late enough that burst capacity is guaranteed to be up when it hits.
+    random_plan = MembershipPlan.random(
+        seed=seed, horizon=8.0, joins=1, preemptions=2, notice=0.3
+    )
+    engine.membership.apply_plan(
+        MembershipPlan(
+            seed=seed,
+            events=random_plan.events + (SpotPreemption(at=6.0, notice=0.3),),
+        )
+    )
+    workload = Workload(engine, seed=seed)
+    workload.add_tenant("a", QUERIES, TraceArrivals(times=(0.0,) * 6))
+    workload.add_tenant("b", QUERIES[::-1], TraceArrivals(times=(2.0,) * 4))
+    report = workload.run()
+    answers = [
+        (h.sql, tuple(map(tuple, h.result().rows))) for h in workload.handles
+    ]
+    return report, answers, engine.membership.history
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=20250807)
+    args = parser.parse_args()
+
+    first_report, first_answers, first_history = run_once(args.seed)
+    second_report, second_answers, second_history = run_once(args.seed)
+
+    failures = []
+    if first_answers != second_answers:
+        failures.append("answers differ between same-seed runs")
+    # Within a run, every instance of the same SQL must return one answer.
+    per_query: dict[str, set] = {}
+    for sql, rows in first_answers:
+        per_query.setdefault(sql, set()).add(rows)
+    for sql, distinct in sorted(per_query.items()):
+        if len(distinct) != 1:
+            failures.append(
+                f"{len(distinct)} distinct answers under churn for: {sql}"
+            )
+    if first_report.render() != second_report.render():
+        failures.append("rendered reports differ between same-seed runs")
+    if first_report.to_dict() != second_report.to_dict():
+        failures.append("report dicts differ between same-seed runs")
+    if first_history != second_history:
+        failures.append("membership histories differ between same-seed runs")
+
+    churn = first_report.cluster
+    print(first_report.render())
+    print(
+        f"\nchurn: joins={churn['joins']} "
+        f"preemptions={churn['preemptions']} "
+        f"drains={churn['drains_clean']}+{churn['drains_escalated']}esc"
+    )
+    if churn["joins"] == 0:
+        failures.append("chaos plan produced no membership churn")
+
+    if failures:
+        print("\nCHAOS SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nchaos smoke OK: answers bit-identical, reports byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
