@@ -13,6 +13,8 @@ Usage::
         benchmarks/perf/baseline.json                               # CI perf smoke
     PYTHONPATH=src python benchmarks/perf/harness.py \
         --check-trace-overhead                       # CI tracing-overhead gate
+    PYTHONPATH=src python benchmarks/perf/harness.py \
+        --check-memory-budget      # SF0.2 out-of-core gate (DESIGN.md §13)
 
 Determinism: the catalog seed, scale factor, query set, and repetition
 count are pinned; the only nondeterminism left is the host itself, which
@@ -40,6 +42,7 @@ import pstats
 import statistics
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -53,7 +56,7 @@ from repro import AccordionEngine, Catalog, EngineConfig, TPCH_QUERIES as QUERIE
 SCALE = 0.05
 SEED = 20250622
 REPEATS = 3
-QUERY_SET = ("Q1", "Q3", "Q5", "Q2J")
+QUERY_SET = ("Q1", "Q3", "Q5", "Q2J", "Q6", "Q9", "Q18")
 OUTPUT = REPO_ROOT / "BENCH_tpch.json"
 #: CI gate: fail when any single query's wall time exceeds baseline by
 #: this factor.  Tight enough to catch a real per-query regression while
@@ -62,8 +65,22 @@ OUTPUT = REPO_ROOT / "BENCH_tpch.json"
 DRIFT_FACTOR = 1.15
 #: CI gate: tracing-enabled run must stay within this factor of tracing-off.
 TRACE_OVERHEAD_FACTOR = 1.10
+#: Query used for the tracing-overhead A/B gate: Q3 is the paper's anchor
+#: query and a middle-of-the-pack span producer (three scans, two joins,
+#: an agg, a top-n), so its overhead ratio is representative without the
+#: gate taking minutes.
 TRACE_OVERHEAD_QUERY = "Q3"
 TRACE_OVERHEAD_REPEATS = 5
+#: Memory-budget gate (out-of-core path, DESIGN.md §13): the state-heavy
+#: queries must complete at this scale with peak tracked bytes at or
+#: below this fraction of their unbudgeted peak, value-identically.
+MEMORY_SCALE = 0.2
+MEMORY_QUERIES = ("Q9", "Q18")
+MEMORY_BUDGET_FRACTION = 0.25
+#: The budget is set below the peak ceiling by this factor: an operator
+#: only detects the overage *after* the growth that caused it, so peak
+#: tracked bytes overshoot the budget by up to one build increment.
+MEMORY_BUDGET_HEADROOM = 0.8
 
 
 def time_query(catalog: Catalog, sql: str) -> dict:
@@ -86,11 +103,23 @@ def time_query(catalog: Catalog, sql: str) -> dict:
         samples.append(time.perf_counter() - start)
         if result.num_rows != rows:
             raise AssertionError("warm run changed the result row count")
+    # Peak memory is measured in one extra *untimed* pass: tracemalloc
+    # instruments every allocation and would inflate the wall-clock
+    # samples by far more than the drift gate tolerates.
+    gc.collect()
+    tracemalloc.start()
+    handle = AccordionEngine(catalog).submit(sql)
+    handle.result()
+    _, tracemalloc_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracked_peak = handle.execution.memory.peak_bytes
     return {
         "median_seconds": round(statistics.median(samples), 4),
         "cold_seconds": round(cold, 4),
         "samples_seconds": [round(s, 4) for s in samples],
         "result_rows": rows,
+        "tracemalloc_peak_bytes": tracemalloc_peak,
+        "peak_tracked_bytes": tracked_peak,
     }
 
 
@@ -200,6 +229,73 @@ def check_trace_overhead() -> int:
     return 0
 
 
+def norm_rows(rows, ndigits: int = 4):
+    """Round floats for value comparison (the test suite's convention).
+
+    Out-of-core execution merges partitions in a different order than the
+    in-memory path consumes pages, so float sums re-associate and can
+    differ in the last ulps; integer and string cells must match exactly.
+    """
+    return [
+        tuple(
+            round(cell, ndigits) if isinstance(cell, float) else cell
+            for cell in row
+        )
+        for row in rows
+    ]
+
+
+def check_memory_budget() -> int:
+    """Gate for the out-of-core path at the ratcheted SF0.2 scale.
+
+    Runs each state-heavy query unbudgeted to measure its peak tracked
+    bytes, then re-runs it under a budget well below
+    ``MEMORY_BUDGET_FRACTION`` of that peak.  The budgeted run must
+    actually spill, keep its peak within the fraction, and return
+    value-identical rows.
+    """
+    catalog = Catalog.tpch(MEMORY_SCALE, SEED)
+    failures = []
+    for name in MEMORY_QUERIES:
+        sql = QUERIES[name]
+        base = AccordionEngine(catalog).submit(sql)
+        base_rows = base.result().rows
+        base_peak = base.execution.memory.peak_bytes
+        budget = int(base_peak * MEMORY_BUDGET_FRACTION * MEMORY_BUDGET_HEADROOM)
+
+        config = EngineConfig().with_memory(query_budget_bytes=budget)
+        engine = AccordionEngine(catalog, config=config)
+        handle = engine.submit(sql)
+        rows = handle.result().rows
+        stats = handle.execution.memory.stats()
+        ratio = stats["peak_bytes"] / max(base_peak, 1)
+        print(
+            f"{name} @ SF{MEMORY_SCALE}: peak {base_peak} -> "
+            f"{stats['peak_bytes']} bytes ({ratio:.1%}) under budget "
+            f"{budget}, spills={stats['spills']}, "
+            f"spilled={stats['spilled_bytes']} bytes"
+        )
+        if norm_rows(rows) != norm_rows(base_rows):
+            failures.append(f"{name}: budgeted rows differ from in-memory rows")
+        if stats["spills"] == 0:
+            failures.append(f"{name}: budget {budget} never triggered a spill")
+        if stats["peak_bytes"] > base_peak * MEMORY_BUDGET_FRACTION:
+            failures.append(
+                f"{name}: budgeted peak {stats['peak_bytes']} exceeds "
+                f"{MEMORY_BUDGET_FRACTION:.0%} of unbudgeted peak {base_peak}"
+            )
+    if failures:
+        print("MEMORY BUDGET CHECK FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(
+        f"memory budget ok ({', '.join(MEMORY_QUERIES)} value-identical "
+        f"under {MEMORY_BUDGET_FRACTION:.0%} of in-memory peak)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -226,6 +322,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-memory-budget",
+        action="store_true",
+        help=(
+            f"exit nonzero unless {'/'.join(MEMORY_QUERIES)} at "
+            f"SF{MEMORY_SCALE} complete value-identically under "
+            f"{MEMORY_BUDGET_FRACTION:.0%} of their unbudgeted peak bytes "
+            "(skips the normal report)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=OUTPUT,
@@ -235,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check_trace_overhead:
         return check_trace_overhead()
+    if args.check_memory_budget:
+        return check_memory_budget()
 
     report = run_benchmarks()
     if args.output.exists():

@@ -17,6 +17,7 @@ from .config import (
     CostModel,
     EngineConfig,
     FaultConfig,
+    MemoryConfig,
     NodeSpec,
     TraceConfig,
     WorkloadConfig,
@@ -41,6 +42,7 @@ from .engine import AccordionEngine
 from .errors import (
     AccordionError,
     ExecutionError,
+    MemoryBudgetExceededError,
     QueryCancelledError,
     QueryFailedError,
     QueryRejectedError,
@@ -91,6 +93,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "MembershipPlan",
+    "MemoryBudgetExceededError",
+    "MemoryConfig",
     "MetricsRegistry",
     "NodeCrash",
     "NodeDrain",

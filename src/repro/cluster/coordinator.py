@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from ..config import EngineConfig, config_fingerprint
 from ..data import Catalog, SplitLayout
 from ..errors import ExecutionError, QueryCancelledError, QueryFailedError
+from ..exec.spill import QueryMemory
 from ..metrics.throughput import ThroughputTracker
 from ..pages import Page, concat_pages
 from ..plan.cache import PLAN_CACHE
@@ -85,6 +86,7 @@ class QueryExecution:
         plan: PhysicalPlan,
         config: EngineConfig,
         options: QueryOptions,
+        metrics=None,
     ):
         self.id = query_id
         self.kernel = kernel
@@ -92,6 +94,10 @@ class QueryExecution:
         self.plan = plan
         self.config = config
         self.options = options
+        #: Per-query memory budget + spill accounting (DESIGN.md §13).
+        self.memory = QueryMemory(
+            query_id, config.memory, config.cost, kernel=kernel, metrics=metrics
+        )
         self.stages: dict[int, StageExecution] = {}
         self.result_pages: list[Page] = []
         self.result_rows = 0
@@ -404,8 +410,12 @@ class Coordinator:
         options = options or QueryOptions()
         plan = self.plan_sql(sql, options)
         query = QueryExecution(
-            next(self._ids), self.kernel, sql, plan, self.config, options
+            next(self._ids), self.kernel, sql, plan, self.config, options,
+            metrics=self.metrics,
         )
+        # Spill files live only as long as the query: success, failure,
+        # and cancellation all clean up the per-query spill directory.
+        query.on_done(lambda q: q.memory.cleanup())
         self.queries[query.id] = query
         self.scheduler.schedule(query)
         query.tracker = ThroughputTracker(self.kernel, query)

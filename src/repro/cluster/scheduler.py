@@ -115,6 +115,7 @@ class Scheduler:
             on_error=lambda t, exc, s=stage: query.task_errored(s, t, exc),
             query_id=query.id,
             trace_parent=stage.trace_span,
+            memory=query.memory,
         )
         stage.tasks.append(task)
         if not stage.task_groups:

@@ -85,6 +85,12 @@ class CostModel(_Fingerprinted):
     task_output_row_cost: float = 3.0e-8
     #: CPU seconds per row received by an exchange operator (deserialise).
     exchange_row_cost: float = 1.2e-7
+    #: Virtual seconds per byte written to a local spill file (sequential
+    #: NVMe-class write).  Charged only when an operator actually spills,
+    #: so budget-free runs keep bit-identical virtual timings.
+    spill_write_byte_cost: float = 5.0e-10
+    #: Virtual seconds per byte read back from a spill file.
+    spill_read_byte_cost: float = 2.5e-10
     #: Fixed CPU seconds charged per driver quantum (scheduling overhead).
     quantum_overhead: float = 1.0e-5
     #: One RESTful request between coordinator and workers (paper: 1-10 ms).
@@ -316,6 +322,42 @@ class ClusterConfig(_Fingerprinted):
 
 
 @dataclass(frozen=True)
+class MemoryConfig(_Fingerprinted):
+    """Per-query memory budget and out-of-core (spill) behaviour.
+
+    Memory is the engine's second elastic dimension (DESIGN.md §13),
+    alongside the paper's DOP: when a query's tracked operator bytes
+    exceed ``query_budget_bytes``, hash joins and final aggregations
+    switch to a radix-partitioned Grace-style spill path
+    (``repro.exec.spill``) instead of failing with an OOM.  ``None``
+    budget means unlimited — the seed behaviour, and bit-identical to it.
+
+    The budget set here is the *default*; the workload layer's
+    :class:`ResourceArbiter` overrides it per query with the memory it
+    actually grants (a trimmed grant triggers spilling, an enlarged one
+    stops further spilling).
+    """
+
+    #: Bytes of operator state one query may hold before spilling.
+    query_budget_bytes: int | None = None
+    #: When False, an over-budget operator raises a structured
+    #: :class:`~repro.errors.MemoryBudgetExceededError` instead of
+    #: spilling (strict-reservation deployments).
+    spill_enabled: bool = True
+    #: Radix fan-out per spill level (partition count).
+    spill_fanout: int = 8
+    #: Max recursive repartition depth; past it an oversized partition is
+    #: processed in memory anyway (fallback guard against key skew).
+    spill_max_depth: int = 4
+    #: Directory for spill files.  ``None`` resolves to
+    #: ``$REPRO_CACHE_DIR/spill`` when the cache dir env var is set, else
+    #: a ``repro-spill`` directory under the system temp dir.  Each query
+    #: gets its own subdirectory, removed when the query terminates
+    #: (success, failure, or cancellation alike).
+    spill_dir: str | None = None
+
+
+@dataclass(frozen=True)
 class TraceConfig(_Fingerprinted):
     """Observability switches (``repro.obs``).
 
@@ -394,6 +436,7 @@ class EngineConfig(_Fingerprinted):
         ├── cost:     CostModel     (virtual-time coefficients)
         ├── buffers:  BufferConfig  (elastic output buffers)
         ├── faults:   FaultConfig   (retry/recovery behaviour)
+        ├── memory:   MemoryConfig  (per-query budget + spilling)
         ├── tracing:  TraceConfig   (observability switches)
         └── workload: WorkloadConfig (admission + arbitration)
 
@@ -431,6 +474,8 @@ class EngineConfig(_Fingerprinted):
     plan_cache: bool = True
     #: Name used in reports.
     engine_name: str = "accordion"
+    #: Per-query memory budget and out-of-core spilling (DESIGN.md §13).
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
     #: Observability (tracing/profiling) switches; off by default.
     tracing: TraceConfig = field(default_factory=TraceConfig)
     #: Multi-tenant admission control and resource arbitration.
@@ -460,6 +505,16 @@ class EngineConfig(_Fingerprinted):
     def with_workload(self, **kwargs) -> "EngineConfig":
         """Return a copy with workload fields replaced."""
         return replace(self, workload=replace(self.workload, **kwargs))
+
+    def with_memory(self, **kwargs) -> "EngineConfig":
+        """Return a copy with memory-budget fields replaced.
+
+        ``EngineConfig().with_memory(query_budget_bytes=64 << 20)`` caps
+        every query at 64 MB of tracked operator state; joins and final
+        aggregations past the cap spill to disk and finish partition-at-
+        a-time with bounded peak memory.
+        """
+        return replace(self, memory=replace(self.memory, **kwargs))
 
 
 def presto_config(base: EngineConfig | None = None) -> EngineConfig:

@@ -219,12 +219,17 @@ class Driver:
                 if profiler is not None:
                     wall_start = time.perf_counter_ns()
                     outs, c = op.process(p)
+                    handle = getattr(op, "memory", None)
+                    if handle is None:
+                        bridge = getattr(op, "bridge", None)
+                        handle = getattr(bridge, "memory", None)
                     profiler.record(
                         self.task.query_id,
                         self.task.task_id.stage,
                         type(op).__name__,
                         time.perf_counter_ns() - wall_start,
                         p.num_rows,
+                        peak_bytes=handle.peak_bytes if handle is not None else 0,
                     )
                 else:
                     outs, c = op.process(p)

@@ -34,7 +34,14 @@ from ...sql.functions import (
     grouped_sum,
     partial_fields,
 )
+from ..spill import OperatorMemory, SpillPartitions
 from .base import TransformOperator
+
+#: Estimated bytes per object cell in state accounting (mirrors the page
+#: size estimate in repro.pages.page).
+_OBJECT_CELL_BYTES = 24
+#: Estimated dict/bookkeeping overhead per aggregation slot.
+_SLOT_OVERHEAD_BYTES = 64
 
 #: Aggregate over zero rows (engine-wide convention; see reference.py).
 def _empty_value(function: str, result_type: ColumnType):
@@ -108,9 +115,20 @@ class _HashAggState:
         ]
         #: Key columns of newly-seen groups, appended in slot order.
         self._key_chunks: list[list[np.ndarray]] = []
+        #: Incrementally maintained key-column byte estimate (avoids an
+        #: O(#chunks) walk on every page when budgets are enabled).
+        self._key_bytes = 0
 
     def __len__(self) -> int:
         return len(self._slots)
+
+    def tracked_bytes(self) -> int:
+        """Estimated resident size of the state (field arrays at their
+        grown capacity, key chunks, and per-slot dict overhead)."""
+        total = self._key_bytes + _SLOT_OVERHEAD_BYTES * len(self._slots)
+        for arr in self._fields:
+            total += arr.nbytes
+        return total
 
     def _grow_to(self, n: int) -> None:
         if n <= self._capacity:
@@ -147,7 +165,14 @@ class _HashAggState:
             ids[g] = slot
         if len(slots) > before:
             new = ids >= before
-            self._key_chunks.append([col[new] for col in key_columns])
+            chunk = [col[new] for col in key_columns]
+            self._key_chunks.append(chunk)
+            for col in chunk:
+                self._key_bytes += (
+                    col.size * _OBJECT_CELL_BYTES
+                    if col.dtype == object
+                    else col.nbytes
+                )
             self._grow_to(len(slots))
         for arr, (kind, dtype), values in zip(
             self._fields, self.field_specs, field_values
@@ -191,6 +216,7 @@ class _HashAggState:
         self._capacity = 0
         self._fields = [np.zeros(0, dtype=dt) for _, dt in self.field_specs]
         self._key_chunks = []
+        self._key_bytes = 0
         return keys, fields
 
 
@@ -293,6 +319,7 @@ class PartialAggOperator(TransformOperator):
         row_limit: int = 4096,
         group_limit: int = 100_000,
         compiled: bool = True,
+        memory: OperatorMemory | None = None,
     ):
         super().__init__(cost)
         self.group_keys = group_keys
@@ -303,6 +330,7 @@ class PartialAggOperator(TransformOperator):
         self._factorizer = _GroupKeyFactorizer()
         self._eval_args = _aggregate_arg_evaluator(aggregates, compiled)
         self.rows_in = 0
+        self.memory = memory
 
     def process(self, page: Page) -> tuple[list[Page], float]:
         if page.is_end:
@@ -325,7 +353,12 @@ class PartialAggOperator(TransformOperator):
             _group_key_tuples(uniques, ngroups), uniques, partials
         )
         out: list[Page] = []
-        if len(self.state) > self.group_limit:
+        # Partial state is destructible by design: memory pressure is
+        # relieved by flushing downstream early, never by spilling.
+        pressure = self.memory is not None and self.memory.report(
+            self.state.tracked_bytes()
+        )
+        if len(self.state) > self.group_limit or pressure:
             out = self._flush()
             cpu += self.cpu(sum(p.num_rows for p in out), self.cost.partial_agg_row_cost)
         return out, cpu
@@ -334,6 +367,8 @@ class PartialAggOperator(TransformOperator):
         if not len(self.state):
             return []
         key_cols, field_cols = self.state.drain_columns()
+        if self.memory is not None:
+            self.memory.report(0)
         builder = PageBuilder(self.output_schema, self.row_limit)
         builder.append_columns(key_cols + field_cols)
         pages = builder.build_full_pages()
@@ -344,7 +379,17 @@ class PartialAggOperator(TransformOperator):
 
 
 class FinalAggOperator(TransformOperator):
-    """Merges partial aggregation pages into final results (stateful)."""
+    """Merges partial aggregation pages into final results (stateful).
+
+    Under a memory budget the state spills on overflow: it is drained
+    back to partial-page format and radix-partitioned on the group keys
+    (DESIGN.md §13).  On the end page the spilled partitions are merged
+    one at a time into a fresh state — every group lands in exactly one
+    partition, so partition results concatenate into the final output and
+    peak memory is bounded by the largest partition's state.  Global
+    aggregates (``num_keys == 0``) keep a single-slot state and never
+    spill.
+    """
 
     name = "final_aggregation"
 
@@ -355,6 +400,7 @@ class FinalAggOperator(TransformOperator):
         aggregates: list[AggregateCall],
         output_schema: Schema,
         row_limit: int = 4096,
+        memory: OperatorMemory | None = None,
     ):
         super().__init__(cost)
         self.num_keys = num_keys
@@ -363,15 +409,37 @@ class FinalAggOperator(TransformOperator):
         self.state = _HashAggState(aggregates)
         self._factorizer = _GroupKeyFactorizer()
         self.rows_in = 0
+        self.memory = memory
+        self.spill: SpillPartitions | None = None
+        self._input_schema: Schema | None = None
 
     def process(self, page: Page) -> tuple[list[Page], float]:
         if page.is_end:
-            pages = self._final_pages()
             self.finished = True
+            if self.spill is not None:
+                return self._grace_finalize(page)
+            pages = self._final_pages_from_state(self.state)
+            if self.memory is not None:
+                self.memory.report(0)
             cpu = self.cpu(sum(p.num_rows for p in pages), self.cost.final_agg_row_cost)
             return pages + [page], cpu
         self.rows_in += page.num_rows
         cpu = self.cpu(page.num_rows, self.cost.final_agg_row_cost)
+        if self._input_schema is None:
+            self._input_schema = page.schema
+        self._merge_partial_page(self.state, page)
+        if self.memory is not None:
+            if self.num_keys:
+                if self.memory.update(self.state.tracked_bytes()):
+                    cpu += self._spill_state()
+            else:
+                # Single-slot global state: nothing to partition on.
+                self.memory.report(self.state.tracked_bytes())
+        return [], cpu
+
+    def _merge_partial_page(self, state: _HashAggState, page: Page) -> None:
+        """Merge one partial-format page into ``state`` (pre-reducing the
+        page's state columns per group first)."""
         k = self.num_keys
         key_cols = list(page.columns[:k])
         if key_cols:
@@ -381,10 +449,9 @@ class FinalAggOperator(TransformOperator):
             codes = np.zeros(page.num_rows, dtype=np.int64)
             ngroups = 1
             uniques = []
-        # Pre-reduce the page's state columns per group, then merge.
         field_values: list[np.ndarray] = []
         field = 0
-        for kind, _ in self.state.field_specs:
+        for kind, _ in state.field_specs:
             col = page.columns[k + field]
             if kind == _SUM:
                 field_values.append(grouped_sum(codes, col, ngroups))
@@ -393,28 +460,90 @@ class FinalAggOperator(TransformOperator):
             else:
                 field_values.append(grouped_max(codes, col, ngroups))
             field += 1
-        self.state.merge_groups(
+        state.merge_groups(
             _group_key_tuples(uniques, ngroups), uniques, field_values
         )
-        return [], cpu
 
-    def _final_pages(self) -> list[Page]:
-        if not len(self.state):
+    # -- out-of-core path (DESIGN.md §13) ---------------------------------
+    def _state_pages(self) -> list[Page]:
+        """Drain the state back into partial-format pages (spill format:
+        the operator's own input format, so merging a spilled page reuses
+        the ordinary merge path)."""
+        key_cols, field_cols = self.state.drain_columns()
+        builder = PageBuilder(self._input_schema, self.row_limit)
+        builder.append_columns(list(key_cols) + list(field_cols))
+        pages = builder.build_full_pages()
+        tail = builder.flush()
+        if tail is not None:
+            pages.append(tail)
+        return pages
+
+    def _spill_state(self) -> float:
+        """Spill the current state to the radix partitions; returns the
+        virtual I/O cost."""
+        memory = self.memory
+        if self.spill is None:
+            query = memory.query
+            self.spill = SpillPartitions(
+                query.spill_directory(),
+                memory.name,
+                self._input_schema,
+                list(range(self.num_keys)),
+                query.config.spill_fanout,
+            )
+        nbytes = 0
+        for pg in self._state_pages():
+            nbytes += self.spill.write_page(pg)
+        memory.update(self.state.tracked_bytes())
+        return memory.spill_written(nbytes, self.spill.partitions_written, "state")
+
+    def _grace_finalize(self, end_page: Page) -> tuple[list[Page], float]:
+        """End of input with spilled state: merge partition-at-a-time."""
+        cpu = 0.0
+        if len(self.state):
+            cpu += self._spill_state()
+        self.spill.finish()
+        memory = self.memory
+        out: list[Page] = []
+        for p in range(memory.query.config.spill_fanout):
+            nbytes = self.spill.partition_bytes(p)
+            if nbytes == 0:
+                continue
+            cpu += memory.spill_read(nbytes, f"partition {p}")
+            state = _HashAggState(self.state.aggregates)
+            rows = 0
+            for pg in self.spill.read_pages(p):
+                rows += pg.num_rows
+                self._merge_partial_page(state, pg)
+            memory.update(state.tracked_bytes())
+            pages = self._final_pages_from_state(state)
+            cpu += self.cpu(
+                rows + sum(p2.num_rows for p2 in pages),
+                self.cost.final_agg_row_cost,
+            )
+            out.extend(pages)
+        memory.update(0)
+        self.spill.delete()
+        self.spill = None
+        return out + [end_page], cpu
+
+    def _final_pages_from_state(self, state: _HashAggState) -> list[Page]:
+        if not len(state):
             if self.num_keys == 0:
                 # Global aggregate over empty input still yields one row.
                 row = tuple(
                     _empty_value(a.function, a.result_type)
-                    for a in self.state.aggregates
+                    for a in state.aggregates
                 )
                 builder = PageBuilder(self.output_schema, self.row_limit)
                 builder.append_rows([row])
                 page = builder.flush()
                 return [page] if page is not None else []
             return []
-        key_cols, field_cols = self.state.drain_columns()
+        key_cols, field_cols = state.drain_columns()
         columns = list(key_cols)
-        for ai, agg in enumerate(self.state.aggregates):
-            offset = self.offsets_of(ai)
+        for ai, agg in enumerate(state.aggregates):
+            offset = state.offsets[ai]
             if agg.function == "avg":
                 totals = field_cols[offset]
                 counts = field_cols[offset + 1]

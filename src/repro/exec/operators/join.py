@@ -14,9 +14,23 @@ group ids in one vectorized pass — ``searchsorted`` against the sorted
 per-column uniques for numeric keys, one dict lookup per *distinct* value
 (not per row) for object keys — then expands matches with ``np.repeat``
 and fancy indexing.  No per-row python loop survives on the numeric path.
+
+Out-of-core mode (DESIGN.md §13): when the query's memory budget is
+exceeded while the build side accumulates, the bridge switches to a
+Grace-style radix plan — build pages go to spilled partitions instead of
+the in-memory index, probe pages are partitioned the same way, and once
+the probe input ends the partitions are joined pairwise, building one
+in-memory :class:`_BuildIndex` per partition so peak memory stays near
+``build_bytes / fanout`` instead of ``build_bytes``.  Oversized
+partitions repartition recursively on the next radix digit, guarded by a
+max depth and a strict-shrink check (a single pathological key cannot
+recurse forever).  CROSS joins have no keys to partition on and never
+spill.
 """
 
 from __future__ import annotations
+
+import itertools
 
 import numpy as np
 
@@ -27,6 +41,7 @@ from ...pages import Page, Schema, concat_pages
 from ...plan.logical import JoinType
 from ...sql.compiler import compile_expression
 from ...sql.expressions import BoundExpr
+from ..spill import OperatorMemory, SpillPartitions
 from .base import SinkOperator, TransformOperator
 
 _INT64_MAX = np.iinfo(np.int64).max
@@ -51,31 +66,16 @@ def _dense_int_lut(uniq: np.ndarray) -> tuple[np.ndarray, int] | None:
     return table, base
 
 
-class JoinBridge:
-    """Shared build-side state of one task's hash join."""
+class _BuildIndex:
+    """CSR join index over one build-side page.
 
-    def __init__(
-        self,
-        kernel,
-        build_schema: Schema,
-        build_keys: list[int],
-        name: str = "bridge",
-    ):
-        self.kernel = kernel
-        self.build_schema = build_schema
-        self.build_keys = build_keys
-        self.name = name
-        self.pages: list[Page] = []
-        self.build_rows = 0
-        self.ready = False
-        self.on_ready = WaiterList()
-        self._producers = 0
-        self._finished_producers = 0
-        self.created_at = kernel.now
-        self.first_page_at: float | None = None
-        self.ready_at: float | None = None
-        self.build_page: Page | None = None
-        # CSR index, populated by _finalize().
+    Extracted from the bridge so the out-of-core path can build one small
+    index per spilled partition; the in-memory path builds exactly one
+    over the whole build side.
+    """
+
+    def __init__(self, build_page: Page, build_keys: list[int]):
+        self.build_page = build_page
         self.num_groups = 0
         self.sorted_rows = np.zeros(0, dtype=np.int64)
         self.group_starts = np.zeros(1, dtype=np.int64)
@@ -87,31 +87,9 @@ class JoinBridge:
         self._ucomb = np.zeros(0, dtype=np.int64)
         self._identity_comb = False
         self._fallback_table: dict[tuple, int] | None = None
-
-    # -- build side -------------------------------------------------------
-    def register_producer(self) -> None:
-        self._producers += 1
-
-    def add_page(self, page: Page) -> None:
-        if self.ready:
-            raise ExecutionError(f"{self.name}: build page after finalize")
-        if self.first_page_at is None:
-            self.first_page_at = self.kernel.now
-        self.pages.append(page)
-        self.build_rows += page.num_rows
-
-    def producer_finished(self) -> None:
-        self._finished_producers += 1
-        if self._producers and self._finished_producers >= self._producers:
-            self._finalize()
-
-    def _finalize(self) -> None:
-        self.build_page = concat_pages(self.build_schema, self.pages)
-        self.pages = []
-        key_cols = [self.build_page.columns[k] for k in self.build_keys]
-        n = self.build_page.num_rows
-        if key_cols and n:
-            codes = self._build_key_index(key_cols)
+        key_cols = [build_page.columns[k] for k in build_keys]
+        if key_cols and build_page.num_rows:
+            codes = self._factorize(key_cols)
             order = np.argsort(codes, kind="stable")
             counts = np.bincount(codes, minlength=self.num_groups).astype(np.int64)
             starts = np.zeros(self.num_groups + 1, dtype=np.int64)
@@ -119,11 +97,8 @@ class JoinBridge:
             self.sorted_rows = order.astype(np.int64, copy=False)
             self.group_starts = starts
             self.group_counts = counts
-        self.ready = True
-        self.ready_at = self.kernel.now
-        self.on_ready.notify_all()
 
-    def _build_key_index(self, key_cols: list[np.ndarray]) -> np.ndarray:
+    def _factorize(self, key_cols: list[np.ndarray]) -> np.ndarray:
         """Factorize build keys; returns a dense group code per build row."""
         per_col_codes: list[np.ndarray] = []
         for col in key_cols:
@@ -168,7 +143,6 @@ class JoinBridge:
         self.num_groups = len(table)
         return codes
 
-    # -- probe side -------------------------------------------------------
     def probe_group_ids(self, key_cols: list[np.ndarray]) -> np.ndarray:
         """Map each probe row to its build group id, or -1 for no match."""
         n = len(key_cols[0]) if key_cols else 0
@@ -259,6 +233,134 @@ class JoinBridge:
         build_rows = self.sorted_rows[np.repeat(self.group_starts[mgids], repeats) + within]
         return probe_rows, build_rows
 
+
+class JoinBridge:
+    """Shared build-side state of one task's hash join."""
+
+    def __init__(
+        self,
+        kernel,
+        build_schema: Schema,
+        build_keys: list[int],
+        name: str = "bridge",
+        memory: OperatorMemory | None = None,
+    ):
+        self.kernel = kernel
+        self.build_schema = build_schema
+        self.build_keys = build_keys
+        self.name = name
+        self.memory = memory
+        self.pages: list[Page] = []
+        self.build_rows = 0
+        self.ready = False
+        self.on_ready = WaiterList()
+        self._producers = 0
+        self._finished_producers = 0
+        self.created_at = kernel.now
+        self.first_page_at: float | None = None
+        self.ready_at: float | None = None
+        #: Populated by _finalize() on the in-memory path; None when spilled.
+        self.index: _BuildIndex | None = None
+        # Out-of-core (Grace) state.
+        self.spilled = False
+        self.grace_done = False
+        self.build_spill: SpillPartitions | None = None
+        self.probe_spill: SpillPartitions | None = None
+        self._tracked = 0
+        self._spill_seq = itertools.count()
+
+    # -- index delegation (stable surface for probe operators and tests) --
+    @property
+    def build_page(self) -> Page | None:
+        return self.index.build_page if self.index is not None else None
+
+    @property
+    def num_groups(self) -> int:
+        return self.index.num_groups if self.index is not None else 0
+
+    def probe_group_ids(self, key_cols: list[np.ndarray]) -> np.ndarray:
+        return self.index.probe_group_ids(key_cols)
+
+    def expand_matches(self, gids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.index.expand_matches(gids)
+
+    # -- build side -------------------------------------------------------
+    def register_producer(self) -> None:
+        self._producers += 1
+
+    def add_page(self, page: Page) -> float:
+        """Accumulate one build page; returns the virtual spill-I/O cost
+        incurred (0.0 while the build stays in memory)."""
+        if self.ready:
+            raise ExecutionError(f"{self.name}: build page after finalize")
+        if self.first_page_at is None:
+            self.first_page_at = self.kernel.now
+        self.build_rows += page.num_rows
+        if self.spilled:
+            nbytes = self.build_spill.write_page(page)
+            return self.memory.spill_written(
+                nbytes, self.build_spill.partitions_written, "build"
+            )
+        self.pages.append(page)
+        if self.memory is not None:
+            self._tracked += page.size_bytes
+            # CROSS joins have no keys to partition on: they stay in
+            # memory even over budget (documented fallback).
+            if self.memory.update(self._tracked) and self.build_keys:
+                return self._enter_spill_mode()
+        return 0.0
+
+    def _enter_spill_mode(self) -> float:
+        """Switch to the Grace plan: flush accumulated build pages to
+        radix partitions and stop growing the in-memory build."""
+        query = self.memory.query
+        self.build_spill = SpillPartitions(
+            query.spill_directory(),
+            f"{self.name}.build",
+            self.build_schema,
+            self.build_keys,
+            query.config.spill_fanout,
+        )
+        nbytes = 0
+        for page in self.pages:
+            nbytes += self.build_spill.write_page(page)
+        self.pages = []
+        self.spilled = True
+        self._tracked = 0
+        self.memory.update(0)
+        return self.memory.spill_written(
+            nbytes, self.build_spill.partitions_written, "build"
+        )
+
+    def producer_finished(self) -> None:
+        self._finished_producers += 1
+        if self._producers and self._finished_producers >= self._producers:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        if self.spilled:
+            # Index construction is deferred to the probe side, one
+            # partition at a time (HashJoinProbeOperator._grace_join).
+            self.build_spill.finish()
+        else:
+            self.index = _BuildIndex(
+                concat_pages(self.build_schema, self.pages), self.build_keys
+            )
+            self.pages = []
+            if self.memory is not None:
+                self._tracked = self.index.build_page.size_bytes
+                self.memory.update(self._tracked)
+        self.ready = True
+        self.ready_at = self.kernel.now
+        self.on_ready.notify_all()
+
+    def release_spill(self) -> None:
+        """Drop the spilled partition files (after the grace join ran)."""
+        if self.build_spill is not None:
+            self.build_spill.delete()
+        if self.probe_spill is not None:
+            self.probe_spill.delete()
+
     @property
     def build_seconds(self) -> float:
         """T_build for this task: first build page to hash-table-ready.
@@ -284,10 +386,11 @@ class JoinBuildSink(SinkOperator):
 
     def deliver(self, pages: list[Page]) -> float:
         rows = 0
+        spill_cost = 0.0
         for page in pages:
-            self.bridge.add_page(page)
+            spill_cost += self.bridge.add_page(page)
             rows += page.num_rows
-        return rows * self.cost.join_build_row_cost * self.cost.cpu_multiplier
+        return rows * self.cost.join_build_row_cost * self.cost.cpu_multiplier + spill_cost
 
     def driver_finished(self) -> None:
         self.bridge.producer_finished()
@@ -330,28 +433,49 @@ class HashJoinProbeOperator(TransformOperator):
     def process(self, page: Page) -> tuple[list[Page], float]:
         if page.is_end:
             self.finished = True
+            bridge = self.bridge
+            if bridge.spilled and not bridge.grace_done:
+                # First probe driver to drain its input runs the grace
+                # join.  Safe with multiple drivers: every earlier data
+                # page was partitioned to disk synchronously within its
+                # own quantum, and end pages always trail the data.
+                bridge.grace_done = True
+                pages, cost = self._grace_join()
+                bridge.release_spill()
+                return pages + [page], cost
             return [page], 0.0
         if not self.bridge.ready:
             raise ExecutionError("probe ran before hash table was ready")
         self.rows_probed += page.num_rows
         cpu = self.cpu(page.num_rows, self.cost.join_probe_row_cost)
 
+        if self.bridge.spilled:
+            return self._spill_probe_page(page, cpu)
+
         if self.join_type is JoinType.CROSS:
             return self._cross(page, cpu)
 
+        pages, extra = self._probe_with(self.bridge.index, page)
+        return pages, cpu + extra
+
+    def _probe_with(
+        self, index: _BuildIndex, page: Page
+    ) -> tuple[list[Page], float]:
+        """Probe one page against one index (whole build or one spilled
+        partition); returns output pages and the match-expansion cost."""
         key_cols = [page.columns[k] for k in self.probe_keys]
-        gids = self.bridge.probe_group_ids(key_cols)
+        gids = index.probe_group_ids(key_cols)
         if self.join_type in (JoinType.SEMI, JoinType.ANTI):
             mask = (gids >= 0) == (self.join_type is JoinType.SEMI)
             if not mask.any():
-                return [], cpu
-            return [page.mask(mask)], cpu
+                return [], 0.0
+            return [page.mask(mask)], 0.0
 
-        probe_rows, build_rows = self.bridge.expand_matches(gids)
+        probe_rows, build_rows = index.expand_matches(gids)
         if len(probe_rows) == 0:
-            return [], cpu
-        cpu += self.cpu(len(probe_rows), self.cost.join_probe_row_cost)
-        out = self._combine(page, probe_rows, build_rows)
+            return [], 0.0
+        cpu = self.cpu(len(probe_rows), self.cost.join_probe_row_cost)
+        out = self._combine(index.build_page, page, probe_rows, build_rows)
         if self._residual_evaluate is not None:
             mask = self._residual_evaluate(out).astype(bool, copy=False)
             if not mask.any():
@@ -359,8 +483,13 @@ class HashJoinProbeOperator(TransformOperator):
             out = out.mask(mask)
         return [out], cpu
 
-    def _combine(self, page: Page, probe_rows: np.ndarray, build_rows: np.ndarray) -> Page:
-        build_page = self.bridge.build_page
+    def _combine(
+        self,
+        build_page: Page,
+        page: Page,
+        probe_rows: np.ndarray,
+        build_rows: np.ndarray,
+    ) -> Page:
         columns = [c[probe_rows] for c in page.columns]
         columns += [c[build_rows] for c in build_page.columns]
         return Page(self.output_schema, columns)
@@ -373,10 +502,156 @@ class HashJoinProbeOperator(TransformOperator):
         probe_rows = np.repeat(np.arange(page.num_rows), nb)
         build_rows = np.tile(np.arange(nb), page.num_rows)
         cpu += self.cpu(len(probe_rows), self.cost.join_probe_row_cost)
-        out = self._combine(page, probe_rows, build_rows)
+        out = self._combine(build_page, page, probe_rows, build_rows)
         if self._residual_evaluate is not None:
             mask = self._residual_evaluate(out).astype(bool, copy=False)
             out = out.mask(mask)
         if out.num_rows == 0:
             return [], cpu
         return [out], cpu
+
+    # -- out-of-core (Grace) probe path -----------------------------------
+    def _spill_probe_page(
+        self, page: Page, cpu: float
+    ) -> tuple[list[Page], float]:
+        """Route one probe page to the shared radix partitions on disk."""
+        bridge = self.bridge
+        if bridge.probe_spill is None:
+            query = bridge.memory.query
+            bridge.probe_spill = SpillPartitions(
+                query.spill_directory(),
+                f"{bridge.name}.probe",
+                page.schema,
+                self.probe_keys,
+                query.config.spill_fanout,
+            )
+        nbytes = bridge.probe_spill.write_page(page)
+        cpu += bridge.memory.spill_written(
+            nbytes, bridge.probe_spill.partitions_written, "probe"
+        )
+        return [], cpu
+
+    def _grace_join(self) -> tuple[list[Page], float]:
+        """Join the spilled build/probe partitions pairwise."""
+        bridge = self.bridge
+        out: list[Page] = []
+        cost = 0.0
+        if bridge.probe_spill is None:
+            return out, cost  # probe side produced no rows at all
+        bridge.probe_spill.finish()  # flush buffered writers before reading
+        memory = bridge.memory
+        for p in range(bridge.memory.query.config.spill_fanout):
+            probe_bytes = bridge.probe_spill.partition_bytes(p)
+            if probe_bytes == 0:
+                continue  # no probe rows → no output, even for ANTI
+            build_bytes = bridge.build_spill.partition_bytes(p)
+            cost += memory.spill_read(
+                build_bytes + probe_bytes, f"partition {p}"
+            )
+            cost += self._join_partition(
+                list(bridge.build_spill.read_pages(p)),
+                bridge.probe_spill.read_pages(p),
+                build_bytes,
+                parent_bytes=_INT64_MAX,
+                level=0,
+                out=out,
+            )
+        return out, cost
+
+    def _join_partition(
+        self,
+        build_pages: list[Page],
+        probe_pages,
+        build_bytes: int,
+        parent_bytes: int,
+        level: int,
+        out: list[Page],
+    ) -> float:
+        """Join one partition pair in memory, or repartition it on the
+        next radix digit when its build side still exceeds the budget.
+
+        The strict-shrink guard (``build_bytes < parent_bytes``) together
+        with the depth cap stops recursion on degenerate keys — a
+        partition whose rows all share one key value lands in the same
+        child partition at every level, so repartitioning it again would
+        loop forever; such partitions fall back to an in-memory build.
+        """
+        bridge = self.bridge
+        memory = bridge.memory
+        config = memory.query.config
+        budget = memory.query.budget_bytes
+        cost = 0.0
+        if (
+            budget is not None
+            and build_bytes > budget
+            and level + 1 < config.spill_max_depth
+            and build_bytes < parent_bytes
+        ):
+            directory = memory.query.spill_directory()
+            seq = next(bridge._spill_seq)
+            sub_build = SpillPartitions(
+                directory,
+                f"{bridge.name}.g{seq}.build",
+                bridge.build_schema,
+                bridge.build_keys,
+                config.spill_fanout,
+                level=level + 1,
+            )
+            written = 0
+            for pg in build_pages:
+                written += sub_build.write_page(pg)
+            sub_build.finish()
+            probe_schema = None
+            sub_probe = None
+            for pg in probe_pages:
+                if sub_probe is None:
+                    sub_probe = SpillPartitions(
+                        directory,
+                        f"{bridge.name}.g{seq}.probe",
+                        pg.schema,
+                        self.probe_keys,
+                        config.spill_fanout,
+                        level=level + 1,
+                    )
+                written += sub_probe.write_page(pg)
+            if sub_probe is not None:
+                sub_probe.finish()
+            cost += memory.spill_written(
+                written,
+                sub_build.partitions_written
+                + (sub_probe.partitions_written if sub_probe else 0),
+                f"repartition l{level + 1}",
+            )
+            if sub_probe is not None:
+                for q in range(config.spill_fanout):
+                    sub_probe_bytes = sub_probe.partition_bytes(q)
+                    if sub_probe_bytes == 0:
+                        continue
+                    sub_bytes = sub_build.partition_bytes(q)
+                    cost += memory.spill_read(
+                        sub_bytes + sub_probe_bytes, f"partition l{level + 1}.{q}"
+                    )
+                    cost += self._join_partition(
+                        list(sub_build.read_pages(q)),
+                        sub_probe.read_pages(q),
+                        sub_bytes,
+                        parent_bytes=build_bytes,
+                        level=level + 1,
+                        out=out,
+                    )
+            sub_build.delete()
+            if sub_probe is not None:
+                sub_probe.delete()
+            return cost
+
+        build_page = concat_pages(bridge.build_schema, build_pages)
+        index = _BuildIndex(build_page, bridge.build_keys)
+        cost += self.cpu(build_page.num_rows, self.cost.join_build_row_cost)
+        memory.update(bridge._tracked + build_page.size_bytes)
+        for page in probe_pages:
+            cost += self.cpu(page.num_rows, self.cost.join_probe_row_cost)
+            pages, extra = self._probe_with(index, page)
+            cost += extra
+            out.extend(pages)
+        memory.update(bridge._tracked)
+        return cost

@@ -49,6 +49,7 @@ from .splits import RemoteSplit, SplitFeed
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.node import Node
+    from .spill import QueryMemory
 
 
 @dataclass(frozen=True, order=True)
@@ -90,6 +91,7 @@ class Task:
         on_error: Callable[["Task", Exception], None] | None = None,
         query_id: int | None = None,
         trace_parent: int | None = None,
+        memory: "QueryMemory | None" = None,
     ):
         self.kernel = kernel
         self.config = config
@@ -119,6 +121,10 @@ class Task:
         self.inflight_quanta = 0
         self._drain_callbacks: list = []
         self.query_id = query_id
+        #: Per-query memory accounting; None means unlimited (no budget).
+        self.memory = memory
+        self._op_seq = 0
+        self._memory_handles: list = []
         self.trace_span = kernel.tracer.begin(
             "task",
             str(self.task_id),
@@ -143,7 +149,13 @@ class Task:
             for i in range(layout.local_exchanges)
         ]
         self.bridges = [
-            JoinBridge(kernel, b.build_schema, list(b.build_keys), f"{self.task_id}.b{b.id}")
+            JoinBridge(
+                kernel,
+                b.build_schema,
+                list(b.build_keys),
+                f"{self.task_id}.b{b.id}",
+                memory=self._op_memory(f"b{b.id}"),
+            )
             for b in layout.bridges
         ]
         self._bridge_by_join = {
@@ -156,6 +168,19 @@ class Task:
             self.output_buffer.trace_parent = self.trace_span
             for client in self.exchange_clients.values():
                 client.buffer.trace_parent = self.trace_span
+
+    # ------------------------------------------------------------------
+    def _op_memory(self, label: str):
+        """An accounting handle for one stateful operator of this task
+        (None when the query runs without memory accounting)."""
+        if self.memory is None:
+            return None
+        self._op_seq += 1
+        handle = self.memory.operator(
+            f"{self.task_id}.{label}.{self._op_seq}", trace_parent=self.trace_span
+        )
+        self._memory_handles.append(handle)
+        return handle
 
     # ------------------------------------------------------------------
     def _make_output_buffer(self) -> TaskOutputBuffer:
@@ -301,6 +326,7 @@ class Task:
                 row_limit=self.config.page_row_limit,
                 group_limit=self.config.partial_agg_group_limit,
                 compiled=compiled,
+                memory=self._op_memory("partial_agg"),
             )
         if isinstance(node, PFinalAggNode):
             return FinalAggOperator(
@@ -309,6 +335,7 @@ class Task:
                 node.aggregates,
                 node.schema,
                 row_limit=self.config.page_row_limit,
+                memory=self._op_memory("final_agg"),
             )
         if isinstance(node, PJoinNode):
             bridge = self.bridges[self._bridge_by_join[id(node)]]
@@ -355,10 +382,17 @@ class Task:
         self.finished = True
         self.finished_at = self.kernel.now
         self.node.task_count -= 1
+        self._release_memory()
         self.output_buffer.task_finished()
         self.kernel.tracer.end(self.trace_span)
         if self.on_finished is not None:
             self.on_finished(self)
+
+    def _release_memory(self) -> None:
+        """Return this task's tracked bytes to the query budget (finished
+        or crashed tasks no longer hold operator state)."""
+        for handle in self._memory_handles:
+            handle.report(0)
 
     def crash(self, reason: str = "node down") -> None:
         """Kill this task mid-execution (fault injection).
@@ -375,6 +409,7 @@ class Task:
         self.finished = True
         self.finished_at = self.kernel.now
         self.node.task_count -= 1
+        self._release_memory()
         self.crash_reason = reason
         self.kernel.tracer.end(self.trace_span, crashed=True, reason=reason)
         for client in self.exchange_clients.values():

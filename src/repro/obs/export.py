@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Spans of these kinds get a per-task lane; everything else goes to a
 #: coordinator-scope lane keyed by kind.
-_TASK_SCOPED = ("task", "quantum", "operator", "buffer")
+_TASK_SCOPED = ("task", "quantum", "operator", "buffer", "spill")
 
 
 class QueryTrace:

@@ -28,6 +28,9 @@ class OpProfile:
     calls: int = 0
     rows: int = 0
     wall_ns: int = 0
+    #: Highest tracked state size observed for this operator (bytes);
+    #: stays 0 for stateless operators.
+    peak_bytes: int = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -51,6 +54,7 @@ class Profiler:
         operator: str,
         wall_ns: int,
         rows: int,
+        peak_bytes: int = 0,
     ) -> None:
         key = (query_id, stage, operator)
         entry = self.records.get(key)
@@ -59,6 +63,8 @@ class Profiler:
         entry.calls += 1
         entry.rows += rows
         entry.wall_ns += wall_ns
+        if peak_bytes > entry.peak_bytes:
+            entry.peak_bytes = peak_bytes
 
     def report(self, query_id: int | None = None) -> "ProfileReport":
         """Entries for one query (or everything), hottest first."""

@@ -103,6 +103,63 @@ class Page:
             self._size = total
         return self._size
 
+    # -- buffer protocol (zero-copy serialization, DESIGN.md §13) ---------
+    def column_buffers(self) -> list:
+        """Flat list of buffer views covering every column, copy-free
+        where the memory layout allows it.
+
+        Fixed-width columns contribute one ``memoryview`` over the numpy
+        array's own buffer (no bytes are copied until a consumer writes
+        them somewhere).  String columns are not stored contiguously, so
+        each contributes two materialised buffers: an ``int32`` length
+        array (as a memoryview) and the concatenated UTF-8 payload.  The
+        spill files and a future shared-memory executor both consume this
+        layout; :meth:`from_column_buffers` is the inverse.
+        """
+        buffers: list = []
+        for fld, col in zip(self.schema, self.columns):
+            if fld.type.fixed_width is None:
+                encoded = [str(v).encode("utf-8") for v in col.tolist()]
+                lengths = np.fromiter(
+                    (len(e) for e in encoded), dtype=np.int32, count=len(encoded)
+                )
+                buffers.append(memoryview(lengths).cast("B"))
+                buffers.append(b"".join(encoded))
+            else:
+                arr = np.ascontiguousarray(col)
+                buffers.append(memoryview(arr).cast("B"))
+        return buffers
+
+    @classmethod
+    def from_column_buffers(
+        cls, schema: Schema, num_rows: int, buffers: Sequence
+    ) -> "Page":
+        """Rebuild a page from :meth:`column_buffers` output.
+
+        Fixed-width columns come back as ``np.frombuffer`` views over the
+        provided buffers (zero-copy; the arrays are read-only, which every
+        operator honours — transformations allocate fresh arrays).
+        """
+        columns: list[np.ndarray] = []
+        cursor = 0
+        for fld in schema:
+            if fld.type.fixed_width is None:
+                lengths = np.frombuffer(buffers[cursor], dtype=np.int32)
+                payload = bytes(buffers[cursor + 1])
+                cursor += 2
+                values = np.empty(num_rows, dtype=object)
+                offset = 0
+                for i, n in enumerate(lengths.tolist()):
+                    values[i] = payload[offset : offset + n].decode("utf-8")
+                    offset += n
+                columns.append(values)
+            else:
+                columns.append(
+                    np.frombuffer(buffers[cursor], dtype=fld.type.numpy_dtype)
+                )
+                cursor += 1
+        return cls(schema, columns)
+
     # -- row-level views (tests / result collection) ---------------------
     def rows(self) -> list[tuple]:
         """Materialise the page as a list of python row tuples."""

@@ -66,6 +66,8 @@ class ArbiterEntry:
     #: revocable ("extra") under rebalancing.
     baseline: dict[int, int] = field(default_factory=dict)
     revoked: int = 0
+    #: Memory grant at registration (None -> engine-config budget).
+    memory_bytes: int | None = None
 
 
 class ResourceArbiter:
@@ -101,6 +103,7 @@ class ResourceArbiter:
         tenant: str,
         priority: float = 0.0,
         deadline_at: float | None = None,
+        memory_bytes: int | None = None,
     ) -> None:
         entry = ArbiterEntry(
             execution=execution,
@@ -111,7 +114,12 @@ class ResourceArbiter:
                 sid: stage.stage_dop
                 for sid, stage in execution.stages.items()
             },
+            memory_bytes=memory_bytes,
         )
+        if memory_bytes is not None:
+            # The grant is the budget: operators that outgrow it spill
+            # (or fail, with MemoryConfig.spill_enabled=False).
+            execution.memory.set_budget(memory_bytes)
         self.entries[execution.id] = entry
         execution.on_done(lambda _exec: self._unregister(_exec.id))
         if self.config.arbitration == "deadline":
@@ -228,6 +236,47 @@ class ResourceArbiter:
         self.trims += 1
         self._record(query, request, current, target, "trim", free, prediction)
         return TuningRequest(request.stage, request.kind, target)
+
+    def resize_memory(self, query_id: int, memory_bytes: int | None) -> None:
+        """Runtime memory re-grant — the budget's second elastic knob.
+
+        A trimmed grant makes the query's operators spill on their next
+        growth; an enlarged one stops further spilling (state already on
+        disk stays there and is merged partition-at-a-time — correctness
+        over un-spilling).  ``None`` lifts the budget entirely.
+        """
+        entry = self.entries.get(query_id)
+        if entry is None or entry.execution.finished:
+            raise TuningRejected(
+                f"resize_memory: query {query_id} is not registered or "
+                f"already finished",
+                reason="filtered",
+            )
+        memory = entry.execution.memory
+        old = memory.budget_bytes
+        memory.set_budget(memory_bytes)
+        shrinking = (
+            memory_bytes is not None and (old is None or memory_bytes < old)
+        )
+        if shrinking:
+            self.trims += 1
+        else:
+            self.grants += 1
+        self.log.append(
+            Bid(
+                time=self.kernel.now,
+                query_id=query_id,
+                tenant=entry.tenant,
+                stage=-1,
+                kind="memory",
+                current=old if old is not None else -1,
+                requested=memory_bytes if memory_bytes is not None else -1,
+                granted=memory_bytes if memory_bytes is not None else -1,
+                decision="trim" if shrinking else "grant",
+                free_cores=max(0, self.capacity - self.cluster_usage()),
+            )
+        )
+        entry.memory_bytes = memory_bytes
 
     def _usage_at_or_above(self, query_id: int) -> int:
         """Cores held by queries with strictly higher priority than
@@ -424,6 +473,7 @@ class ResourceArbiter:
 
     # -- observability ------------------------------------------------------
     def stats(self) -> dict:
+        live = [e for e in self._sorted_entries() if not e.execution.finished]
         return {
             "capacity_cores": self.capacity,
             "usage_cores": self.cluster_usage(),
@@ -431,4 +481,13 @@ class ResourceArbiter:
             "trims": self.trims,
             "deferrals": self.deferrals,
             "revocations": self.revocations,
+            "memory_granted_bytes": sum(
+                e.memory_bytes for e in live if e.memory_bytes is not None
+            ),
+            "memory_tracked_bytes": sum(
+                e.execution.memory.total_bytes for e in live
+            ),
+            "memory_spilled_bytes": sum(
+                e.execution.memory.spilled_bytes for e in live
+            ),
         }

@@ -165,6 +165,7 @@ class WorkloadManager:
             tenant=pending.session.tenant,
             priority=pending.priority,
             deadline_at=record.deadline_at,
+            memory_bytes=pending.memory_bytes,
         )
         # Deadline-constrained queries need a collector/what-if service
         # from the start so the arbiter's rebalance pass can estimate

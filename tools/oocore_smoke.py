@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Out-of-core smoke: a budgeted query must spill and stay exact.
+
+Runs one state-heavy TPC-H query (Q18 by default) twice on the same
+catalog — once unbudgeted, once under a memory budget far below the
+query's working set — and checks the contract of the out-of-core path
+(DESIGN.md §13):
+
+1. **Identical rows**: the budgeted run returns the rows of the
+   in-memory run — exact for every integer/string cell; float cells are
+   compared rounded to 4 digits, because partition-at-a-time merging
+   re-associates float sums and can move the last ulps.
+2. **Spilling actually happened**: the ``spill.spills`` / ``spill.bytes``
+   metrics counters are non-zero (a budget that never bites would make
+   this smoke vacuous).
+3. **Bounded peak**: the budgeted run's peak tracked bytes stay under
+   the unbudgeted peak (partition-at-a-time merging is doing its job).
+4. **No litter**: the spill directory (rooted at ``REPRO_CACHE_DIR`` when
+   set) is empty again after the queries finish.
+
+Exit status 0 on success, 1 with a summary on any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/oocore_smoke.py [--scale 0.05]
+        [--budget 262144] [--query Q18]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import AccordionEngine, Catalog, EngineConfig, TPCH_QUERIES
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def norm_rows(rows, ndigits: int = 4):
+    """Round float cells for value comparison (spilling re-associates
+    float sums, so the last ulps are not stable across the two paths)."""
+    return [
+        tuple(
+            round(cell, ndigits) if isinstance(cell, float) else cell
+            for cell in row
+        )
+        for row in rows
+    ]
+
+
+def run_query(catalog, sql: str, budget: int | None):
+    config = EngineConfig()
+    if budget is not None:
+        config = config.with_memory(query_budget_bytes=budget)
+    engine = AccordionEngine(catalog, config=config)
+    handle = engine.submit(sql)
+    rows = handle.result().rows
+    stats = handle.execution.memory.stats()
+    counters = {
+        name: engine.metrics.counter(name).value
+        for name in ("spill.spills", "spill.bytes", "spill.partitions")
+    }
+    return rows, stats, counters
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=20250807)
+    parser.add_argument("--budget", type=int, default=262_144)
+    parser.add_argument("--query", default="Q18", choices=sorted(TPCH_QUERIES))
+    args = parser.parse_args()
+
+    if CACHE_DIR_ENV not in os.environ:
+        os.environ[CACHE_DIR_ENV] = tempfile.mkdtemp(prefix="oocore-smoke-")
+    spill_root = Path(os.environ[CACHE_DIR_ENV]) / "spill"
+
+    catalog = Catalog.tpch(scale=args.scale, seed=args.seed)
+    sql = TPCH_QUERIES[args.query]
+    base_rows, base_stats, _ = run_query(catalog, sql, budget=None)
+    spill_rows, spill_stats, counters = run_query(catalog, sql, budget=args.budget)
+
+    failures = []
+    if norm_rows(spill_rows) != norm_rows(base_rows):
+        failures.append(
+            f"rows differ: {len(base_rows)} in-memory vs {len(spill_rows)} budgeted"
+        )
+    if counters["spill.spills"] < 1 or counters["spill.bytes"] <= 0:
+        failures.append(f"budget {args.budget} never triggered a spill: {counters}")
+    if spill_stats["peak_bytes"] >= base_stats["peak_bytes"]:
+        failures.append(
+            f"budgeted peak {spill_stats['peak_bytes']} not below "
+            f"unbudgeted peak {base_stats['peak_bytes']}"
+        )
+    leftovers = list(spill_root.glob("q*")) if spill_root.exists() else []
+    if leftovers:
+        failures.append(f"spill directory not cleaned: {leftovers}")
+
+    ratio = spill_stats["peak_bytes"] / max(base_stats["peak_bytes"], 1)
+    print(
+        f"{args.query} @ SF{args.scale}: rows={len(base_rows)} "
+        f"spills={counters['spill.spills']} "
+        f"spilled={counters['spill.bytes']} bytes "
+        f"peak {base_stats['peak_bytes']} -> {spill_stats['peak_bytes']} "
+        f"({ratio:.1%} of in-memory)"
+    )
+    if failures:
+        print("\nOOCORE SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("oocore smoke OK: budgeted run spilled and stayed value-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
