@@ -15,6 +15,8 @@ Usage::
         --check-trace-overhead                       # CI tracing-overhead gate
     PYTHONPATH=src python benchmarks/perf/harness.py \
         --check-memory-budget      # SF0.2 out-of-core gate (DESIGN.md §13)
+    PYTHONPATH=src python benchmarks/perf/harness.py \
+        --check-sharing-speedup    # >2x effective-QPS gate (DESIGN.md §14)
 
 Determinism: the catalog seed, scale factor, query set, and repetition
 count are pinned; the only nondeterminism left is the host itself, which
@@ -81,6 +83,20 @@ MEMORY_BUDGET_FRACTION = 0.25
 #: only detects the overage *after* the growth that caused it, so peak
 #: tracked bytes overshoot the budget by up to one build increment.
 MEMORY_BUDGET_HEADROOM = 0.8
+#: Sharing gate (DESIGN.md §14): a bursty overlapping workload must gain
+#: this factor of effective QPS from folding + result caching, with
+#: bit-identical per-query answers.
+SHARING_SCALE = 0.01
+SHARING_MIN_SPEEDUP = 2.0
+SHARING_QUERY_MIX = (
+    "select count(*) from lineitem",
+    "select l_returnflag, count(*), min(l_quantity) from lineitem "
+    "where l_quantity < 30 group by l_returnflag",
+    "select l_orderkey, l_quantity from lineitem where l_quantity < 10",
+    "select l_orderkey from lineitem "
+    "where l_quantity < 10 and l_orderkey < 1000",
+    "select o_orderstatus, count(*) from orders group by o_orderstatus",
+)
 
 
 def time_query(catalog: Catalog, sql: str) -> dict:
@@ -296,6 +312,61 @@ def check_memory_budget() -> int:
     return 0
 
 
+def check_sharing_speedup() -> int:
+    """Gate for concurrent-query folding + result caching (DESIGN.md §14).
+
+    Runs one seeded bursty two-tenant workload with sharing off and on:
+    the shared run must improve effective QPS (completed queries per
+    virtual second) by more than ``SHARING_MIN_SPEEDUP`` while returning
+    bit-identical rows for every submission.
+    """
+    from repro import PoissonArrivals, Workload
+
+    catalog = Catalog.tpch(SHARING_SCALE, SEED)
+
+    def run(sharing: bool):
+        config = EngineConfig().with_workload(max_concurrent_queries=2)
+        if sharing:
+            config = config.with_sharing(fold_window=0.05)
+        engine = AccordionEngine(catalog, config=config)
+        workload = Workload(engine, seed=SEED)
+        for tenant in ("bi", "dashboards"):
+            workload.add_tenant(
+                tenant, list(SHARING_QUERY_MIX),
+                PoissonArrivals(rate=100.0, count=20),
+            )
+        report = workload.run()
+        return report, [h.result().rows for h in workload.handles]
+
+    base_report, base_rows = run(sharing=False)
+    shared_report, shared_rows = run(sharing=True)
+    speedup = shared_report.effective_qps / max(base_report.effective_qps, 1e-12)
+    stats = shared_report.sharing
+    print(
+        f"sharing @ SF{SHARING_SCALE}: folds={stats.get('folds', 0)} "
+        f"cache_hits={stats.get('cache_hits', 0)} "
+        f"effective QPS {base_report.effective_qps:.2f} -> "
+        f"{shared_report.effective_qps:.2f} ({speedup:.2f}x, "
+        f"limit >{SHARING_MIN_SPEEDUP}x)"
+    )
+    failures = []
+    if base_rows != shared_rows:
+        failures.append("shared answers differ from unshared answers")
+    if stats.get("folds", 0) < 1 or stats.get("cache_hits", 0) < 1:
+        failures.append(f"workload exercised no folds or no cache hits: {stats}")
+    if speedup <= SHARING_MIN_SPEEDUP:
+        failures.append(
+            f"effective QPS speedup {speedup:.2f}x <= {SHARING_MIN_SPEEDUP}x"
+        )
+    if failures:
+        print("SHARING SPEEDUP CHECK FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("sharing speedup ok")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -332,6 +403,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-sharing-speedup",
+        action="store_true",
+        help=(
+            "exit nonzero unless folding + result caching improve a bursty "
+            f"overlapping workload's effective QPS by more than "
+            f"{SHARING_MIN_SPEEDUP}x with bit-identical answers "
+            "(skips the normal report)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=OUTPUT,
@@ -343,6 +424,8 @@ def main(argv: list[str] | None = None) -> int:
         return check_trace_overhead()
     if args.check_memory_budget:
         return check_memory_budget()
+    if args.check_sharing_speedup:
+        return check_sharing_speedup()
 
     report = run_benchmarks()
     if args.output.exists():

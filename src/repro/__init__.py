@@ -19,6 +19,7 @@ from .config import (
     FaultConfig,
     MemoryConfig,
     NodeSpec,
+    SharingConfig,
     TraceConfig,
     WorkloadConfig,
     config_fingerprint,
@@ -62,6 +63,7 @@ from .handle import QueryHandle, QueryResult
 from .metrics import render_curve_points, render_series, render_table
 from .obs import MetricsRegistry, ProfileReport, QueryTrace, Tracer
 from .script import ScriptResult, run_script
+from .sharing import SharingInfo
 from .workload import (
     Autoscaler,
     ClosedLoop,
@@ -72,7 +74,7 @@ from .workload import (
     WorkloadReport,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AccordionEngine",
@@ -115,6 +117,8 @@ __all__ = [
     "STANDALONE_BENCHMARK",
     "ScriptResult",
     "Session",
+    "SharingConfig",
+    "SharingInfo",
     "SplitLayout",
     "SpotPreemption",
     "SqlError",

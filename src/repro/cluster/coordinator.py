@@ -406,6 +406,15 @@ class Coordinator:
             PLAN_CACHE.put(self.catalog, key, plan)
         return plan
 
+    def next_query_id(self) -> int:
+        """Allocate a query id from the engine-wide sequence.
+
+        Shared-execution consumers (``repro.sharing``) draw their ids
+        here so every user-visible query — physical or folded — has a
+        unique id, while only physical executions live in ``queries``
+        (arbiter usage accounting and fault targeting iterate that)."""
+        return next(self._ids)
+
     def submit(self, sql: str, options: QueryOptions | None = None) -> QueryExecution:
         options = options or QueryOptions()
         plan = self.plan_sql(sql, options)

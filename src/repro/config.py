@@ -358,6 +358,35 @@ class MemoryConfig(_Fingerprinted):
 
 
 @dataclass(frozen=True)
+class SharingConfig(_Fingerprinted):
+    """Concurrent-query folding + result cache (``repro.sharing``).
+
+    Off by default: with ``enabled=False`` every submission runs its own
+    physical execution, bit-identical to earlier releases.  With sharing
+    on, submissions are fingerprinted on their *normalized* logical plan
+    (DESIGN.md §14): repeats of a cached answer short-circuit execution
+    entirely, and concurrent compatible queries fold onto one carrier
+    execution with per-consumer residual operators — answers stay
+    bit-identical to isolated runs by construction.
+    """
+
+    enabled: bool = False
+    #: Graft compatible concurrent queries onto one shared execution.
+    fold: bool = True
+    #: Virtual seconds a *new* carrier waits before dispatching, so
+    #: closely-spaced lookalike queries can pile onto it.  0 dispatches
+    #: immediately (queries arriving at the same instant still fold).
+    fold_window: float = 0.0
+    #: Result-cache capacity in bytes (LRU eviction); 0 disables the
+    #: cache while keeping folding.
+    result_cache_bytes: int = 64 * 1024 * 1024
+    #: Entry lifetime in virtual seconds; ``None`` means no TTL.  Entries
+    #: are also invalidated whenever ``Catalog.register`` bumps the
+    #: catalog version, TTL or not.
+    cache_ttl: float | None = None
+
+
+@dataclass(frozen=True)
 class TraceConfig(_Fingerprinted):
     """Observability switches (``repro.obs``).
 
@@ -438,7 +467,8 @@ class EngineConfig(_Fingerprinted):
         ├── faults:   FaultConfig   (retry/recovery behaviour)
         ├── memory:   MemoryConfig  (per-query budget + spilling)
         ├── tracing:  TraceConfig   (observability switches)
-        └── workload: WorkloadConfig (admission + arbitration)
+        ├── workload: WorkloadConfig (admission + arbitration)
+        └── sharing:  SharingConfig (query folding + result cache)
 
     Every node is a frozen dataclass with a stable ``fingerprint()`` and
     an immutable ``with_<section>(**fields)`` builder on this root class.
@@ -480,6 +510,8 @@ class EngineConfig(_Fingerprinted):
     tracing: TraceConfig = field(default_factory=TraceConfig)
     #: Multi-tenant admission control and resource arbitration.
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: Concurrent-query folding + shared result cache; off by default.
+    sharing: SharingConfig = field(default_factory=SharingConfig)
 
     def with_cluster(self, **kwargs) -> "EngineConfig":
         """Return a copy with cluster fields replaced (test convenience)."""
@@ -505,6 +537,18 @@ class EngineConfig(_Fingerprinted):
     def with_workload(self, **kwargs) -> "EngineConfig":
         """Return a copy with workload fields replaced."""
         return replace(self, workload=replace(self.workload, **kwargs))
+
+    def with_sharing(self, **kwargs) -> "EngineConfig":
+        """Return a copy with sharing enabled (plus any SharingConfig
+        fields).
+
+        ``EngineConfig().with_sharing(fold_window=0.05,
+        result_cache_bytes=128 << 20, cache_ttl=60.0)`` folds compatible
+        concurrent queries onto shared executions and answers repeats
+        from a 128 MB result cache with a 60-virtual-second TTL.
+        """
+        kwargs.setdefault("enabled", True)
+        return replace(self, sharing=replace(self.sharing, **kwargs))
 
     def with_memory(self, **kwargs) -> "EngineConfig":
         """Return a copy with memory-budget fields replaced.

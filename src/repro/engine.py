@@ -79,6 +79,13 @@ class AccordionEngine:
         self.membership = ClusterMembership(self.kernel, self.coordinator)
         self._elastic: dict[int, ElasticQuery] = {}
         self._workload: "WorkloadManager | None" = None
+        #: Fold detector + result cache (DESIGN.md §14); None when off.
+        self.sharing = None
+        if config.sharing.enabled:
+            from .sharing import SharingManager
+
+            self.sharing = SharingManager(self)
+            self.metrics.gauge("sharing", self.sharing.stats)
         rpc = self.coordinator.rpc
         self.metrics.gauge(
             "rpc",
@@ -128,14 +135,39 @@ class AccordionEngine:
         return cls(catalog, config=prestissimo_config())
 
     # -- query execution ----------------------------------------------------
+    def _dispatch(self, sql: str, options: QueryOptions | None = None):
+        """Route a submission through the sharing layer when enabled.
+
+        Returns an execution-like object: a raw ``QueryExecution``, or a
+        :class:`~repro.sharing.fold.SharedConsumer` facade when the query
+        was folded onto a shared execution or served from the result
+        cache.  Both bind to :class:`QueryHandle` unchanged."""
+        if self.sharing is not None:
+            return self.sharing.submit(sql, options)
+        return self.coordinator.submit(sql, options)
+
     def submit(self, sql: str, options: QueryOptions | None = None) -> QueryHandle:
         """Submit a query; advance the simulation to make it progress.
 
         Bypasses the workload layer: the query starts immediately, outside
         any admission limits.  Multi-tenant code paths go through
-        :meth:`session` instead.
+        :meth:`session` instead.  With ``EngineConfig.with_sharing()``
+        the submission may fold onto a concurrent compatible query or be
+        answered from the result cache — ``handle.sharing`` says which.
         """
-        return QueryHandle(self, self.coordinator.submit(sql, options))
+        return QueryHandle(self, self._dispatch(sql, options))
+
+    def submit_many(
+        self, sqls: list[str], options: QueryOptions | None = None
+    ) -> list[QueryHandle]:
+        """Submit a batch at the same virtual instant.
+
+        With sharing enabled this maximises fold opportunities: the first
+        query of each compatible class becomes the carrier and the rest
+        graft onto it before any physical work starts — no fold window
+        needed.  Without sharing it is just a loop over :meth:`submit`.
+        """
+        return [self.submit(sql, options) for sql in sqls]
 
     def execute(
         self,
@@ -179,6 +211,23 @@ class AccordionEngine:
             raise ExecutionError(
                 f"engine mode {self.config.engine_name!r} does not support IQRE"
             )
+        if self.sharing is not None:
+            from .sharing import SharedConsumer
+
+            if isinstance(execution, SharedConsumer):
+                # Tuning a folded/carrier consumer tunes the shared
+                # physical execution; there is nothing to tune for a
+                # cached answer or a carrier still in its fold window.
+                if execution.carrier is None:
+                    raise ExecutionError(
+                        f"query {execution.id} has no live execution to "
+                        f"tune ({execution.role}: "
+                        + ("served from the result cache"
+                           if execution.role == "cached"
+                           else "carrier not yet dispatched")
+                        + ")"
+                    )
+                execution = execution.carrier
         if execution.id not in self._elastic:
             # Once a workload manager exists, every tuner bids through the
             # cluster-wide arbiter — including queries submitted outside a

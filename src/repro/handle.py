@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .autotune import ElasticQuery
     from .engine import AccordionEngine
     from .obs import ProfileReport, QueryTrace
+    from .sharing import SharingInfo
 
 
 @dataclass
@@ -237,6 +238,21 @@ class QueryHandle:
                 f"query is {self._queue_state}; tuning requires an admitted query"
             )
         return self._engine._elastic_for(self._execution)
+
+    # -- sharing -----------------------------------------------------------
+    @property
+    def sharing(self) -> "SharingInfo":
+        """How this submission was served by the sharing layer
+        (DESIGN.md §14): its role (``unshared`` / ``carrier`` /
+        ``folded`` / ``cached``), the carrier query id it folded into,
+        whether it was a result-cache hit, and the base-table pages it
+        avoided re-reading.  Always available; reports ``unshared`` when
+        sharing is disabled or the plan was not shareable."""
+        from .sharing import SharingInfo, sharing_info
+
+        if self._execution is None:
+            return SharingInfo()
+        return sharing_info(self._execution)
 
     # -- observability -----------------------------------------------------
     def trace(self) -> "QueryTrace":

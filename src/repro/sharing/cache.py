@@ -1,0 +1,118 @@
+"""Fingerprint-keyed result cache (DESIGN.md §14).
+
+Keys are ``(catalog version, normalized plan fingerprint, QueryOptions
+fingerprint)`` — the same keying discipline as the plan cache, one level
+up: equal keys mean the *answer page* is reusable, so a repeat query
+short-circuits admission, planning, and execution entirely.  The cache
+is per-engine (catalog identity is implied by ownership) and bounded two
+ways: a byte capacity with LRU eviction, and an optional TTL in *virtual*
+seconds (clocks come from the sim kernel, keeping same-seed runs
+byte-identical).  A catalog version bump (``Catalog.register``)
+invalidates every entry from older versions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..pages import Page
+
+
+@dataclass
+class CacheEntry:
+    page: Page
+    cached_at: float
+    size_bytes: int
+    #: Scan pages a cache hit avoids re-reading (for the sharing stats).
+    scan_pages: int
+
+
+class ResultCache:
+    """LRU + TTL result cache over materialised answer pages."""
+
+    def __init__(self, kernel, capacity_bytes: int, ttl: float | None = None):
+        self.kernel = kernel
+        self.capacity_bytes = capacity_bytes
+        self.ttl = ttl
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+        self.skipped_oversize = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> CacheEntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if self.ttl is not None and self.kernel.now - entry.cached_at > self.ttl:
+            self._drop(key, entry)
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def peek(self, key: tuple) -> bool:
+        """Whether ``get(key)`` would hit — without touching LRU order,
+        hit/miss counters, or TTL expiry (admission-probe use)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if self.ttl is not None and self.kernel.now - entry.cached_at > self.ttl:
+            return False
+        return True
+
+    def put(self, key: tuple, page: Page, scan_pages: int = 0) -> None:
+        size = page.size_bytes
+        if size > self.capacity_bytes:
+            self.skipped_oversize += 1
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes -= old.size_bytes
+        while self._entries and self.bytes + size > self.capacity_bytes:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self.bytes -= evicted.size_bytes
+            self.evictions += 1
+        self._entries[key] = CacheEntry(
+            page=page,
+            cached_at=self.kernel.now,
+            size_bytes=size,
+            scan_pages=scan_pages,
+        )
+        self.bytes += size
+
+    def purge_versions_before(self, version: int) -> None:
+        """Drop entries keyed under an older catalog version."""
+        stale = [k for k in self._entries if k[0] != version]
+        for key in stale:
+            self._drop(key, self._entries[key])
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.bytes = 0
+
+    def _drop(self, key: tuple, entry: CacheEntry) -> None:
+        del self._entries[key]
+        self.bytes -= entry.size_bytes
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+        }

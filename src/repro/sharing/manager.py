@@ -1,0 +1,286 @@
+"""SharingManager: the fold detector + result cache behind submission.
+
+Sits between :meth:`AccordionEngine.submit` (via ``engine._dispatch``)
+and the coordinator when ``EngineConfig.sharing.enabled``.  Every
+submission is normalized (:mod:`repro.sharing.normalize`) and routed:
+
+1. **cache** — the result cache holds a live entry for (catalog version,
+   plan fingerprint, options fingerprint): answer synchronously, no
+   physical execution at all;
+2. **fold** — a live :class:`FoldGroup` has an exactly-equal fingerprint,
+   or one of the live groups' carriers *subsumes* this plan
+   (:func:`plan_residual`): graft a consumer onto it — base-table pages
+   are read once for the whole group (scan sharing falls out of running
+   one physical plan);
+3. **carrier** — otherwise start a new group whose carrier dispatches
+   immediately (or after ``fold_window`` virtual seconds, giving
+   closely-spaced lookalikes a chance to pile on).
+
+Unshareable plans (Limit/TopN, unparseable decompositions) bypass
+sharing entirely and return the coordinator's raw ``QueryExecution``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..cluster.coordinator import QueryOptions
+from .cache import ResultCache
+from .fold import FoldGroup, SharedConsumer
+from .normalize import NormalizedQuery, normalize_logical, plan_residual
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import AccordionEngine
+
+
+class SharingManager:
+    def __init__(self, engine: "AccordionEngine"):
+        self.engine = engine
+        self.kernel = engine.kernel
+        self.config = engine.config.sharing
+        self.coordinator = engine.coordinator
+        self.catalog = engine.catalog
+        self.cache: ResultCache | None = None
+        if self.config.result_cache_bytes > 0:
+            self.cache = ResultCache(
+                self.kernel,
+                self.config.result_cache_bytes,
+                ttl=self.config.cache_ttl,
+            )
+        #: Live fold groups by (catalog version, plan key, options key).
+        self.groups: dict[tuple, FoldGroup] = {}
+        self._normalized: dict[tuple, NormalizedQuery] = {}
+        self._scan_pages: dict[tuple, int] = {}
+        self._catalog_version = engine.catalog.version
+        metrics = engine.metrics
+        self._folds = metrics.counter("sharing.folds")
+        self._cache_hits = metrics.counter("sharing.cache_hits")
+        self._cache_misses = metrics.counter("sharing.cache_misses")
+        self._pages_saved = metrics.counter("sharing.pages_saved")
+        self.carriers = 0
+        self.unshared = 0
+        self.consumers = 0
+        self.detaches = 0
+
+    # -- counters (read by reports/tests) -----------------------------------
+    @property
+    def folds(self) -> int:
+        return self._folds.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses.value
+
+    @property
+    def pages_saved(self) -> int:
+        return self._pages_saved.value
+
+    # -- normalization (memoized per catalog version) -----------------------
+    def _normalize(self, sql: str) -> NormalizedQuery:
+        memo_key = (self._catalog_version, sql)
+        normalized = self._normalized.get(memo_key)
+        if normalized is None:
+            from ..plan.logical_planner import LogicalPlanner
+            from ..plan.optimizer import prune_columns
+            from ..sql.parser import parse
+
+            logical = prune_columns(
+                LogicalPlanner(self.catalog).plan(parse(sql))
+            )
+            normalized = normalize_logical(logical)
+            self._normalized[memo_key] = normalized
+        return normalized
+
+    def _scan_page_estimate(self, normalized: NormalizedQuery) -> int:
+        """Base-table pages one physical run of this plan reads."""
+        key = (self._catalog_version, normalized.key)
+        cached = self._scan_pages.get(key)
+        if cached is None:
+            page_rows = self.engine.config.page_row_limit
+            cached = sum(
+                math.ceil(self.catalog.table(t).num_rows / page_rows)
+                for t in normalized.scan_tables
+            )
+            self._scan_pages[key] = cached
+        return cached
+
+    def _observe_catalog(self) -> None:
+        version = self.catalog.version
+        if version != self._catalog_version:
+            self._catalog_version = version
+            if self.cache is not None:
+                self.cache.purge_versions_before(version)
+
+    # -- submission routing --------------------------------------------------
+    def submit(self, sql: str, options: QueryOptions | None = None):
+        """Route one submission; returns a ``SharedConsumer`` or (for
+        unshareable plans) a raw ``QueryExecution``."""
+        options = options or QueryOptions()
+        self._observe_catalog()
+        normalized = self._normalize(sql)
+        if not normalized.shareable:
+            self.unshared += 1
+            return self.coordinator.submit(sql, options)
+        key = (self._catalog_version, normalized.key, options.fingerprint())
+        scan_pages = self._scan_page_estimate(normalized)
+        self.consumers += 1
+
+        if self.cache is not None:
+            entry = self.cache.get(key)
+            if entry is not None:
+                self._cache_hits.add()
+                self._pages_saved.add(entry.scan_pages)
+                consumer = SharedConsumer(
+                    self, self.coordinator.next_query_id(), sql, options,
+                    role="cached", cache_key=key,
+                    scan_pages=entry.scan_pages,
+                )
+                self._trace("cache-hit", consumer)
+                consumer._complete(entry.page)
+                return consumer
+            self._cache_misses.add()
+
+        if self.config.fold:
+            group, residual = self._find_group(key, normalized, options)
+            if group is not None:
+                consumer = SharedConsumer(
+                    self, self.coordinator.next_query_id(), sql, options,
+                    role="folded", cache_key=key, residual=residual,
+                    scan_pages=scan_pages,
+                )
+                group.add(consumer)
+                self._folds.add()
+                self._pages_saved.add(scan_pages)
+                self._trace("fold", consumer, group=group)
+                return consumer
+
+        group = FoldGroup(self, key, normalized, sql, options)
+        self.groups[key] = group
+        consumer = SharedConsumer(
+            self, self.coordinator.next_query_id(), sql, options,
+            role="carrier", cache_key=key, scan_pages=scan_pages,
+        )
+        group.add(consumer)
+        self.carriers += 1
+        window = self.config.fold_window if self.config.fold else 0.0
+        group.schedule_dispatch(window)
+        self._trace("carrier", consumer, group=group)
+        return consumer
+
+    def probe(self, sql: str, options: QueryOptions | None = None) -> str | None:
+        """Side-effect-free routing preview: ``"cache"``, ``"fold"``, or
+        ``None`` (would dispatch a new physical execution).  The admission
+        controller uses this to admit head-of-line submissions that will
+        not occupy new resources."""
+        options = options or QueryOptions()
+        self._observe_catalog()
+        normalized = self._normalize(sql)
+        if not normalized.shareable:
+            return None
+        key = (self._catalog_version, normalized.key, options.fingerprint())
+        if self.cache is not None and self.cache.peek(key):
+            return "cache"
+        if self.config.fold:
+            group, _residual = self._find_group(key, normalized, options)
+            if group is not None:
+                return "fold"
+        return None
+
+    def _find_group(
+        self, key: tuple, normalized: NormalizedQuery, options: QueryOptions
+    ):
+        """An accepting group this plan can ride: exact fingerprint first,
+        then carrier-output subsumption (conjunct-subset + rebase)."""
+        group = self.groups.get(key)
+        if group is not None and group.accepts:
+            from .residual import Residual
+
+            return group, Residual()
+        options_key = key[2]
+        for group_key in sorted(self.groups, key=repr):
+            group = self.groups[group_key]
+            if not group.accepts or group_key == key:
+                continue
+            if group_key[0] != key[0] or group_key[2] != options_key:
+                continue
+            residual = plan_residual(normalized, group.normalized)
+            if residual is not None:
+                return group, residual
+        return None, None
+
+    # -- group lifecycle -----------------------------------------------------
+    def _group_done(self, group: FoldGroup) -> None:
+        if group.done:
+            return
+        group.done = True
+        if self.groups.get(group.key) is group:
+            del self.groups[group.key]
+        if self.cache is not None:
+            for consumer in group.consumers:
+                if consumer.succeeded:
+                    self.cache.put(
+                        consumer.cache_key,
+                        consumer._result_page,
+                        scan_pages=consumer.scan_pages,
+                    )
+
+    def _on_detach(self, group: FoldGroup, consumer: SharedConsumer) -> None:
+        self.detaches += 1
+        workload = self.engine._workload
+        if workload is not None and group.carrier is not None:
+            workload.arbiter.unfold_consumer(group.carrier.id, consumer.id)
+        self._trace("detach", consumer, group=group)
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> dict:
+        out = {
+            "consumers": self.consumers,
+            "carriers": self.carriers,
+            "folds": self.folds,
+            "unshared": self.unshared,
+            "detaches": self.detaches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "pages_saved": self.pages_saved,
+            "active_groups": len(self.groups),
+        }
+        if self.cache is not None:
+            out["cache_entries"] = len(self.cache)
+            out["cache_bytes"] = self.cache.bytes
+            out["cache_evictions"] = self.cache.evictions
+            out["cache_invalidations"] = self.cache.invalidations
+        return out
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for delta-based workload reporting."""
+        return {
+            "folds": self.folds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "pages_saved": self.pages_saved,
+            "carriers": self.carriers,
+            "unshared": self.unshared,
+        }
+
+    def _trace(self, event: str, consumer: SharedConsumer, group=None) -> None:
+        tracer = self.kernel.tracer
+        if not tracer.enabled:
+            return
+        meta = {
+            "query_id": consumer.id,
+            "role": consumer.role,
+            "pages_saved": consumer.pages_saved,
+        }
+        parent = None
+        if group is not None and group.carrier is not None:
+            meta["carrier_id"] = group.carrier.id
+            parent = tracer.root_for_query(group.carrier.id)
+        tracer.instant(
+            "sharing", f"{event} Q{consumer.id}", parent=parent,
+            node="coordinator", **meta,
+        )

@@ -1,0 +1,480 @@
+"""Plan normalization and subplan subsumption for concurrent-query folding.
+
+The fold detector (DESIGN.md §14) never compares SQL text: it compares
+*normalized logical plans*.  :func:`expr_key` canonicalises a bound
+expression into a stable string — conjuncts/disjuncts sorted, commutative
+operands ordered, ``>``/``>=`` rewritten as flipped ``<``/``<=`` — so two
+textually different but semantically identical filters produce the same
+fingerprint across runs and processes (no ``id()``/hash-seed leakage).
+:func:`plan_key` lifts that to whole plans, flattening and sorting
+conjunctive ``Filter`` chains.
+
+On top of the fingerprints, :func:`decompose` splits a plan into the
+shared *core* (everything below the filter/projection/aggregation crown)
+plus its crown, and :func:`plan_residual` decides whether query B can be
+grafted onto carrier A: B folds when its core matches A's and A's filter
+conjuncts are a subset of B's, in which case the returned
+:class:`~repro.sharing.residual.Residual` holds B's extra conjuncts and
+final projection/aggregation *rebased onto A's output columns*.
+
+Safety rules (answers must stay bit-identical to an isolated run):
+
+- plans containing ``Limit``/``TopN`` are never shared (ties/prefixes are
+  tuple-order sensitive);
+- residual re-aggregation folds only for *grouped* aggregations with
+  order-insensitive aggregates: ``count``/``min``/``max`` always,
+  ``sum``/``avg`` only over INT64 arguments (float sums depend on
+  accumulation order), and never ``distinct``;
+- everything else falls back to an exact-fingerprint fold or no fold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass
+
+from ..pages import ColumnType, Field, Schema
+from ..plan.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopN,
+    walk,
+)
+from ..sql.expressions import (
+    AggregateCall,
+    Arithmetic,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    BoundExpr,
+    CaseWhen,
+    Cast,
+    Comparison,
+    Constant,
+    ExtractDatePart,
+    InputRef,
+    InSet,
+    IsNull,
+    LikeMatch,
+    Negate,
+)
+from .residual import Residual
+
+#: Bump when the normalization rules change: fingerprints from different
+#: rule versions must never collide in a persisted cache.
+NORMALIZE_VERSION = 1
+
+#: Aggregate functions whose result does not depend on input row order.
+#: ``sum``/``avg`` qualify only over exact (integer) arithmetic.
+_ORDER_FREE_AGGS = ("count", "min", "max", "sum", "avg")
+
+
+# -- expression canonicalisation --------------------------------------------
+def expr_key(expr: BoundExpr) -> str:
+    """Deterministic canonical form of a bound expression.
+
+    Two expressions with equal keys are semantically equivalent (the
+    converse does not hold — this is a syntactic canonicalisation, not a
+    theorem prover).  Commutative reorderings that would change float
+    evaluation results are *not* applied to arithmetic over floats —
+    only comparisons and boolean connectives are reordered, which are
+    result-exact under any order.
+    """
+    if isinstance(expr, InputRef):
+        # The name is cosmetic; position + type is the identity.
+        return f"${expr.index}"
+    if isinstance(expr, Constant):
+        return f"lit:{expr.type.value}:{expr.value!r}"
+    if isinstance(expr, Arithmetic):
+        return f"({expr_key(expr.left)}{expr.op}{expr_key(expr.right)})"
+    if isinstance(expr, Negate):
+        return f"(neg {expr_key(expr.operand)})"
+    if isinstance(expr, Comparison):
+        op, lhs, rhs = expr.op, expr_key(expr.left), expr_key(expr.right)
+        if op in (">", ">="):
+            # a > b  ==  b < a: one canonical direction.
+            op = "<" if op == ">" else "<="
+            lhs, rhs = rhs, lhs
+        elif op in ("=", "<>") and rhs < lhs:
+            lhs, rhs = rhs, lhs
+        return f"({lhs} {op} {rhs})"
+    if isinstance(expr, (BoolAnd, BoolOr)):
+        tag = "and" if isinstance(expr, BoolAnd) else "or"
+        keys = sorted(expr_key(t) for t in _flatten(expr, type(expr)))
+        return f"({tag} {' '.join(keys)})"
+    if isinstance(expr, BoolNot):
+        return f"(not {expr_key(expr.operand)})"
+    if isinstance(expr, InSet):
+        options = ",".join(sorted(repr(o) for o in expr.options))
+        return f"(in {expr_key(expr.value)} [{options}])"
+    if isinstance(expr, LikeMatch):
+        neg = "!" if expr.negated else ""
+        return f"(like{neg} {expr_key(expr.value)} {expr.pattern!r})"
+    if isinstance(expr, IsNull):
+        neg = "!" if expr.negated else ""
+        return f"(isnull{neg} {expr_key(expr.value)})"
+    if isinstance(expr, CaseWhen):
+        whens = " ".join(
+            f"{expr_key(cond)}:{expr_key(value)}" for cond, value in expr.whens
+        )
+        default = expr_key(expr.default) if expr.default is not None else "-"
+        return f"(case {whens} else {default})"
+    if isinstance(expr, ExtractDatePart):
+        return f"(extract {expr.unit} {expr_key(expr.source)})"
+    if isinstance(expr, Cast):
+        return f"(cast {expr.type.value} {expr_key(expr.value)})"
+    # Unknown node kinds fall back to the dataclass repr, which is
+    # deterministic (frozen dataclasses of plain values).
+    return f"?{expr!r}"
+
+
+def _flatten(expr: BoundExpr, kind) -> list[BoundExpr]:
+    """Flatten nested same-kind connectives: AND(a, AND(b, c)) -> [a,b,c]."""
+    if isinstance(expr, kind):
+        out: list[BoundExpr] = []
+        for term in expr.terms:
+            out.extend(_flatten(term, kind))
+        return out
+    return [expr]
+
+
+def split_conjuncts(predicate: BoundExpr) -> list[BoundExpr]:
+    """A filter predicate as a flat list of AND-ed conjuncts."""
+    return _flatten(predicate, BoolAnd)
+
+
+def agg_key(call: AggregateCall) -> str:
+    arg = expr_key(call.arg) if call.arg is not None else "*"
+    distinct = "distinct " if call.distinct else ""
+    return f"{call.function}({distinct}{arg}):{call.result_type.value}"
+
+
+# -- plan fingerprints -------------------------------------------------------
+def plan_key(node: LogicalNode) -> tuple:
+    """Stable, hashable fingerprint of a logical plan.
+
+    Consecutive ``Filter`` nodes are flattened and their conjuncts sorted
+    by :func:`expr_key`, so predicate order (as written in SQL) does not
+    change the fingerprint.  Output column *names* are part of project /
+    aggregate keys: result schemas are user-visible.
+    """
+    if isinstance(node, LogicalScan):
+        return ("scan", node.table, tuple(node.column_indexes))
+    if isinstance(node, LogicalFilter):
+        conjuncts: list[BoundExpr] = []
+        child: LogicalNode = node
+        while isinstance(child, LogicalFilter):
+            conjuncts.extend(split_conjuncts(child.predicate))
+            child = child.child
+        return (
+            "filter",
+            tuple(sorted(expr_key(c) for c in conjuncts)),
+            plan_key(child),
+        )
+    if isinstance(node, LogicalProject):
+        return (
+            "project",
+            tuple(expr_key(e) for e in node.exprs),
+            tuple(node.schema.names()),
+            plan_key(node.child),
+        )
+    if isinstance(node, LogicalAggregate):
+        return (
+            "agg",
+            tuple(node.group_keys),
+            tuple(agg_key(a) for a in node.aggregates),
+            tuple(node.schema.names()),
+            plan_key(node.child),
+        )
+    if isinstance(node, LogicalJoin):
+        return (
+            "join",
+            node.join_type.value,
+            tuple(node.left_keys),
+            tuple(node.right_keys),
+            expr_key(node.residual) if node.residual is not None else None,
+            plan_key(node.left),
+            plan_key(node.right),
+        )
+    if isinstance(node, LogicalSort):
+        return ("sort", tuple(node.sort_keys), plan_key(node.child))
+    if isinstance(node, LogicalTopN):
+        return ("topn", node.count, tuple(node.sort_keys), plan_key(node.child))
+    if isinstance(node, LogicalLimit):
+        return ("limit", node.count, plan_key(node.child))
+    # Future node kinds: identity by class name + child keys (coarse but
+    # safe — at worst it prevents a fold).
+    return (
+        type(node).__name__,
+        tuple(plan_key(c) for c in node.children()),
+    )
+
+
+# -- shape decomposition -----------------------------------------------------
+@dataclass
+class DetailShape:
+    """Decomposition of a detail (non-aggregating) crown:
+    ``[Project] [Filter]* core``.  All expressions are core-relative."""
+
+    core: LogicalNode
+    core_key: tuple
+    conjuncts: list[BoundExpr]
+    out_exprs: list[BoundExpr]
+    out_names: list[str]
+    #: Precomputed ``expr_key`` of each output expression — the carrier's
+    #: output "namespace" that residual expressions are rebased into.
+    out_keys: list[str]
+
+
+@dataclass
+class AggShape:
+    """Decomposition of ``[Project_post] Aggregate [Project_pre] [Filter]*
+    core``.  ``group_keys``/``aggregates`` are positions into (exprs
+    over) the pre-projection output, exactly as planned."""
+
+    detail: DetailShape
+    group_keys: list[int]
+    aggregates: list[AggregateCall]
+    agg_schema: Schema
+    post_exprs: list[BoundExpr] | None
+    post_names: list[str] | None
+
+
+@dataclass
+class NormalizedQuery:
+    """One query's normalized identity plus its foldable decomposition."""
+
+    key: tuple
+    root: LogicalNode
+    #: Whether this plan may participate in sharing at all.
+    shareable: bool
+    #: Exactly one of detail/agg is set for decomposable crowns; both are
+    #: None when the root shape is unrecognised (exact folds still work).
+    detail: DetailShape | None
+    agg: AggShape | None
+    scan_tables: tuple[str, ...]
+
+
+def _decompose_detail(node: LogicalNode) -> DetailShape:
+    out_exprs: list[BoundExpr] | None = None
+    out_names: list[str] | None = None
+    if isinstance(node, LogicalProject):
+        out_exprs = list(node.exprs)
+        out_names = list(node.schema.names())
+        node = node.child
+    conjuncts: list[BoundExpr] = []
+    while isinstance(node, LogicalFilter):
+        conjuncts.extend(split_conjuncts(node.predicate))
+        node = node.child
+    core = node
+    if out_exprs is None:
+        out_exprs = [
+            InputRef(i, f.type, f.name) for i, f in enumerate(core.schema.fields)
+        ]
+        out_names = core.schema.names()
+    return DetailShape(
+        core=core,
+        core_key=plan_key(core),
+        conjuncts=conjuncts,
+        out_exprs=out_exprs,
+        out_names=out_names,
+        out_keys=[expr_key(e) for e in out_exprs],
+    )
+
+
+def decompose(root: LogicalNode) -> tuple[DetailShape | None, AggShape | None]:
+    """Split the crown of a plan into a detail or aggregate shape."""
+    node = root
+    post_exprs: list[BoundExpr] | None = None
+    post_names: list[str] | None = None
+    if isinstance(node, LogicalProject) and isinstance(
+        node.child, LogicalAggregate
+    ):
+        post_exprs = list(node.exprs)
+        post_names = list(node.schema.names())
+        node = node.child
+    if isinstance(node, LogicalAggregate):
+        return None, AggShape(
+            detail=_decompose_detail(node.child),
+            group_keys=list(node.group_keys),
+            aggregates=list(node.aggregates),
+            agg_schema=node.schema,
+            post_exprs=post_exprs,
+            post_names=post_names,
+        )
+    return _decompose_detail(root), None
+
+
+def normalize_logical(root: LogicalNode) -> NormalizedQuery:
+    shareable = not any(
+        isinstance(n, (LogicalTopN, LogicalLimit)) for n in walk(root)
+    )
+    detail, agg = (None, None)
+    if shareable:
+        detail, agg = decompose(root)
+    return NormalizedQuery(
+        key=(NORMALIZE_VERSION, plan_key(root)),
+        root=root,
+        shareable=shareable,
+        detail=detail,
+        agg=agg,
+        scan_tables=tuple(
+            n.table for n in walk(root) if isinstance(n, LogicalScan)
+        ),
+    )
+
+
+# -- rebasing core-relative expressions onto a carrier's output --------------
+class _Unmappable(Exception):
+    pass
+
+
+def rebase(expr: BoundExpr, shape: DetailShape) -> BoundExpr | None:
+    """Rewrite a core-relative expression to read the carrier's output.
+
+    Matches whole subtrees against the carrier's output expressions by
+    canonical key (so ``l_quantity * 2`` maps onto a carrier column that
+    computes exactly that), recursing into children otherwise.  Returns
+    ``None`` when some leaf column is not derivable from the output."""
+    try:
+        return _rebase(expr, shape)
+    except _Unmappable:
+        return None
+
+
+def _rebase(expr: BoundExpr, shape: DetailShape) -> BoundExpr:
+    key = expr_key(expr)
+    for i, out_key in enumerate(shape.out_keys):
+        if out_key == key:
+            name = expr.name if isinstance(expr, InputRef) else shape.out_names[i]
+            return InputRef(i, expr.type, name)
+    if isinstance(expr, InputRef):
+        raise _Unmappable(key)
+    changes = {}
+    for f in dataclasses.fields(expr):
+        value = getattr(expr, f.name)
+        new_value = _rebase_value(value, shape)
+        if new_value is not value:
+            changes[f.name] = new_value
+    return dataclasses.replace(expr, **changes) if changes else expr
+
+
+def _rebase_value(value, shape: DetailShape):
+    if isinstance(value, BoundExpr):
+        return _rebase(value, shape)
+    if isinstance(value, tuple):
+        new_items = tuple(_rebase_value(v, shape) for v in value)
+        if any(a is not b for a, b in zip(new_items, value)):
+            return new_items
+        return value
+    return value
+
+
+# -- subsumption -------------------------------------------------------------
+def _residual_conjuncts(
+    b_conjuncts: list[BoundExpr], a_conjuncts: list[BoundExpr]
+) -> list[BoundExpr] | None:
+    """B's conjuncts minus A's (multiset, by canonical key).
+
+    Returns ``None`` if A filters on something B does not — A's stream
+    would be missing rows B needs."""
+    remaining = Counter(expr_key(c) for c in a_conjuncts)
+    residual: list[BoundExpr] = []
+    for conjunct in b_conjuncts:
+        key = expr_key(conjunct)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            residual.append(conjunct)
+    if any(v > 0 for v in remaining.values()):
+        return None
+    return residual
+
+
+def _combine(conjuncts: list[BoundExpr]) -> BoundExpr | None:
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return BoolAnd(tuple(conjuncts))
+
+
+def _agg_fold_allowed(shape: AggShape) -> bool:
+    if not shape.group_keys:
+        # Global aggregates only fold on exact fingerprint match: an empty
+        # residual stream must still produce the engine's global-agg
+        # answer shape, which the residual evaluator does not reproduce.
+        return False
+    for call in shape.aggregates:
+        if call.distinct or call.function not in _ORDER_FREE_AGGS:
+            return False
+        if call.function in ("sum", "avg") and (
+            call.arg is None or call.arg.type is not ColumnType.INT64
+        ):
+            return False
+    return True
+
+
+def plan_residual(
+    b: NormalizedQuery, a: NormalizedQuery
+) -> Residual | None:
+    """Can B be computed from carrier A's output stream?  If so, return
+    the residual operator chain; otherwise ``None``.
+
+    A must expose a detail stream (no aggregation crown — aggregation
+    destroys the rows B would filter).  Exact-equal fingerprints are the
+    caller's fast path and never reach here."""
+    if a.detail is None or not a.shareable or not b.shareable:
+        return None
+    shape = b.detail if b.detail is not None else (
+        b.agg.detail if b.agg is not None else None
+    )
+    if shape is None or shape.core_key != a.detail.core_key:
+        return None
+    if b.agg is not None and not _agg_fold_allowed(b.agg):
+        return None
+    extra = _residual_conjuncts(shape.conjuncts, a.detail.conjuncts)
+    if extra is None:
+        return None
+    rebased_extra = []
+    for conjunct in extra:
+        rebased = rebase(conjunct, a.detail)
+        if rebased is None:
+            return None
+        rebased_extra.append(rebased)
+    projected = []
+    for expr in shape.out_exprs:
+        rebased = rebase(expr, a.detail)
+        if rebased is None:
+            return None
+        projected.append(rebased)
+    project_schema = Schema(
+        Field(name, expr.type)
+        for name, expr in zip(shape.out_names, projected)
+    )
+    predicate = _combine(rebased_extra)
+    if b.agg is None:
+        return Residual(
+            predicate=predicate, project=(projected, project_schema)
+        )
+    ag = b.agg
+    post = None
+    if ag.post_exprs is not None:
+        post_schema = Schema(
+            Field(name, expr.type)
+            for name, expr in zip(ag.post_names, ag.post_exprs)
+        )
+        post = (list(ag.post_exprs), post_schema)
+    return Residual(
+        predicate=predicate,
+        project=(projected, project_schema),
+        aggregate=(list(ag.group_keys), list(ag.aggregates), ag.agg_schema),
+        post_project=post,
+    )

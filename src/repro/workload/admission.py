@@ -54,7 +54,7 @@ class PendingQuery:
     __slots__ = (
         "handle", "session", "sql", "options", "seq", "priority",
         "submitted_at", "deadline", "cores", "memory_bytes",
-        "timeout_event", "record",
+        "timeout_event", "record", "billed",
     )
 
     def __init__(self, handle, session, sql, options, seq, priority,
@@ -71,6 +71,11 @@ class PendingQuery:
         self.memory_bytes = memory_bytes
         self.timeout_event = None
         self.record = record
+        #: False for submissions served by the sharing layer without a
+        #: new physical execution (fold/cache): they count against no
+        #: admission cap — a grafted consumer must not double-bill its
+        #: tenant for cores/memory the carrier already pays for.
+        self.billed = True
 
 
 class AdmissionController:
@@ -145,7 +150,7 @@ class AdmissionController:
                 self.config.priority_aging_rate,
                 self.kernel.now,
             )
-            if head is None or not self._fits(head):
+            if head is None or not (self._fits(head) or self._share_bypass(head)):
                 break
             self.queue.remove(head)
             self._admit(head)
@@ -157,11 +162,26 @@ class AdmissionController:
             self._pump_scheduled = True
             self.kernel.call_soon(self._pump)
 
+    def _billed_running(self) -> int:
+        """Physical executions currently admitted.  Folded/cached
+        submissions ride along unbilled and never count against caps."""
+        return sum(1 for p in self.running.values() if p.billed)
+
+    def _share_bypass(self, pending: PendingQuery) -> bool:
+        """True when the sharing layer would serve this submission without
+        a new physical execution (fold onto a live carrier, or a result
+        cache hit) — such submissions are admitted past the caps because
+        they consume no new cores or memory.  Side-effect-free probe."""
+        sharing = self.engine.sharing
+        if sharing is None:
+            return False
+        return sharing.probe(pending.sql, pending.options) is not None
+
     def _fits(self, pending: PendingQuery) -> bool:
         cfg = self.config
         if (
             cfg.max_concurrent_queries is not None
-            and len(self.running) >= cfg.max_concurrent_queries
+            and self._billed_running() >= cfg.max_concurrent_queries
         ):
             return False
         if cfg.max_queries_per_node is not None:
@@ -172,7 +192,7 @@ class AdmissionController:
             # (and deliberately not an invariant violation).
             nodes = len(self.engine.cluster.schedulable_compute)
             limit = max(1, math.ceil(cfg.max_queries_per_node * nodes))
-            if len(self.running) >= limit:
+            if self._billed_running() >= limit:
                 return False
         if (
             cfg.max_admitted_cores is not None
@@ -195,12 +215,22 @@ class AdmissionController:
         if pending.timeout_event is not None:
             pending.timeout_event.cancel()
             pending.timeout_event = None
-        execution = self.engine.coordinator.submit(pending.sql, pending.options)
+        execution = self.engine._dispatch(pending.sql, pending.options)
         execution.tenant = pending.session.tenant
+        pending.billed = getattr(execution, "role", None) not in (
+            "folded", "cached",
+        )
+        # A carrier's physical execution may already exist (dispatched
+        # synchronously, before this assignment); tag it for per-tenant
+        # accounting too.
+        carrier = getattr(execution, "carrier", None)
+        if carrier is not None and carrier.tenant is None:
+            carrier.tenant = pending.session.tenant
         pending.handle._bind(execution)
         self.running[execution.id] = pending
-        self.admitted_cores += pending.cores
-        self.admitted_memory += pending.memory_bytes
+        if pending.billed:
+            self.admitted_cores += pending.cores
+            self.admitted_memory += pending.memory_bytes
         self.admitted += 1
         self.manager.on_admitted(pending, execution)
         execution.on_done(lambda _exec, p=pending: self._released(p, _exec))
@@ -209,8 +239,9 @@ class AdmissionController:
     def _released(self, pending: PendingQuery, execution) -> None:
         if self.running.pop(execution.id, None) is None:
             return
-        self.admitted_cores -= pending.cores
-        self.admitted_memory -= pending.memory_bytes
+        if pending.billed:
+            self.admitted_cores -= pending.cores
+            self.admitted_memory -= pending.memory_bytes
         self.manager.on_finished(pending, execution)
         if self.queue:
             self._schedule_pump()
@@ -264,12 +295,13 @@ class AdmissionController:
     def _check_invariants(self) -> None:
         cfg = self.config
         now = self.kernel.now
+        billed = self._billed_running()
         if (
             cfg.max_concurrent_queries is not None
-            and len(self.running) > cfg.max_concurrent_queries
+            and billed > cfg.max_concurrent_queries
         ):
             self.violations.append(
-                f"t={now:.4f}: {len(self.running)} running > "
+                f"t={now:.4f}: {billed} running > "
                 f"max_concurrent_queries={cfg.max_concurrent_queries}"
             )
         if (
@@ -297,6 +329,7 @@ class AdmissionController:
             "queue_depth": len(self.queue),
             "max_queue_depth": self.max_queue_depth,
             "running": len(self.running),
+            "running_billed": self._billed_running(),
             "admitted_cores": self.admitted_cores,
             "submitted": self.submitted,
             "admitted": self.admitted,

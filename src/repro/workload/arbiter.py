@@ -68,6 +68,14 @@ class ArbiterEntry:
     revoked: int = 0
     #: Memory grant at registration (None -> engine-config budget).
     memory_bytes: int | None = None
+    #: Registration-time values, restored when the last folded consumer
+    #: detaches (DESIGN.md §14: shared executions are arbitrated at the
+    #: effective priority/deadline of their live consumers).
+    base_priority: float = 0.0
+    base_deadline_at: float | None = None
+    #: consumer query id -> (priority, deadline_at) for every live
+    #: consumer folded onto this (shared) execution.
+    folds: dict[int, tuple] = field(default_factory=dict)
 
 
 class ResourceArbiter:
@@ -115,6 +123,8 @@ class ResourceArbiter:
                 for sid, stage in execution.stages.items()
             },
             memory_bytes=memory_bytes,
+            base_priority=priority,
+            base_deadline_at=deadline_at,
         )
         if memory_bytes is not None:
             # The grant is the budget: operators that outgrow it spill
@@ -128,6 +138,45 @@ class ResourceArbiter:
     def _unregister(self, query_id: int) -> None:
         self.entries.pop(query_id, None)
         self._elastic.pop(query_id, None)
+
+    # -- shared-execution adoption (DESIGN.md §14) --------------------------
+    def fold_consumer(
+        self,
+        query_id: int,
+        consumer_id: int,
+        priority: float = 0.0,
+        deadline_at: float | None = None,
+    ) -> None:
+        """Account one folded consumer against the shared execution
+        ``query_id``: the entry adopts the *highest* priority and the
+        *tightest* deadline across its live consumers, so revocation
+        victim selection and deadline rebalancing treat the shared run
+        as its most important rider demands."""
+        entry = self.entries.get(query_id)
+        if entry is None:
+            return
+        entry.folds[consumer_id] = (priority, deadline_at)
+        self._recompute_shared(entry)
+
+    def unfold_consumer(self, query_id: int, consumer_id: int) -> None:
+        """A consumer detached (cancelled): drop its priority/deadline
+        claim and recompute the shared execution's effective values."""
+        entry = self.entries.get(query_id)
+        if entry is None:
+            return
+        entry.folds.pop(consumer_id, None)
+        self._recompute_shared(entry)
+
+    def _recompute_shared(self, entry: ArbiterEntry) -> None:
+        if entry.folds:
+            entry.priority = max(p for p, _d in entry.folds.values())
+            deadlines = [d for _p, d in entry.folds.values() if d is not None]
+            entry.deadline_at = min(deadlines) if deadlines else None
+        else:
+            entry.priority = entry.base_priority
+            entry.deadline_at = entry.base_deadline_at
+        if entry.deadline_at is not None and self.config.arbitration == "deadline":
+            self._ensure_tick()
 
     def attach_elastic(self, query_id: int, elastic) -> None:
         """Called by :class:`ElasticQuery` so rebalancing can reach the

@@ -118,19 +118,32 @@ class WorkloadReport:
     #: spot discount).  Empty dict for engines without membership churn
     #: history is still rendered — byte-identical per seed either way.
     cluster: dict = field(default_factory=dict)
+    #: Sharing-layer deltas for the run window (folds, cache hits/misses,
+    #: pages saved, carriers, unshared) — empty when sharing is disabled.
+    sharing: dict = field(default_factory=dict)
 
     def throughput(self, tenant: str) -> float:
         if self.horizon <= 0:
             return 0.0
         return self.tenants[tenant].completed / self.horizon
 
+    @property
+    def effective_qps(self) -> float:
+        """Completed queries per virtual second across all tenants —
+        the headline number query folding and the result cache raise."""
+        if self.horizon <= 0:
+            return 0.0
+        return sum(s.completed for s in self.tenants.values()) / self.horizon
+
     def to_dict(self) -> dict:
         return {
             "horizon": self.horizon,
+            "effective_qps": self.effective_qps,
             "fairness": self.fairness,
             "admission": dict(self.admission),
             "arbiter": dict(self.arbiter),
             "cluster": dict(self.cluster),
+            "sharing": dict(self.sharing),
             "violations": list(self.violations),
             "tenants": {
                 name: {
@@ -198,6 +211,16 @@ class WorkloadReport:
                 f"node_seconds={c.get('node_seconds', 0.0):.3f} "
                 f"cost=${c.get('cost_dollars', 0.0):.3f}"
             )
+        if self.sharing:
+            s = self.sharing
+            lines.append(
+                f"sharing: folds={s.get('folds', 0)} "
+                f"cache_hits={s.get('cache_hits', 0)} "
+                f"cache_misses={s.get('cache_misses', 0)} "
+                f"pages_saved={s.get('pages_saved', 0)} "
+                f"carriers={s.get('carriers', 0)} "
+                f"effective_qps={self.effective_qps:.4f}"
+            )
         return "\n".join(lines)
 
 
@@ -245,6 +268,10 @@ class Workload:
         start = self.kernel.now
         manager = self.engine.workload
         baseline_records = len(manager.records)
+        sharing_baseline = (
+            self.engine.sharing.snapshot()
+            if self.engine.sharing is not None else None
+        )
         for index, spec in enumerate(self.specs):
             session = manager.session(
                 spec.name, priority=spec.priority, deadline=spec.deadline
@@ -266,8 +293,15 @@ class Workload:
             self.kernel.run(
                 until=deadline, stop_when=lambda: manager.autoscaler.settled
             )
+        sharing = {}
+        if sharing_baseline is not None:
+            current = self.engine.sharing.snapshot()
+            sharing = {
+                k: current[k] - sharing_baseline[k] for k in sorted(current)
+            }
         return self._report(
-            manager.records[baseline_records:], horizon, manager, start
+            manager.records[baseline_records:], horizon, manager, start,
+            sharing=sharing,
         )
 
     # ------------------------------------------------------------------
@@ -329,7 +363,8 @@ class Workload:
 
     # ------------------------------------------------------------------
     def _report(
-        self, records: list[QueryRecord], horizon: float, manager, start: float = 0.0
+        self, records: list[QueryRecord], horizon: float, manager,
+        start: float = 0.0, sharing: dict | None = None,
     ) -> WorkloadReport:
         tenants: dict[str, TenantStats] = {}
         for spec in self.specs:
@@ -379,4 +414,5 @@ class Workload:
             arbiter=manager.arbiter.stats(),
             violations=list(manager.admission.violations),
             cluster=cluster,
+            sharing=dict(sharing) if sharing else {},
         )

@@ -160,6 +160,14 @@ class WorkloadManager:
         record.admitted_at = self.kernel.now
         record.state = "running"
         record.query_id = execution.id
+        role = getattr(execution, "role", None)
+        if role == "cached":
+            # Served synchronously from the result cache: there is no
+            # physical execution for the arbiter to manage.
+            return
+        if role in ("carrier", "folded"):
+            self._register_shared(pending, execution, record)
+            return
         self.arbiter.register(
             execution,
             tenant=pending.session.tenant,
@@ -167,6 +175,40 @@ class WorkloadManager:
             deadline_at=record.deadline_at,
             memory_bytes=pending.memory_bytes,
         )
+        self._maybe_eager_elastic(record, execution)
+
+    def _register_shared(self, pending, consumer, record: QueryRecord) -> None:
+        """Arbiter accounting for a consumer riding a shared execution.
+
+        Registration is deferred until the group's carrier execution is
+        dispatched (it may be sitting in a fold window).  The carrier is
+        registered once; every consumer then folds its own priority /
+        deadline onto the entry, so the shared execution is arbitrated at
+        the effective values of its *most important* live consumer and a
+        consumer's detach drops only its own claim."""
+        tenant = pending.session.tenant
+
+        def _on_dispatch(group) -> None:
+            if consumer.finished:  # detached inside the fold window
+                return
+            carrier = group.carrier
+            if carrier.id not in self.arbiter.entries:
+                self.arbiter.register(
+                    carrier,
+                    tenant=tenant,
+                    priority=pending.priority,
+                    deadline_at=record.deadline_at,
+                    memory_bytes=pending.memory_bytes,
+                )
+            self.arbiter.fold_consumer(
+                carrier.id, consumer.id,
+                priority=pending.priority, deadline_at=record.deadline_at,
+            )
+            self._maybe_eager_elastic(record, carrier)
+
+        consumer.group.when_dispatched(_on_dispatch)
+
+    def _maybe_eager_elastic(self, record: QueryRecord, execution) -> None:
         # Deadline-constrained queries need a collector/what-if service
         # from the start so the arbiter's rebalance pass can estimate
         # T_remain; create the elastic handle eagerly.

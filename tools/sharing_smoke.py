@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Sharing smoke: folding + result caching must pay off and stay exact.
+
+Runs the same seeded Poisson workload twice on the same catalog — once
+with sharing disabled, once with ``EngineConfig.with_sharing()`` — and
+checks the contract of the sharing layer (DESIGN.md §14):
+
+1. **Sharing actually happened**: the shared run recorded at least one
+   fold and at least one result-cache hit (a workload with no overlap
+   would make this smoke vacuous).
+2. **Bit-identical answers**: every submission returns exactly the rows
+   the unshared run returns for the same submission — folding, residual
+   operators, and cached pages must be invisible in the results.
+3. **Determinism**: re-running the shared workload with the same seed
+   renders a byte-identical :class:`~repro.WorkloadReport`.
+4. **It pays off**: effective QPS (completed queries / horizon) improves
+   by more than ``--min-speedup`` (default 2x) over the unshared run.
+
+Exit status 0 on success, 1 with a summary on any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/sharing_smoke.py [--scale 0.01]
+        [--seed 20250807] [--count 20] [--min-speedup 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    AccordionEngine,
+    Catalog,
+    EngineConfig,
+    PoissonArrivals,
+    Workload,
+)
+
+#: Dashboard-style mix with heavy overlap: exact repeats (fold/cache),
+#: a broad detail query, and narrower/aggregating variants that fold
+#: onto it through residual operators.
+QUERY_MIX = [
+    "select count(*) from lineitem",
+    "select l_returnflag, count(*), min(l_quantity) from lineitem "
+    "where l_quantity < 30 group by l_returnflag",
+    "select l_orderkey, l_quantity from lineitem where l_quantity < 10",
+    "select l_orderkey from lineitem "
+    "where l_quantity < 10 and l_orderkey < 1000",
+    "select o_orderstatus, count(*) from orders group by o_orderstatus",
+]
+
+
+def run_workload(catalog: Catalog, seed: int, count: int, sharing: bool):
+    """One seeded Poisson run; returns (report, ordered result rows)."""
+    config = EngineConfig().with_workload(max_concurrent_queries=2)
+    if sharing:
+        config = config.with_sharing(fold_window=0.05)
+    engine = AccordionEngine(catalog, config=config)
+    workload = Workload(engine, seed=seed)
+    # A rate well above the cluster's unshared service rate: the burst
+    # arrives in well under a second, so the horizon measures execution
+    # (and folding), not the arrival window.
+    for tenant in ("bi", "dashboards"):
+        workload.add_tenant(tenant, QUERY_MIX,
+                            PoissonArrivals(rate=100.0, count=count))
+    report = workload.run()
+    rows = [handle.result().rows for handle in workload.handles]
+    return report, rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=20250807)
+    parser.add_argument("--count", type=int, default=20,
+                        help="queries per tenant (two tenants)")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    catalog = Catalog.tpch(scale=args.scale, seed=args.seed)
+    base_report, base_rows = run_workload(
+        catalog, args.seed, args.count, sharing=False
+    )
+    shared_report, shared_rows = run_workload(
+        catalog, args.seed, args.count, sharing=True
+    )
+    rerun_report, _ = run_workload(
+        catalog, args.seed, args.count, sharing=True
+    )
+
+    failures = []
+    sharing = shared_report.sharing
+    if sharing.get("folds", 0) < 1:
+        failures.append(f"no folds happened: {sharing}")
+    if sharing.get("cache_hits", 0) < 1:
+        failures.append(f"no result-cache hits happened: {sharing}")
+    mismatched = [
+        i for i, (a, b) in enumerate(zip(base_rows, shared_rows)) if a != b
+    ]
+    if len(base_rows) != len(shared_rows) or mismatched:
+        failures.append(
+            f"shared answers differ from unshared at submissions {mismatched}"
+        )
+    if shared_report.render() != rerun_report.render():
+        failures.append("same-seed shared reports are not byte-identical")
+    speedup = shared_report.effective_qps / max(base_report.effective_qps, 1e-12)
+    if speedup <= args.min_speedup:
+        failures.append(
+            f"effective QPS speedup {speedup:.2f}x <= "
+            f"required {args.min_speedup}x"
+        )
+
+    print(
+        f"SF{args.scale} seed={args.seed}: {len(shared_rows)} queries, "
+        f"folds={sharing.get('folds', 0)} "
+        f"cache_hits={sharing.get('cache_hits', 0)} "
+        f"pages_saved={sharing.get('pages_saved', 0)} "
+        f"carriers={sharing.get('carriers', 0)}"
+    )
+    print(
+        f"effective QPS {base_report.effective_qps:.4f} -> "
+        f"{shared_report.effective_qps:.4f} ({speedup:.2f}x)"
+    )
+    if failures:
+        print("\nSHARING SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("sharing smoke OK: folded + cached, bit-identical, "
+          f">{args.min_speedup}x effective QPS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
