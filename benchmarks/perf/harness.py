@@ -17,6 +17,9 @@ Usage::
         --check-memory-budget      # SF0.2 out-of-core gate (DESIGN.md §13)
     PYTHONPATH=src python benchmarks/perf/harness.py \
         --check-sharing-speedup    # >2x effective-QPS gate (DESIGN.md §14)
+    PYTHONPATH=src python benchmarks/perf/harness.py --workers 4   # + parallel columns
+    PYTHONPATH=src python benchmarks/perf/harness.py \
+        --check-parallel           # worker-pool gate (DESIGN.md §15)
 
 Determinism: the catalog seed, scale factor, query set, and repetition
 count are pinned; the only nondeterminism left is the host itself, which
@@ -97,25 +100,38 @@ SHARING_QUERY_MIX = (
     "where l_quantity < 10 and l_orderkey < 1000",
     "select o_orderstatus, count(*) from orders group by o_orderstatus",
 )
+#: Worker-pool gate (DESIGN.md §15): at 4 workers the join/agg-heavy
+#: queries must return bit-identical rows always, and on hosts with at
+#: least ``PARALLEL_MIN_CORES`` cores at least two of them must beat
+#: serial by ``PARALLEL_MIN_SPEEDUP``.  Larger pages give the chunker
+#: headroom (a 4096-row default page splits into at most two 2048-row
+#: chunks); both sides of the comparison use the same page size.
+PARALLEL_WORKERS = 4
+PARALLEL_QUERIES = ("Q5", "Q9", "Q18")
+PARALLEL_MIN_SPEEDUP = 1.8
+PARALLEL_MIN_WINS = 2
+PARALLEL_MIN_CORES = 4
+PARALLEL_PAGE_ROWS = 65536
 
 
-def time_query(catalog: Catalog, sql: str) -> dict:
+def time_query(catalog: Catalog, sql: str, config: EngineConfig | None = None) -> dict:
     """Wall-clock stats for one query: one cold run + REPEATS warm runs.
 
     The cold run pays expression compilation and planning; the warm runs
     hit the process-wide compile and plan caches, which is the regime the
     reported median (and the CI gate) tracks.
     """
+    engine = lambda: AccordionEngine(catalog, config=config)  # noqa: E731
     gc.collect()
     start = time.perf_counter()
-    result = AccordionEngine(catalog).execute(sql)
+    result = engine().execute(sql)
     cold = time.perf_counter() - start
     rows = result.num_rows
     samples = []
     for _ in range(REPEATS):
         gc.collect()
         start = time.perf_counter()
-        result = AccordionEngine(catalog).execute(sql)
+        result = engine().execute(sql)
         samples.append(time.perf_counter() - start)
         if result.num_rows != rows:
             raise AssertionError("warm run changed the result row count")
@@ -124,7 +140,7 @@ def time_query(catalog: Catalog, sql: str) -> dict:
     # samples by far more than the drift gate tolerates.
     gc.collect()
     tracemalloc.start()
-    handle = AccordionEngine(catalog).submit(sql)
+    handle = engine().submit(sql)
     handle.result()
     _, tracemalloc_peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -139,8 +155,11 @@ def time_query(catalog: Catalog, sql: str) -> dict:
     }
 
 
-def run_benchmarks() -> dict:
+def run_benchmarks(workers: int = 0) -> dict:
     catalog = Catalog.tpch(SCALE, SEED)
+    parallel_config = (
+        EngineConfig().with_parallelism(workers=workers) if workers else None
+    )
     results = {}
     for name in QUERY_SET:
         results[name] = time_query(catalog, QUERIES[name])
@@ -149,7 +168,22 @@ def run_benchmarks() -> dict:
             f"(cold {results[name]['cold_seconds']:.3f}s, "
             f"runs: {results[name]['samples_seconds']})"
         )
-    return {
+        if parallel_config is not None:
+            par = time_query(catalog, QUERIES[name], parallel_config)
+            if par["result_rows"] != results[name]["result_rows"]:
+                raise AssertionError(
+                    f"{name}: parallel row count differs from serial"
+                )
+            speedup = results[name]["median_seconds"] / max(
+                par["median_seconds"], 1e-9
+            )
+            results[name]["parallel_median_seconds"] = par["median_seconds"]
+            results[name]["parallel_speedup"] = round(speedup, 3)
+            print(
+                f"{name}: parallel({workers}) median "
+                f"{par['median_seconds']:.3f}s ({speedup:.2f}x serial)"
+            )
+    report = {
         "scale": SCALE,
         "seed": SEED,
         "repeats": REPEATS,
@@ -157,6 +191,10 @@ def run_benchmarks() -> dict:
         "machine": platform.machine(),
         "queries": results,
     }
+    if workers:
+        report["parallel_workers"] = workers
+        report["host_cores"] = os.cpu_count()
+    return report
 
 
 def profile_query(catalog: Catalog, name: str) -> None:
@@ -367,6 +405,69 @@ def check_sharing_speedup() -> int:
     return 0
 
 
+def check_parallel() -> int:
+    """Gate for the worker-pool offload backend (DESIGN.md §15).
+
+    Bit-identical rows between serial and 4-worker runs are required
+    unconditionally.  The speedup criterion (>= ``PARALLEL_MIN_SPEEDUP``
+    on at least ``PARALLEL_MIN_WINS`` of the gate queries) only applies
+    on hosts with ``PARALLEL_MIN_CORES``+ cores — forked workers cannot
+    beat serial while time-slicing one core, and the determinism
+    contract is the part that must hold everywhere.
+    """
+    cores = os.cpu_count() or 1
+    catalog = Catalog.tpch(SCALE, SEED)
+    serial_config = EngineConfig(page_row_limit=PARALLEL_PAGE_ROWS)
+    parallel_config = serial_config.with_parallelism(workers=PARALLEL_WORKERS)
+    failures = []
+    wins = 0
+    for name in PARALLEL_QUERIES:
+        sql = QUERIES[name]
+        serial_samples, parallel_samples = [], []
+        serial_rows = parallel_rows = None
+        # Interleaved so host-load drift hits both modes equally.
+        for _ in range(REPEATS):
+            gc.collect()
+            start = time.perf_counter()
+            result = AccordionEngine(catalog, config=serial_config).execute(sql)
+            serial_samples.append(time.perf_counter() - start)
+            serial_rows = sorted(result.rows)
+            gc.collect()
+            start = time.perf_counter()
+            result = AccordionEngine(catalog, config=parallel_config).execute(sql)
+            parallel_samples.append(time.perf_counter() - start)
+            parallel_rows = sorted(result.rows)
+        if serial_rows != parallel_rows:
+            failures.append(f"{name}: parallel rows differ from serial rows")
+        best_serial = min(serial_samples)
+        best_parallel = min(parallel_samples)
+        speedup = best_serial / max(best_parallel, 1e-9)
+        wins += speedup >= PARALLEL_MIN_SPEEDUP
+        print(
+            f"{name}: serial {best_serial:.3f}s / "
+            f"parallel({PARALLEL_WORKERS}) {best_parallel:.3f}s -> "
+            f"{speedup:.2f}x (rows identical: {serial_rows == parallel_rows})"
+        )
+    if cores < PARALLEL_MIN_CORES:
+        print(
+            f"parallel speedup gate skipped: {cores} core(s) < "
+            f"{PARALLEL_MIN_CORES} (bit-identity still enforced)"
+        )
+    elif wins < PARALLEL_MIN_WINS:
+        failures.append(
+            f"only {wins}/{len(PARALLEL_QUERIES)} queries reached "
+            f"{PARALLEL_MIN_SPEEDUP}x at {PARALLEL_WORKERS} workers "
+            f"(need {PARALLEL_MIN_WINS})"
+        )
+    if failures:
+        print("PARALLEL CHECK FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("parallel offload ok")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -413,6 +514,25 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-parallel",
+        action="store_true",
+        help=(
+            f"exit nonzero unless {PARALLEL_WORKERS}-worker runs of "
+            f"{'/'.join(PARALLEL_QUERIES)} return bit-identical rows (and, "
+            f"on {PARALLEL_MIN_CORES}+-core hosts, beat serial by "
+            f"{PARALLEL_MIN_SPEEDUP}x on {PARALLEL_MIN_WINS}+ of them; "
+            "skips the normal report)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally time each query with an N-worker pool and record "
+        "parallel columns in the report",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=OUTPUT,
@@ -426,8 +546,10 @@ def main(argv: list[str] | None = None) -> int:
         return check_memory_budget()
     if args.check_sharing_speedup:
         return check_sharing_speedup()
+    if args.check_parallel:
+        return check_parallel()
 
-    report = run_benchmarks()
+    report = run_benchmarks(workers=args.workers)
     if args.output.exists():
         # Keep one level of history so a commit shows before -> after.
         try:

@@ -19,6 +19,7 @@ from .config import (
     FaultConfig,
     MemoryConfig,
     NodeSpec,
+    ParallelConfig,
     SharingConfig,
     TraceConfig,
     WorkloadConfig,
@@ -49,6 +50,7 @@ from .errors import (
     QueryRejectedError,
     SqlError,
     TuningRejected,
+    WorkerCrashedError,
 )
 from .experiments import (
     EVAL_SCALE,
@@ -103,6 +105,7 @@ __all__ = [
     "NodeJoin",
     "NodeSpec",
     "OutputMode",
+    "ParallelConfig",
     "PoissonArrivals",
     "ProfileReport",
     "QueryCancelledError",
@@ -130,6 +133,7 @@ __all__ = [
     "TraceConfig",
     "Tracer",
     "TuningRejected",
+    "WorkerCrashedError",
     "Workload",
     "WorkloadConfig",
     "WorkloadReport",

@@ -26,6 +26,7 @@ class Table:
         lengths = {len(c) for c in self.columns}
         if len(lengths) > 1:
             raise ValueError(f"table {self.name}: ragged columns {lengths}")
+        self._size_cache: int | None = None
 
     @property
     def num_rows(self) -> int:
@@ -33,8 +34,16 @@ class Table:
 
     @property
     def size_bytes(self) -> int:
-        """Estimated on-disk size (CSV-ish), used for split accounting."""
-        return self.page(0, self.num_rows).size_bytes
+        """Measured table size, used for split accounting.
+
+        Cached: string columns are measured by actual payload bytes
+        (see :meth:`Page.size_bytes`), which is O(total characters) —
+        far too slow to recompute on every split-partitioning pass.
+        Tables are immutable once registered, so one measurement holds.
+        """
+        if self._size_cache is None:
+            self._size_cache = self.page(0, self.num_rows).size_bytes
+        return self._size_cache
 
     def column(self, name: str) -> np.ndarray:
         return self.columns[self.schema.index_of(name)]

@@ -19,10 +19,11 @@ import numpy as np
 
 from .schema import ColumnType, Schema
 
-#: Estimated bytes per string cell used for page accounting (avg TPC-H).
-_STRING_CELL_BYTES = 24
 #: Fixed per-page metadata overhead in bytes.
 _PAGE_OVERHEAD_BYTES = 64
+#: Per-cell length-prefix bytes for string columns (int32, matching the
+#: ``column_buffers`` wire layout).
+_STRING_LENGTH_BYTES = 4
 
 
 class PageKind(enum.Enum):
@@ -90,14 +91,28 @@ class Page:
 
     @property
     def size_bytes(self) -> int:
-        """Estimated wire size of the page (used by buffers and the NIC)."""
+        """Measured wire size of the page (used by buffers and the NIC).
+
+        Matches the :meth:`column_buffers` layout exactly: fixed-width
+        columns cost ``rows * width``; string columns cost an ``int32``
+        length prefix per cell plus their actual UTF-8 payload bytes
+        (measured once and cached — pages are immutable).  Spill-budget
+        decisions and buffer accounting therefore see honest sizes
+        instead of a flat per-cell estimate.
+        """
         if self._size is None:
             total = _PAGE_OVERHEAD_BYTES
             n = self.num_rows
             for field, col in zip(self.schema, self.columns):
                 width = field.type.fixed_width
                 if width is None:
-                    total += n * _STRING_CELL_BYTES
+                    # One bulk join+encode stays in C; a per-cell encode
+                    # loop here is 10-50x slower and shows up in every
+                    # page-producing operator.
+                    payload = "".join(map(str, col.tolist()))
+                    total += n * _STRING_LENGTH_BYTES + len(
+                        payload.encode("utf-8")
+                    )
                 else:
                     total += n * width
             self._size = total

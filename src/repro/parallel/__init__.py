@@ -1,0 +1,21 @@
+"""``repro.parallel``: the shared-memory worker-pool offload backend.
+
+Off by default; enabled with ``EngineConfig.with_parallelism(workers=N)``.
+The deterministic SimKernel stays the single-threaded control plane —
+workers only execute *pure kernel work* (join probe expansion,
+aggregation partials, compiled filter/project batches, radix spill
+partitioning) over arrays shipped through ``multiprocessing.shared_memory``
+with zero data-array pickling.  See DESIGN.md §15 for the job API,
+page layout, ordering, and crash semantics.
+"""
+
+from .offload import OffloadClient, OffloadStats
+from .pool import WorkerPool, get_pool, shutdown_pools
+
+__all__ = [
+    "OffloadClient",
+    "OffloadStats",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pools",
+]

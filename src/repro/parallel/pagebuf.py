@@ -1,0 +1,97 @@
+"""Array <-> shared-memory codec for offload jobs (DESIGN.md §15).
+
+Job inputs and outputs are plain lists of numpy arrays.  The codec packs
+them into one contiguous byte region (a ``multiprocessing.shared_memory``
+segment) and describes the layout with a small picklable *meta* list —
+dtype strings, lengths, and offsets, never array data.  Fixed-width
+arrays are written as their raw little-endian buffers and come back as
+``np.frombuffer`` views (zero-copy on the worker side).  Object (string)
+columns are not contiguous in memory, so they get an explicit packed
+encoding — an ``int32`` length array followed by the concatenated UTF-8
+payload — mirroring ``Page.column_buffers()`` so the two layouts stay
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["encode_arrays", "write_buffers", "decode_arrays"]
+
+#: Meta entry tags.
+_FIXED = "a"
+_OBJECT = "o"
+
+
+def encode_arrays(arrays) -> tuple[list, list, int]:
+    """Describe ``arrays`` as ``(meta, buffers, total_bytes)``.
+
+    ``meta`` is picklable and contains no array data; ``buffers`` is a
+    flat list of buffer-protocol objects whose concatenation (see
+    :func:`write_buffers`) is the byte region ``meta`` describes.
+    """
+    meta: list = []
+    buffers: list = []
+    offset = 0
+    for arr in arrays:
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            encoded = [
+                b"" if v is None else str(v).encode("utf-8")
+                for v in arr.tolist()
+            ]
+            lengths = np.fromiter(
+                (len(e) for e in encoded), dtype=np.int32, count=len(encoded)
+            )
+            payload = b"".join(encoded)
+            lengths_buf = memoryview(lengths).cast("B")
+            meta.append((_OBJECT, len(arr), offset, len(lengths_buf), len(payload)))
+            buffers.append(lengths_buf)
+            buffers.append(payload)
+            offset += len(lengths_buf) + len(payload)
+        else:
+            contiguous = np.ascontiguousarray(arr)
+            buf = memoryview(contiguous).cast("B")
+            meta.append((_FIXED, contiguous.dtype.str, len(contiguous), offset, len(buf)))
+            buffers.append(buf)
+            offset += len(buf)
+    return meta, buffers, offset
+
+
+def write_buffers(dst, buffers) -> None:
+    """Write the buffer list sequentially into ``dst`` (a memoryview)."""
+    offset = 0
+    for buf in buffers:
+        n = len(buf)
+        dst[offset : offset + n] = buf
+        offset += n
+
+
+def decode_arrays(buf, meta, copy: bool = False) -> list[np.ndarray]:
+    """Rebuild the array list a peer encoded into ``buf``.
+
+    With ``copy=False`` fixed-width arrays are read-only views into
+    ``buf`` (the caller must keep the backing segment alive while they
+    are in use); ``copy=True`` detaches them, which the host side uses
+    before unlinking a result segment.  Object columns are always
+    materialised (per-row decode).
+    """
+    out: list[np.ndarray] = []
+    for entry in meta:
+        if entry[0] == _OBJECT:
+            _, count, offset, lengths_bytes, payload_bytes = entry
+            lengths = np.frombuffer(buf, dtype=np.int32, count=count, offset=offset)
+            payload = bytes(
+                buf[offset + lengths_bytes : offset + lengths_bytes + payload_bytes]
+            )
+            values = np.empty(count, dtype=object)
+            at = 0
+            for i, n in enumerate(lengths.tolist()):
+                values[i] = payload[at : at + n].decode("utf-8")
+                at += n
+            out.append(values)
+        else:
+            _, dtype, count, offset, _ = entry
+            arr = np.frombuffer(buf, dtype=np.dtype(dtype), count=count, offset=offset)
+            out.append(arr.copy() if copy else arr)
+    return out

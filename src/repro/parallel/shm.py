@@ -1,0 +1,56 @@
+"""Shared-memory segment helpers (lifecycle + resource-tracker quirks).
+
+The pool forks its workers *after* calling
+:func:`ensure_tracker_running`, so host and workers all talk to one
+resource-tracker process.  The tracker's per-type cache is a set, which
+makes Python 3.11's register-on-attach quirk (bpo-39959) harmless here:
+re-registering an attached name is an idempotent ``add`` and the single
+``unlink`` the owning side performs removes it exactly once.  On 3.13+
+attaches pass ``track=False`` and never register at all.
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = [
+    "create_segment",
+    "attach_segment",
+    "unlink_segment",
+    "ensure_tracker_running",
+]
+
+
+def ensure_tracker_running() -> None:
+    """Start the resource tracker in this process (before any fork), so
+    forked children inherit it instead of spawning their own."""
+    resource_tracker.ensure_running()
+
+
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """A fresh segment with a collision-proof name (min size 1 byte)."""
+    name = f"repro-{secrets.token_hex(8)}"
+    return shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking ownership."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # 3.13+
+    except TypeError:
+        # 3.11/3.12 re-register on attach; with the shared tracker that
+        # is an idempotent set-add, balanced by the owner's unlink.
+        return shared_memory.SharedMemory(name=name)
+
+
+def unlink_segment(seg: shared_memory.SharedMemory) -> None:
+    """Close and unlink, tolerating a segment that is already gone."""
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - exported views still alive
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - peer already unlinked
+        pass

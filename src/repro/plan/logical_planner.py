@@ -515,9 +515,33 @@ class LogicalPlanner:
             post_aggregation=True,
         )
         post_exprs = [post_binder.bind(item.expr) for item in items]
-        having_expr = (
-            post_binder.bind_predicate(stmt.having) if stmt.having is not None else None
-        )
+        # HAVING conjuncts comparing an aggregate against an uncorrelated
+        # scalar subquery (TPC-H Q11) are split out: the subquery becomes
+        # an independent 1-row plan cross-joined above the aggregate, the
+        # comparison a filter over that join.  Plain conjuncts stay a
+        # filter directly above the aggregate.
+        plain_having: list[BoundExpr] = []
+        scalar_having: list[tuple[str, BoundExpr, LogicalNode]] = []
+        if stmt.having is not None:
+            for conjunct in split_conjuncts(stmt.having):
+                scalar = _scalar_side(conjunct)
+                if scalar is not None:
+                    op, value_ast, sub_stmt = scalar
+                    sub_plan = self._plan_query(sub_stmt, None)
+                    if len(sub_plan.schema) != 1:
+                        raise PlanningError(
+                            "scalar subquery in HAVING must produce one column"
+                        )
+                    scalar_having.append(
+                        (op, post_binder.bind(value_ast), sub_plan)
+                    )
+                else:
+                    plain_having.append(post_binder.bind_predicate(conjunct))
+        having_expr: BoundExpr | None = None
+        if len(plain_having) == 1:
+            having_expr = plain_having[0]
+        elif plain_having:
+            having_expr = BoolAnd(tuple(plain_having))
 
         # Pre-projection: group keys first, then (deduplicated) agg args.
         pre_exprs: list[BoundExpr] = [remap_expr(g, mapping) for g in group_bound]
@@ -561,6 +585,20 @@ class LogicalPlanner:
         )
         if having_expr is not None:
             plan = LogicalFilter(plan, having_expr)
+        for op, value_bound, sub_plan in scalar_having:
+            # Cross join the 1-row scalar result; the comparison filter
+            # references it at the end of the joined schema.  The final
+            # projection below only reads aggregate-output positions, so
+            # the extra column is dropped there.
+            scalar_col = len(plan.schema)
+            scalar_type = sub_plan.schema.fields[0].type
+            plan = LogicalJoin(plan, sub_plan, JoinType.CROSS, [], [])
+            plan = LogicalFilter(
+                plan,
+                Comparison(
+                    op, value_bound, InputRef(scalar_col, scalar_type, "scalar")
+                ),
+            )
         names = [_output_name(item, i) for i, item in enumerate(items)]
         return LogicalProject.of(plan, post_exprs, names)
 

@@ -1,4 +1,4 @@
-"""End-to-end tests for the extended TPC-H queries (Q9, Q17, Q18)."""
+"""End-to-end tests for the extended TPC-H queries (Q9/Q11/Q15-Q18/Q20)."""
 
 from collections import defaultdict
 
@@ -18,12 +18,46 @@ def reference(catalog, sql):
     return execute_reference(plan, catalog)
 
 
-@pytest.mark.parametrize("name", ["Q9", "Q17", "Q18"])
+@pytest.mark.parametrize("name", ["Q9", "Q11", "Q15", "Q16", "Q17", "Q18", "Q20"])
 def test_extended_query_matches_reference(catalog, name):
     ref = reference(catalog, QUERIES[name])
     engine = AccordionEngine(catalog)
     result = engine.execute(QUERIES[name], max_virtual_seconds=1e6)
     assert norm_rows(result.rows) == norm_rows(ref.rows())
+
+
+def test_q11_having_scalar_subquery_filters_groups(catalog):
+    """Q11's HAVING threshold must actually discard below-threshold groups
+    (a no-op filter would still match a buggy reference)."""
+    unfiltered = """
+    select ps_partkey, sum(ps_supplycost * ps_availqty) as value
+    from partsupp, supplier, nation
+    where ps_suppkey = s_suppkey
+      and s_nationkey = n_nationkey
+      and n_name = 'GERMANY'
+    group by ps_partkey
+    """
+    all_groups = AccordionEngine(catalog).execute(
+        unfiltered, max_virtual_seconds=1e6
+    )
+    filtered = AccordionEngine(catalog).execute(
+        QUERIES["Q11"], max_virtual_seconds=1e6
+    )
+    assert 0 < filtered.num_rows < all_groups.num_rows
+    threshold = sum(v for _, v in all_groups.rows) * 0.0001
+    assert all(v > threshold for _, v in filtered.rows)
+
+
+def test_q15_returns_top_revenue_suppliers(catalog):
+    result = AccordionEngine(catalog).execute(
+        QUERIES["Q15"], max_virtual_seconds=1e6
+    )
+    assert result.columns == [
+        "s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"
+    ]
+    assert result.num_rows >= 1
+    revenues = {r[-1] for r in result.rows}
+    assert len(revenues) == 1  # every returned supplier ties for the max
 
 
 def test_q9_produces_nation_year_rows(catalog):

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Parallel smoke: the worker pool must be fast where it can and exact
+everywhere.
+
+Runs the join/agg-heavy TPC-H gate queries (Q5/Q9/Q18) serial and with a
+4-worker offload pool — interleaved, so host-load drift hits both modes
+equally — and checks the contract of the offload backend (DESIGN.md §15):
+
+1. **Bit-identical rows** between serial and parallel runs of every
+   query, on every host.  This is the determinism contract and is never
+   waived.
+2. **Offload actually engaged**: the parallel engines must report
+   offloaded jobs (a pool that silently stays inline would make this
+   smoke vacuous).
+3. **Speedup on real cores**: on hosts with at least ``--min-cores``
+   (default 4) CPU cores, at least 2 of the 3 queries must beat serial
+   by ``--min-speedup`` (default 1.8x).  Forked workers cannot beat
+   serial while time-slicing a single core, so on smaller hosts the
+   speedup criterion is skipped (and says so) while 1. and 2. still
+   gate.
+
+Both modes run with large pages (``--page-rows``, default 65536) so the
+chunker has headroom to fan one page out across all workers; the serial
+side uses the same page size, keeping the comparison honest.
+
+Exit status 0 on success, 1 with a summary on any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/parallel_smoke.py [--workers 4]
+        [--scale 0.05] [--repeats 2] [--min-speedup 1.8] [--min-cores 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+os.environ.setdefault("REPRO_CACHE_DIR", str(REPO_ROOT / ".repro-cache"))
+
+from repro import AccordionEngine, Catalog, EngineConfig, TPCH_QUERIES
+
+GATE_QUERIES = ("Q5", "Q9", "Q18")
+SEED = 20250622
+
+
+def run_once(catalog, config, sql):
+    gc.collect()
+    engine = AccordionEngine(catalog, config=config)
+    start = time.perf_counter()
+    result = engine.execute(sql)
+    elapsed = time.perf_counter() - start
+    jobs = engine.offload.stats.jobs if engine.offload is not None else 0
+    return elapsed, sorted(result.rows), jobs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--min-speedup", type=float, default=1.8)
+    parser.add_argument("--min-cores", type=int, default=4)
+    parser.add_argument("--page-rows", type=int, default=65536)
+    args = parser.parse_args()
+
+    cores = os.cpu_count() or 1
+    catalog = Catalog.tpch(scale=args.scale, seed=SEED)
+    serial_config = EngineConfig(page_row_limit=args.page_rows)
+    parallel_config = serial_config.with_parallelism(workers=args.workers)
+
+    failures = []
+    wins = 0
+    total_jobs = 0
+    for name in GATE_QUERIES:
+        sql = TPCH_QUERIES[name]
+        serial_times, parallel_times = [], []
+        serial_rows = parallel_rows = None
+        for _ in range(args.repeats):
+            elapsed, serial_rows, _ = run_once(catalog, serial_config, sql)
+            serial_times.append(elapsed)
+            elapsed, parallel_rows, jobs = run_once(
+                catalog, parallel_config, sql
+            )
+            parallel_times.append(elapsed)
+            total_jobs += jobs
+        identical = serial_rows == parallel_rows
+        if not identical:
+            failures.append(f"{name}: parallel rows differ from serial rows")
+        speedup = min(serial_times) / max(min(parallel_times), 1e-9)
+        wins += speedup >= args.min_speedup
+        print(
+            f"{name}: serial {min(serial_times):.3f}s / "
+            f"parallel({args.workers}) {min(parallel_times):.3f}s -> "
+            f"{speedup:.2f}x, rows identical: {identical}"
+        )
+
+    if total_jobs == 0:
+        failures.append("no jobs were offloaded — the pool never engaged")
+    if cores < args.min_cores:
+        print(
+            f"speedup criterion skipped: {cores} core(s) < {args.min_cores} "
+            "(bit-identity and engagement still enforced)"
+        )
+    elif wins < 2:
+        failures.append(
+            f"only {wins}/{len(GATE_QUERIES)} queries reached "
+            f"{args.min_speedup}x at {args.workers} workers (need 2)"
+        )
+
+    if failures:
+        print("PARALLEL SMOKE FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(
+        f"parallel smoke ok ({total_jobs} jobs offloaded, "
+        f"{cores} host core(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
