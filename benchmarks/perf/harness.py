@@ -20,6 +20,8 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/harness.py --workers 4   # + parallel columns
     PYTHONPATH=src python benchmarks/perf/harness.py \
         --check-parallel           # worker-pool gate (DESIGN.md §15)
+    PYTHONPATH=src python benchmarks/perf/harness.py \
+        --check-predictive         # learned demand-profile gate (DESIGN.md §16)
 
 Determinism: the catalog seed, scale factor, query set, and repetition
 count are pinned; the only nondeterminism left is the host itself, which
@@ -41,6 +43,7 @@ import cProfile
 import gc
 import io
 import json
+import math
 import os
 import platform
 import pstats
@@ -112,6 +115,28 @@ PARALLEL_MIN_SPEEDUP = 1.8
 PARALLEL_MIN_WINS = 2
 PARALLEL_MIN_CORES = 4
 PARALLEL_PAGE_ROWS = 65536
+#: Predictive gate (DESIGN.md §16): after a warmup window accumulates
+#: per-template demand history, the predictive measured window of a
+#: seeded bursty workload must beat the reactive one on *both* makespan
+#: and overall p99 with identical answers.  CPU costs are scaled so the
+#: burst is execution-bound (virtual seconds are free; wall clock is
+#: unchanged), and the arrival rate is far above the service rate so
+#: the horizon measures execution under contention, not arrivals.
+PREDICT_SCALE = 0.01
+PREDICT_COST_SCALE = 300.0
+PREDICT_RATE = 50.0
+PREDICT_COUNT = 6
+PREDICT_QUERY_MIX = (
+    "select l_returnflag, l_linestatus, count(*), sum(l_quantity) "
+    "from lineitem where l_quantity > {lit} "
+    "group by l_returnflag, l_linestatus "
+    "order by l_returnflag, l_linestatus",
+    "select l_orderkey, sum(l_extendedprice), count(*) from lineitem "
+    "where l_quantity > {lit} group by l_orderkey order by l_orderkey",
+    "select o_orderstatus, count(*), sum(o_totalprice) from orders "
+    "where o_totalprice > {lit} group by o_orderstatus "
+    "order by o_orderstatus",
+)
 
 
 def time_query(catalog: Catalog, sql: str, config: EngineConfig | None = None) -> dict:
@@ -468,6 +493,106 @@ def check_parallel() -> int:
     return 0
 
 
+def check_predictive() -> int:
+    """Gate for learned demand profiles (DESIGN.md §16).
+
+    Reactive and predictive engines each run a warmup window followed by
+    a measured window of the same seeded two-tenant burst, so plan
+    caches are warm in both and only the predictive engine carries
+    demand history.  The measured predictive window must apply at least
+    one pre-grant and one demand-aware placement, return the reactive
+    answers (float aggregates to accumulation-order tolerance, since
+    pre-granted DOPs reorder partial sums), and beat the reactive window
+    on both makespan and overall p99.
+    """
+    from repro import CostModel, PoissonArrivals, Workload
+
+    catalog = Catalog.tpch(PREDICT_SCALE, SEED)
+
+    def run(mode: str):
+        config = EngineConfig(
+            cost=CostModel().scaled(PREDICT_COST_SCALE)
+        ).with_workload(arbitration="deadline")
+        if mode == "predictive":
+            config = config.with_prediction()
+        engine = AccordionEngine(catalog, config=config)
+
+        def window():
+            workload = Workload(engine, seed=SEED)
+            for index, tenant in enumerate(("bi", "analysts")):
+                queries = [
+                    q.format(lit=3 * index + i)
+                    for i, q in enumerate(PREDICT_QUERY_MIX)
+                ]
+                workload.add_tenant(
+                    tenant, queries,
+                    PoissonArrivals(rate=PREDICT_RATE, count=PREDICT_COUNT),
+                    deadline=60.0,
+                )
+            report = workload.run()
+            return report, [h.result().rows for h in workload.handles]
+
+        window()
+        report, rows = window()
+        return engine, report, rows
+
+    def p99(report) -> float:
+        latencies = sorted(
+            lat for s in report.tenants.values() for lat in s.latencies
+        )
+        if not latencies:
+            return 0.0
+        return latencies[
+            min(len(latencies) - 1, round(0.99 * (len(latencies) - 1)))
+        ]
+
+    def rows_equal(left, right) -> bool:
+        if len(left) != len(right):
+            return False
+        for row_a, row_b in zip(left, right):
+            if len(row_a) != len(row_b):
+                return False
+            for a, b in zip(row_a, row_b):
+                if isinstance(a, float) and isinstance(b, float):
+                    if not math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9):
+                        return False
+                elif a != b:
+                    return False
+        return True
+
+    _, base_report, base_rows = run("reactive")
+    engine, pred_report, pred_rows = run("predictive")
+    stats = engine.predict_service.stats()
+    makespan_gain = base_report.horizon / max(pred_report.horizon, 1e-12)
+    base_p99, pred_p99 = p99(base_report), p99(pred_report)
+    p99_gain = base_p99 / max(pred_p99, 1e-12)
+    print(
+        f"predictive @ SF{PREDICT_SCALE}: pregrants={stats['pregrants']} "
+        f"drr={stats['drr_placements']} reprovisions={stats['reprovisions']} "
+        f"makespan {base_report.horizon:.3f}s -> {pred_report.horizon:.3f}s "
+        f"({makespan_gain:.2f}x), p99 {base_p99:.3f}s -> {pred_p99:.3f}s "
+        f"({p99_gain:.2f}x)"
+    )
+    failures = []
+    if stats["pregrants"] < 1 or stats["drr_placements"] < 1:
+        failures.append(f"prediction did not engage: {stats}")
+    if len(base_rows) != len(pred_rows) or not all(
+        rows_equal(a, b) for a, b in zip(base_rows, pred_rows)
+    ):
+        failures.append("predictive answers differ from reactive answers")
+    if makespan_gain <= 1.0:
+        failures.append(f"makespan gain {makespan_gain:.2f}x <= 1.0x")
+    if p99_gain <= 1.0:
+        failures.append(f"p99 gain {p99_gain:.2f}x <= 1.0x")
+    if failures:
+        print("PREDICTIVE CHECK FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("predictive resource management ok")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -525,6 +650,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-predictive",
+        action="store_true",
+        help=(
+            "exit nonzero unless a warm demand history beats the reactive "
+            "baseline on both makespan and overall p99 for the seeded "
+            "bursty workload, with identical answers "
+            "(skips the normal report)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -548,6 +683,8 @@ def main(argv: list[str] | None = None) -> int:
         return check_sharing_speedup()
     if args.check_parallel:
         return check_parallel()
+    if args.check_predictive:
+        return check_predictive()
 
     report = run_benchmarks(workers=args.workers)
     if args.output.exists():

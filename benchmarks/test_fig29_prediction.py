@@ -39,7 +39,7 @@ def test_fig29_remaining_time_prediction(benchmark, eval_catalog):
             engine.run_for(1.5)  # let a rate sample accumulate
             if query.finished or query.stages[stage_id].finished:
                 continue
-            prediction = elastic.predict(stage_id, target)
+            prediction = elastic.estimate(stage_id, target)
             if prediction is None or prediction.t_remain <= prediction.t_tuning:
                 continue  # stage (nearly) done at this reduced scale
             issued_at = engine.now

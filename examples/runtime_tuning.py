@@ -39,7 +39,7 @@ def main() -> None:
         print(f"  stage {b.stage}: {b.kind} ({b.detail})")
 
     # What would raising stage 1 to DOP 4 buy us?
-    prediction = elastic.predict(1, 4)
+    prediction = elastic.estimate(1, 4)
     if prediction:
         print(f"\nWhat-if: {prediction.describe()}")
 

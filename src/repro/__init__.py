@@ -20,6 +20,7 @@ from .config import (
     MemoryConfig,
     NodeSpec,
     ParallelConfig,
+    PredictionConfig,
     SharingConfig,
     TraceConfig,
     WorkloadConfig,
@@ -64,6 +65,7 @@ from .faults import FaultInjector, FaultPlan, NodeCrash, RpcOutage, RpcStorm, Ta
 from .handle import QueryHandle, QueryResult
 from .metrics import render_curve_points, render_series, render_table
 from .obs import MetricsRegistry, ProfileReport, QueryTrace, Tracer
+from .predict import Prediction, StageDemand
 from .script import ScriptResult, run_script
 from .sharing import SharingInfo
 from .workload import (
@@ -76,7 +78,7 @@ from .workload import (
     WorkloadReport,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AccordionEngine",
@@ -107,6 +109,8 @@ __all__ = [
     "OutputMode",
     "ParallelConfig",
     "PoissonArrivals",
+    "Prediction",
+    "PredictionConfig",
     "ProfileReport",
     "QueryCancelledError",
     "QueryFailedError",
@@ -125,6 +129,7 @@ __all__ = [
     "SplitLayout",
     "SpotPreemption",
     "SqlError",
+    "StageDemand",
     "TPCH_QUERIES",
     "TPCH_SCHEMAS",
     "TaskCrash",

@@ -4,7 +4,7 @@ from .bottleneck import Bottleneck, find_bottlenecks
 from .collector import RuntimeInfoCollector, Snapshot, StageSample
 from .filter import TuningRequestFilter
 from .planner import DopPlan, DopPlanner
-from .predictor import Prediction, WhatIfService
+from .whatif import WhatIfEstimate, WhatIfService
 from .progress import probe_scan_stage, remaining_seconds, scan_progress
 from .service import ElasticQuery
 from .tuner import DopAutoTuner, TuningUnit, tuning_units
@@ -15,12 +15,12 @@ __all__ = [
     "DopPlan",
     "DopPlanner",
     "ElasticQuery",
-    "Prediction",
     "RuntimeInfoCollector",
     "Snapshot",
     "StageSample",
     "TuningRequestFilter",
     "TuningUnit",
+    "WhatIfEstimate",
     "WhatIfService",
     "find_bottlenecks",
     "probe_scan_stage",

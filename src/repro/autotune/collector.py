@@ -3,7 +3,7 @@
 Periodically snapshots every task's context and aggregates the samples
 into the query-stage-task hierarchy: per-stage output rows, exchange
 turn-up counters, scan progress, DOPs, plus per-node CPU utilization and
-NIC activity.  The predictor, bottleneck localizer, and auto-tuner all
+NIC activity.  The what-if service, bottleneck localizer, and auto-tuner all
 read from here.
 """
 

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING
 
 from ..elastic.tuning import TuningKind, TuningRequest
 from ..errors import TuningRejected
-from .predictor import WhatIfService
+from .whatif import WhatIfService
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.coordinator import QueryExecution

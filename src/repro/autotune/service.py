@@ -19,7 +19,7 @@ from ..elastic import DynamicOptimizer, DynamicScheduler, TuningKind, TuningRequ
 from .bottleneck import Bottleneck, find_bottlenecks
 from .collector import RuntimeInfoCollector
 from .filter import TuningRequestFilter
-from .predictor import Prediction, WhatIfService
+from .whatif import WhatIfEstimate, WhatIfService
 from .tuner import DopAutoTuner, TuningUnit, tuning_units
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -76,7 +76,7 @@ class ElasticQuery:
     set_stage_dop = ap
 
     # -- what-if / introspection --------------------------------------------
-    def predict(self, stage: int, target_dop: int) -> Prediction | None:
+    def estimate(self, stage: int, target_dop: int) -> WhatIfEstimate | None:
         return self.whatif.predict(stage, target_dop)
 
     def remaining_time(self, stage: int) -> float | None:

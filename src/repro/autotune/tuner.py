@@ -24,7 +24,7 @@ from ..elastic.tuning import TuningKind, TuningRequest, TuningResult
 from ..errors import TuningRejected
 from .collector import RuntimeInfoCollector
 from .filter import TuningRequestFilter
-from .predictor import Prediction, WhatIfService
+from .whatif import WhatIfEstimate, WhatIfService
 from .progress import probe_scan_stage
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -116,7 +116,7 @@ class DopAutoTuner:
             return None
 
     @staticmethod
-    def _pick(predictions: list[Prediction], constraint: float) -> Prediction | None:
+    def _pick(predictions: list[WhatIfEstimate], constraint: float) -> WhatIfEstimate | None:
         meeting = [p for p in predictions if p.t_predicted <= constraint]
         if meeting:
             return min(meeting, key=lambda p: p.target_dop)

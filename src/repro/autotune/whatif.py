@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 @dataclass(frozen=True)
-class Prediction:
+class WhatIfEstimate:
     stage: int
     current_dop: int
     target_dop: int
@@ -66,7 +66,7 @@ class WhatIfService:
         return 1.0 + idle / used
 
     # -- the what-if computation --------------------------------------------
-    def predict(self, stage_id: int, target_dop: int) -> Prediction | None:
+    def predict(self, stage_id: int, target_dop: int) -> WhatIfEstimate | None:
         """Predicted remaining time of ``stage_id`` at ``target_dop``.
 
         Returns ``None`` while no progress rate is observable yet.
@@ -82,7 +82,7 @@ class WhatIfService:
         if requested <= 1.0:
             n_f = requested  # slowdowns are not CPU-bounded
         t_pred = max(0.0, (t_remain - t_tuning)) / n_f + t_tuning
-        return Prediction(
+        return WhatIfEstimate(
             stage=stage_id,
             current_dop=current,
             target_dop=target_dop,
@@ -94,7 +94,7 @@ class WhatIfService:
 
     def dop_time_list(
         self, stage_id: int, candidates: list[int] | None = None
-    ) -> list[Prediction]:
+    ) -> list[WhatIfEstimate]:
         """Predicted execution times across candidate DOPs (used by the
         one-time auto-tuner to pick the cheapest DOP meeting a deadline)."""
         stage = self.query.stage(stage_id)

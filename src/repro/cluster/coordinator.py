@@ -115,6 +115,13 @@ class QueryExecution:
         #: Timeline of faults and recovery actions that touched this query
         #: (carried into ``QueryFailedError.fault_history`` on failure).
         self.fault_events: list[dict] = []
+        #: Demand prediction attached at submission (``repro.predict``);
+        #: None when prediction is off or the template has no history.
+        self.prediction = None
+        #: Template fingerprint under which this run's demand is recorded.
+        self.prediction_template: str | None = None
+        #: Relative |observed - predicted| runtime error, set on finish.
+        self.prediction_error: float | None = None
         #: Root of this query's trace span tree (-1 when tracing is off).
         self.trace_span = kernel.tracer.begin(
             "query", f"Q{query_id}", node="coordinator", query_id=query_id, sql=sql
@@ -361,6 +368,10 @@ class Coordinator:
 
         self.recovery = RecoveryManager(self)
         self.scheduler.recovery = self.recovery
+        #: Hook called with each new QueryExecution *before* scheduling
+        #: (``repro.predict`` attaches demand predictions here so initial
+        #: placement can see them); None when prediction is off.
+        self.on_created = None
 
     @property
     def plan_cache_hits(self) -> int:
@@ -426,6 +437,8 @@ class Coordinator:
         # and cancellation all clean up the per-query spill directory.
         query.on_done(lambda q: q.memory.cleanup())
         self.queries[query.id] = query
+        if self.on_created is not None:
+            self.on_created(query)
         self.scheduler.schedule(query)
         query.tracker = ThroughputTracker(self.kernel, query)
         return query

@@ -43,6 +43,9 @@ class Scheduler:
         self.config = config
         self.rpc = rpc
         self.split_layout = split_layout
+        #: Demand predictor (repro.predict), set by the engine when
+        #: prediction is enabled; None keeps least-loaded placement.
+        self.predictor = None
 
     # ------------------------------------------------------------------
     def schedule(self, query: "QueryExecution") -> None:
@@ -141,6 +144,13 @@ class Scheduler:
             if candidates:
                 index = len(stage.tasks) % len(candidates)
                 return self.cluster.storage_map[candidates[index]]
+        if self.predictor is not None:
+            # Dominant-remaining-resource packing under predicted demand
+            # (DESIGN.md §16); returns None for stages without a
+            # prediction, which keep today's least-loaded placement.
+            node = self.predictor.place(stage)
+            if node is not None:
+                return node
         return self.cluster.least_loaded_compute()
 
     # ------------------------------------------------------------------

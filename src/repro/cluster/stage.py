@@ -104,6 +104,28 @@ class StageExecution:
         seconds = [b.build_seconds for t in self.tasks for b in t.bridges]
         return max(seconds, default=0.0)
 
+    def cpu_seconds(self) -> float:
+        """Virtual CPU seconds burnt by this stage across all tasks."""
+        return sum(t.cpu_seconds() for t in self.tasks)
+
+    def quanta(self) -> int:
+        return sum(t.quanta() for t in self.tasks)
+
+    def peak_tracked_bytes(self) -> int:
+        """Peak tracked operator-state bytes, summed over tasks."""
+        return sum(t.peak_tracked_bytes() for t in self.tasks)
+
+    def time_window(self) -> tuple[float, float] | None:
+        """(first task created, last task finished), query-relative ready
+        for demand profiles; None while any task is still running."""
+        if not self.tasks:
+            return None
+        ends = [t.finished_at for t in self.tasks]
+        if any(e is None for e in ends):
+            return None
+        start = min(t.created_at for t in self.tasks)
+        return (start - self.query.submitted_at, max(ends) - self.query.submitted_at)
+
     def has_join(self) -> bool:
         return bool(self.layout.bridges)
 

@@ -424,6 +424,51 @@ class ParallelConfig(_Fingerprinted):
 
 
 @dataclass(frozen=True)
+class PredictionConfig(_Fingerprinted):
+    """Learned per-stage resource prediction (``repro.predict``).
+
+    Off by default: the engine is purely reactive and bit-identical to
+    earlier releases.  With ``enabled=True`` the engine keys every
+    finished query's per-stage demand (CPU seconds, quanta, peak tracked
+    memory, exchange bytes, stage time windows) under its query-*template*
+    fingerprint (plan fingerprint with literals parameterized out —
+    ``repro.sharing.normalize`` with ``literals=False``), and uses the
+    accumulated history to (1) pre-grant stage DOPs and a memory budget
+    at submission, (2) place tasks by dominant-remaining-resource
+    scoring, and (3) estimate runtime with variance for SLO admission.
+    Queries whose template has no history fall back to the reactive path
+    unchanged (DESIGN.md §16).
+    """
+
+    enabled: bool = False
+    #: Directory for persisted history (``history.json``); ``None`` keeps
+    #: history in memory only (per engine).
+    history_dir: str | None = None
+    #: Relative runtime-prediction error tolerated before the
+    #: reprovision trigger fires (0.5 = fire once the query has run 50%
+    #: past its predicted runtime without finishing).
+    error_bound: float = 0.5
+    #: Minimum recorded runs of a template before predictions are served.
+    min_samples: int = 1
+    #: Reject at admission when P(deadline miss) from the runtime
+    #: estimate + variance exceeds this; ``None`` disables SLO rejection.
+    max_miss_probability: float | None = None
+    #: Pre-grant stage DOPs / memory budget from predicted demand.
+    pregrant: bool = True
+    #: Pre-grant sizing target: each stage gets enough DOP to finish its
+    #: predicted CPU work within this fraction of the predicted runtime
+    #: (or of the deadline, when the deadline is tighter).
+    pregrant_target_fraction: float = 0.25
+    #: Score placement by dominant-remaining-resource under predictions.
+    placement: bool = True
+    #: Memory pre-grant = ``memory_headroom`` x predicted peak (with a
+    #: 64 MB floor), used only when the session declares no budget.
+    memory_headroom: float = 2.0
+    #: Cap on any pre-granted per-stage DOP.
+    max_stage_dop: int = 16
+
+
+@dataclass(frozen=True)
 class TraceConfig(_Fingerprinted):
     """Observability switches (``repro.obs``).
 
@@ -506,7 +551,8 @@ class EngineConfig(_Fingerprinted):
         ├── tracing:  TraceConfig   (observability switches)
         ├── workload: WorkloadConfig (admission + arbitration)
         ├── sharing:  SharingConfig (query folding + result cache)
-        └── parallel: ParallelConfig (worker-pool offload backend)
+        ├── parallel: ParallelConfig (worker-pool offload backend)
+        └── prediction: PredictionConfig (learned demand profiles)
 
     Every node is a frozen dataclass with a stable ``fingerprint()`` and
     an immutable ``with_<section>(**fields)`` builder on this root class.
@@ -552,6 +598,8 @@ class EngineConfig(_Fingerprinted):
     sharing: SharingConfig = field(default_factory=SharingConfig)
     #: Worker-pool offload backend (real multi-core); off by default.
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: Learned per-stage demand prediction; off by default.
+    prediction: PredictionConfig = field(default_factory=PredictionConfig)
 
     def with_cluster(self, **kwargs) -> "EngineConfig":
         """Return a copy with cluster fields replaced (test convenience)."""
@@ -599,6 +647,20 @@ class EngineConfig(_Fingerprinted):
         """
         kwargs["workers"] = workers
         return replace(self, parallel=replace(self.parallel, **kwargs))
+
+    def with_prediction(self, **kwargs) -> "EngineConfig":
+        """Return a copy with demand prediction enabled (plus any
+        PredictionConfig fields).
+
+        ``EngineConfig().with_prediction(error_bound=0.3)`` records
+        per-stage demand history under query-template fingerprints and
+        uses it to pre-grant DOP/memory, place tasks by dominant-
+        remaining-resource, and estimate runtimes with variance; the
+        reprovision trigger escalates to the reactive tuner once a query
+        runs 30% past its prediction (DESIGN.md §16).
+        """
+        kwargs.setdefault("enabled", True)
+        return replace(self, prediction=replace(self.prediction, **kwargs))
 
     def with_memory(self, **kwargs) -> "EngineConfig":
         """Return a copy with memory-budget fields replaced.

@@ -96,6 +96,18 @@ class AccordionEngine:
 
             self.sharing = SharingManager(self)
             self.metrics.gauge("sharing", self.sharing.stats)
+        #: Learned demand predictor (repro.predict); None when off.
+        self.predict_service = None
+        if config.prediction.enabled:
+            from .predict import DemandPredictor
+
+            self.predict_service = DemandPredictor(self)
+            # Predictions must exist before initial placement runs, so
+            # the predictor hooks query creation inside the coordinator
+            # and the scheduler consults it for every task placement.
+            self.coordinator.on_created = self.predict_service.on_query_created
+            self.coordinator.scheduler.predictor = self.predict_service
+            self.metrics.gauge("predict", self.predict_service.stats)
         rpc = self.coordinator.rpc
         self.metrics.gauge(
             "rpc",
@@ -187,6 +199,23 @@ class AccordionEngine:
     ) -> QueryResult:
         """Submit and run to completion."""
         return self.submit(sql, options).result(max_virtual_seconds)
+
+    def predict(self, sql: str, options: QueryOptions | None = None):
+        """Predicted demand + runtime for ``sql`` from accumulated
+        history (requires ``EngineConfig.with_prediction()``).
+
+        Returns a frozen :class:`repro.Prediction` — per-stage demand
+        series, runtime point estimate, variance, and the sample count
+        backing it — or ``None`` when the query's template has no
+        recorded history yet.  Side-effect free: predicting does not
+        execute or admit anything.
+        """
+        if self.predict_service is None:
+            raise ExecutionError(
+                "prediction is not enabled; construct the engine with "
+                "EngineConfig().with_prediction()"
+            )
+        return self.predict_service.predict_sql(sql, options)
 
     # -- multi-tenant workload ---------------------------------------------
     @property

@@ -159,11 +159,15 @@ class QueryRejectedError(AccordionError):
         tenant: str | None = None,
         reason: str = "rejected",
         queued_seconds: float = 0.0,
+        prediction=None,
     ):
         super().__init__(message)
         self.tenant = tenant
         self.reason = reason
         self.queued_seconds = queued_seconds
+        #: The :class:`repro.Prediction` behind an SLO rejection
+        #: (``reason="predicted-miss"``); None for policy rejections.
+        self.prediction = prediction
 
 
 class QueryCancelledError(QueryFailedError):

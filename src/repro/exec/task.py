@@ -477,3 +477,17 @@ class Task:
             ),
             "builds_ready": all(b.ready for b in self.bridges),
         }
+
+    def cpu_seconds(self) -> float:
+        """Total virtual CPU time consumed by this task's drivers."""
+        return sum(
+            d.cpu_time for p in self.pipelines for d in p.drivers
+        )
+
+    def quanta(self) -> int:
+        """Total driver quanta executed by this task."""
+        return sum(d.quanta for p in self.pipelines for d in p.drivers)
+
+    def peak_tracked_bytes(self) -> int:
+        """Sum of peak tracked bytes across this task's operator state."""
+        return sum(h.peak_bytes for h in self._memory_handles)

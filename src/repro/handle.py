@@ -239,6 +239,26 @@ class QueryHandle:
             )
         return self._engine._elastic_for(self._execution)
 
+    # -- prediction --------------------------------------------------------
+    @property
+    def prediction(self):
+        """The :class:`repro.Prediction` attached at submission, or
+        ``None`` when prediction is off, the query's template had no
+        history yet, or the submission was served by the sharing layer
+        without a new physical execution."""
+        if self._execution is None:
+            return None
+        return getattr(self._execution, "prediction", None)
+
+    @property
+    def prediction_error(self) -> float | None:
+        """Relative runtime prediction error ``|observed - predicted| /
+        predicted``, populated when the query finishes; ``None`` without
+        a prediction or before completion."""
+        if self._execution is None:
+            return None
+        return getattr(self._execution, "prediction_error", None)
+
     # -- sharing -----------------------------------------------------------
     @property
     def sharing(self) -> "SharingInfo":

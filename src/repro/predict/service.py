@@ -1,0 +1,306 @@
+"""DemandPredictor: the engine-side prediction service (DESIGN.md §16).
+
+Sits on three hook points, all inert when prediction is off or the
+template has no history:
+
+1. **Submission** (``Coordinator.on_created``): attach the template's
+   :class:`Prediction` to the new ``QueryExecution`` *before* initial
+   placement, register the completion observer that records the run into
+   the history store, and arm the reprovision trigger.
+2. **Placement** (``Scheduler.predictor``): score schedulable compute
+   nodes by dominant-remaining-resource (max of core and memory fraction
+   after placement) under the predicted per-task demand, minimizing
+   fragmentation; memory reservations live in a predictor-owned ledger
+   and are released when the query finishes.
+3. **Admission** (``AdmissionController.submit``): rewrite the query's
+   options with pre-granted per-stage DOPs sized so predicted CPU work
+   finishes within half the deadline (or half the predicted runtime),
+   pre-size the memory budget from predicted peak, and reject queries
+   whose P(deadline miss) exceeds the configured bound.
+
+The reprovision trigger is one cancellable event per predicted query at
+``submitted_at + runtime * (1 + error_bound)``: if the query is still
+running then, the prediction under-shot by more than the bound and the
+predictor escalates to the *reactive* path — a what-if-guarded DOP bump
+through the standard tuner, arbiter included.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..errors import ExecutionError, TuningRejected
+from .fingerprint import options_template, template_fingerprint
+from .history import HistoryStore
+from .profile import Prediction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.coordinator import QueryExecution, QueryOptions
+    from ..cluster.stage import StageExecution
+    from ..engine import AccordionEngine
+
+__all__ = ["DemandPredictor"]
+
+#: Memory pre-grants never go below this (tiny queries still need room
+#: for pages in flight and accounting slack).
+MIN_MEMORY_PREGRANT = 64 * 1024 * 1024
+
+
+class DemandPredictor:
+    def __init__(self, engine: "AccordionEngine"):
+        self.engine = engine
+        self.kernel = engine.kernel
+        self.config = engine.config.prediction
+        self.store = HistoryStore(self.config.history_dir)
+        #: (catalog version, sql, options template) -> fingerprint.
+        self._templates: dict[tuple, str] = {}
+        #: node id -> predicted bytes reserved by placed tasks.
+        self._node_reserved: dict[int, int] = {}
+        #: query id -> [(node id, bytes)] to release on completion.
+        self._query_reservations: dict[int, list[tuple[int, int]]] = {}
+        self.recorded = 0
+        self.predictions_served = 0
+        self.pregrants = 0
+        self.drr_placements = 0
+        self.reprovisions = 0
+        self.slo_rejections = 0
+
+    # -- templates ----------------------------------------------------------
+    def template_for(self, sql: str, options: "QueryOptions") -> str:
+        catalog = self.engine.catalog
+        key = (catalog.version, sql, options_template(options))
+        template = self._templates.get(key)
+        if template is None:
+            template = template_fingerprint(catalog, sql, options)
+            self._templates[key] = template
+        return template
+
+    def predict_sql(
+        self, sql: str, options: "QueryOptions | None" = None
+    ) -> Prediction | None:
+        """Prediction for ``sql`` from accumulated history, or None."""
+        from ..cluster.coordinator import QueryOptions
+
+        options = options or QueryOptions()
+        prediction = self.store.predict(
+            self.template_for(sql, options), self.config.min_samples
+        )
+        if prediction is not None:
+            self.predictions_served += 1
+        return prediction
+
+    # -- submission hook ----------------------------------------------------
+    def on_query_created(self, query: "QueryExecution") -> None:
+        """Coordinator hook: runs before the query's initial placement."""
+        template = self.template_for(query.sql, query.options)
+        query.prediction_template = template
+        prediction = self.store.predict(template, self.config.min_samples)
+        if prediction is not None:
+            query.prediction = prediction
+            self._arm_reprovision(query, prediction)
+        query.on_done(self._observe)
+
+    def _observe(self, query: "QueryExecution") -> None:
+        for node_id, nbytes in self._query_reservations.pop(query.id, ()):
+            self._node_reserved[node_id] = max(
+                0, self._node_reserved.get(node_id, 0) - nbytes
+            )
+        if not query.succeeded:
+            return
+        runtime = query.finished_at - query.submitted_at
+        prediction = query.prediction
+        if prediction is not None and prediction.runtime > 0:
+            query.prediction_error = (
+                abs(runtime - prediction.runtime) / prediction.runtime
+            )
+        stages = []
+        for sid in sorted(query.stages):
+            stage = query.stages[sid]
+            window = stage.time_window() or (0.0, runtime)
+            stages.append({
+                "stage": sid,
+                "cpu_seconds": stage.cpu_seconds(),
+                "quanta": stage.quanta(),
+                "peak_memory_bytes": stage.peak_tracked_bytes(),
+                "exchange_bytes": stage.bytes_out(),
+                "rows_out": stage.rows_out(),
+                "tasks": len(stage.tasks),
+                "start": window[0],
+                "end": window[1],
+            })
+        self.store.record(query.prediction_template, {
+            "runtime": runtime,
+            "peak_query_bytes": query.memory.peak_bytes,
+            "stages": stages,
+        })
+        self.recorded += 1
+
+    # -- reprovision trigger ------------------------------------------------
+    def _arm_reprovision(
+        self, query: "QueryExecution", prediction: Prediction
+    ) -> None:
+        fire_in = prediction.runtime * (1.0 + self.config.error_bound)
+        if fire_in <= 0:
+            return
+        event = self.kernel.schedule(
+            fire_in, lambda: self._check_reprovision(query)
+        )
+        query.on_done(lambda _q, e=event: e.cancel())
+
+    def _check_reprovision(self, query: "QueryExecution") -> None:
+        """The query outran its prediction by more than the error bound:
+        hand control back to the reactive tuner with a DOP escalation."""
+        if query.finished:
+            return
+        self.reprovisions += 1
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "predict", "reprovision", parent=query.trace_span,
+                node="coordinator", query_id=query.id,
+            )
+        try:
+            elastic = self.engine._elastic_for(query)
+        except ExecutionError:
+            return
+        for unit in elastic.units():
+            stage = query.stages[unit.knob_stage]
+            if stage.finished:
+                continue
+            target = min(
+                elastic.tuner.max_stage_dop,
+                max(stage.stage_dop + 1, stage.stage_dop * 2),
+            )
+            if target <= stage.stage_dop:
+                continue
+            try:
+                elastic.ap(unit.knob_stage, target)
+            except TuningRejected:
+                continue
+
+    # -- admission hooks ----------------------------------------------------
+    def admission_plan(
+        self,
+        sql: str,
+        options: "QueryOptions",
+        deadline: float | None,
+    ) -> tuple["QueryOptions", Prediction | None, float | None]:
+        """Admission-time decision: returns ``(options', prediction,
+        miss)`` where a non-None ``miss`` means "reject: P(deadline
+        miss) exceeds the configured bound" and ``options'`` carries any
+        pre-granted per-stage DOPs."""
+        prediction = self.predict_sql(sql, options)
+        if prediction is None:
+            return options, None, None
+        cfg = self.config
+        if deadline is not None and cfg.max_miss_probability is not None:
+            miss = prediction.miss_probability(deadline)
+            if miss > cfg.max_miss_probability:
+                self.slo_rejections += 1
+                return options, prediction, miss
+        if cfg.pregrant:
+            options = self.pregrant_options(options, prediction, deadline)
+        return options, prediction, None
+
+    def pregrant_options(
+        self,
+        options: "QueryOptions",
+        prediction: Prediction,
+        deadline: float | None,
+    ) -> "QueryOptions":
+        """Pre-granted per-stage DOPs: each stage wide enough to finish
+        its predicted CPU work within ``pregrant_target_fraction`` of the
+        predicted runtime (or of the deadline, when that is tighter),
+        clamped to the fleet's free cores by a deterministic widest-first
+        decrement."""
+        base = prediction.runtime
+        if deadline is not None and 0 < deadline < base:
+            base = deadline
+        target = max(base * self.config.pregrant_target_fraction, 1e-6)
+        dops: dict[int, int] = {}
+        for demand in prediction.stages:
+            want = (
+                math.ceil(demand.cpu_seconds / target)
+                if demand.cpu_seconds > 0 else 1
+            )
+            dops[demand.stage] = max(1, min(self.config.max_stage_dop, want))
+        cap = max(1, self.engine.cluster.schedulable_cores())
+        while sum(dops.values()) > cap and any(d > 1 for d in dops.values()):
+            widest = min(
+                (sid for sid, d in dops.items() if d > 1),
+                key=lambda sid: (-dops[sid], sid),
+            )
+            dops[widest] -= 1
+        if all(d <= 1 for d in dops.values()):
+            # Nothing beyond the reactive defaults: leave options alone
+            # so admission's planned-cores accounting is unchanged.
+            return options
+        self.pregrants += 1
+        merged = dict(options.stage_dops)
+        merged.update(dops)
+        return replace(options, stage_dops=merged)
+
+    def pregrant_memory(self, prediction: Prediction) -> int | None:
+        """Predicted memory budget, or None when pre-granting is off."""
+        if not self.config.pregrant:
+            return None
+        return max(
+            MIN_MEMORY_PREGRANT,
+            int(prediction.peak_memory_bytes * self.config.memory_headroom),
+        )
+
+    # -- placement hook -----------------------------------------------------
+    def place(self, stage: "StageExecution"):
+        """Dominant-remaining-resource placement for a predicted stage.
+
+        Returns the chosen node and reserves its predicted per-task
+        memory in the ledger, or None to fall back to least-loaded."""
+        if not self.config.placement:
+            return None
+        prediction = stage.query.prediction
+        if prediction is None:
+            return None
+        demand = prediction.demand(stage.id)
+        if demand is None:
+            return None
+        per_task_bytes = demand.peak_memory_bytes // max(1, demand.tasks)
+        best = None
+        best_score = None
+        for node in sorted(
+            self.engine.cluster.schedulable_compute, key=lambda n: n.id
+        ):
+            reserved = self._node_reserved.get(node.id, 0)
+            cpu_frac = (node.task_count + 1) / max(1, node.spec.cores)
+            mem_frac = (
+                (reserved + per_task_bytes) / max(1, node.spec.memory_bytes)
+            )
+            if mem_frac > 1.0:
+                continue
+            score = max(cpu_frac, mem_frac)
+            if best_score is None or score < best_score:
+                best, best_score = node, score
+        if best is None:
+            return None
+        self.drr_placements += 1
+        self._node_reserved[best.id] = (
+            self._node_reserved.get(best.id, 0) + per_task_bytes
+        )
+        self._query_reservations.setdefault(stage.query.id, []).append(
+            (best.id, per_task_bytes)
+        )
+        return best
+
+    # -- observability ------------------------------------------------------
+    def stats(self) -> dict:
+        out = self.store.stats()
+        out.update({
+            "recorded": self.recorded,
+            "predictions": self.predictions_served,
+            "pregrants": self.pregrants,
+            "drr_placements": self.drr_placements,
+            "reprovisions": self.reprovisions,
+            "slo_rejections": self.slo_rejections,
+        })
+        return out

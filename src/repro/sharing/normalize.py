@@ -77,7 +77,7 @@ _ORDER_FREE_AGGS = ("count", "min", "max", "sum", "avg")
 
 
 # -- expression canonicalisation --------------------------------------------
-def expr_key(expr: BoundExpr) -> str:
+def expr_key(expr: BoundExpr, literals: bool = True) -> str:
     """Deterministic canonical form of a bound expression.
 
     Two expressions with equal keys are semantically equivalent (the
@@ -86,18 +86,30 @@ def expr_key(expr: BoundExpr) -> str:
     evaluation results are *not* applied to arithmetic over floats —
     only comparisons and boolean connectives are reordered, which are
     result-exact under any order.
+
+    ``literals=False`` parameterizes constants out (``price > 10`` and
+    ``price > 20`` share one key, with the literal's *type* kept so
+    schema changes still separate) — the query-*template* form used by
+    ``repro.predict`` to key demand history.  Exact folding and the
+    result cache always use ``literals=True``.
     """
     if isinstance(expr, InputRef):
         # The name is cosmetic; position + type is the identity.
         return f"${expr.index}"
     if isinstance(expr, Constant):
+        if not literals:
+            return f"lit:{expr.type.value}:?"
         return f"lit:{expr.type.value}:{expr.value!r}"
     if isinstance(expr, Arithmetic):
-        return f"({expr_key(expr.left)}{expr.op}{expr_key(expr.right)})"
+        left = expr_key(expr.left, literals)
+        right = expr_key(expr.right, literals)
+        return f"({left}{expr.op}{right})"
     if isinstance(expr, Negate):
-        return f"(neg {expr_key(expr.operand)})"
+        return f"(neg {expr_key(expr.operand, literals)})"
     if isinstance(expr, Comparison):
-        op, lhs, rhs = expr.op, expr_key(expr.left), expr_key(expr.right)
+        op = expr.op
+        lhs = expr_key(expr.left, literals)
+        rhs = expr_key(expr.right, literals)
         if op in (">", ">="):
             # a > b  ==  b < a: one canonical direction.
             op = "<" if op == ">" else "<="
@@ -107,29 +119,41 @@ def expr_key(expr: BoundExpr) -> str:
         return f"({lhs} {op} {rhs})"
     if isinstance(expr, (BoolAnd, BoolOr)):
         tag = "and" if isinstance(expr, BoolAnd) else "or"
-        keys = sorted(expr_key(t) for t in _flatten(expr, type(expr)))
+        keys = sorted(
+            expr_key(t, literals) for t in _flatten(expr, type(expr))
+        )
         return f"({tag} {' '.join(keys)})"
     if isinstance(expr, BoolNot):
-        return f"(not {expr_key(expr.operand)})"
+        return f"(not {expr_key(expr.operand, literals)})"
     if isinstance(expr, InSet):
-        options = ",".join(sorted(repr(o) for o in expr.options))
-        return f"(in {expr_key(expr.value)} [{options}])"
+        if literals:
+            options = ",".join(sorted(repr(o) for o in expr.options))
+        else:
+            # Keep the cardinality: IN over 2 vs. 200 options is a
+            # different template (very different selectivity/cost).
+            options = ",".join("?" * len(expr.options))
+        return f"(in {expr_key(expr.value, literals)} [{options}])"
     if isinstance(expr, LikeMatch):
         neg = "!" if expr.negated else ""
-        return f"(like{neg} {expr_key(expr.value)} {expr.pattern!r})"
+        pattern = repr(expr.pattern) if literals else "?"
+        return f"(like{neg} {expr_key(expr.value, literals)} {pattern})"
     if isinstance(expr, IsNull):
         neg = "!" if expr.negated else ""
-        return f"(isnull{neg} {expr_key(expr.value)})"
+        return f"(isnull{neg} {expr_key(expr.value, literals)})"
     if isinstance(expr, CaseWhen):
         whens = " ".join(
-            f"{expr_key(cond)}:{expr_key(value)}" for cond, value in expr.whens
+            f"{expr_key(cond, literals)}:{expr_key(value, literals)}"
+            for cond, value in expr.whens
         )
-        default = expr_key(expr.default) if expr.default is not None else "-"
+        default = (
+            expr_key(expr.default, literals)
+            if expr.default is not None else "-"
+        )
         return f"(case {whens} else {default})"
     if isinstance(expr, ExtractDatePart):
-        return f"(extract {expr.unit} {expr_key(expr.source)})"
+        return f"(extract {expr.unit} {expr_key(expr.source, literals)})"
     if isinstance(expr, Cast):
-        return f"(cast {expr.type.value} {expr_key(expr.value)})"
+        return f"(cast {expr.type.value} {expr_key(expr.value, literals)})"
     # Unknown node kinds fall back to the dataclass repr, which is
     # deterministic (frozen dataclasses of plain values).
     return f"?{expr!r}"
@@ -157,13 +181,19 @@ def agg_key(call: AggregateCall) -> str:
 
 
 # -- plan fingerprints -------------------------------------------------------
-def plan_key(node: LogicalNode) -> tuple:
+def plan_key(node: LogicalNode, literals: bool = True) -> tuple:
     """Stable, hashable fingerprint of a logical plan.
 
     Consecutive ``Filter`` nodes are flattened and their conjuncts sorted
     by :func:`expr_key`, so predicate order (as written in SQL) does not
     change the fingerprint.  Output column *names* are part of project /
     aggregate keys: result schemas are user-visible.
+
+    ``literals=False`` produces the query-*template* fingerprint: filter
+    and projection literals are parameterized out (see :func:`expr_key`)
+    while every structural element — tables, column sets, join shape,
+    aggregate calls, output names, Limit/TopN counts — still
+    participates, so schema or option changes never collide.
     """
     if isinstance(node, LogicalScan):
         return ("scan", node.table, tuple(node.column_indexes))
@@ -175,15 +205,15 @@ def plan_key(node: LogicalNode) -> tuple:
             child = child.child
         return (
             "filter",
-            tuple(sorted(expr_key(c) for c in conjuncts)),
-            plan_key(child),
+            tuple(sorted(expr_key(c, literals) for c in conjuncts)),
+            plan_key(child, literals),
         )
     if isinstance(node, LogicalProject):
         return (
             "project",
-            tuple(expr_key(e) for e in node.exprs),
+            tuple(expr_key(e, literals) for e in node.exprs),
             tuple(node.schema.names()),
-            plan_key(node.child),
+            plan_key(node.child, literals),
         )
     if isinstance(node, LogicalAggregate):
         return (
@@ -191,7 +221,7 @@ def plan_key(node: LogicalNode) -> tuple:
             tuple(node.group_keys),
             tuple(agg_key(a) for a in node.aggregates),
             tuple(node.schema.names()),
-            plan_key(node.child),
+            plan_key(node.child, literals),
         )
     if isinstance(node, LogicalJoin):
         return (
@@ -199,21 +229,27 @@ def plan_key(node: LogicalNode) -> tuple:
             node.join_type.value,
             tuple(node.left_keys),
             tuple(node.right_keys),
-            expr_key(node.residual) if node.residual is not None else None,
-            plan_key(node.left),
-            plan_key(node.right),
+            (
+                expr_key(node.residual, literals)
+                if node.residual is not None else None
+            ),
+            plan_key(node.left, literals),
+            plan_key(node.right, literals),
         )
     if isinstance(node, LogicalSort):
-        return ("sort", tuple(node.sort_keys), plan_key(node.child))
+        return ("sort", tuple(node.sort_keys), plan_key(node.child, literals))
     if isinstance(node, LogicalTopN):
-        return ("topn", node.count, tuple(node.sort_keys), plan_key(node.child))
+        return (
+            "topn", node.count, tuple(node.sort_keys),
+            plan_key(node.child, literals),
+        )
     if isinstance(node, LogicalLimit):
-        return ("limit", node.count, plan_key(node.child))
+        return ("limit", node.count, plan_key(node.child, literals))
     # Future node kinds: identity by class name + child keys (coarse but
     # safe — at worst it prevents a fold).
     return (
         type(node).__name__,
-        tuple(plan_key(c) for c in node.children()),
+        tuple(plan_key(c, literals) for c in node.children()),
     )
 
 

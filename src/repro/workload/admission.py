@@ -112,6 +112,21 @@ class AdmissionController:
         from ..cluster.coordinator import QueryOptions
 
         options = options or QueryOptions()
+        predictor = self.engine.predict_service
+        prediction = None
+        if predictor is not None:
+            # Demand prediction at the admission gate (DESIGN.md §16):
+            # possibly rewrite the options with pre-granted stage DOPs,
+            # pre-size the memory budget, or reject on P(deadline miss).
+            options, prediction, miss = predictor.admission_plan(
+                sql, options, deadline
+            )
+            if miss is not None:
+                return self._reject_predicted_miss(
+                    session, sql, deadline, prediction, miss
+                )
+            if prediction is not None and memory_bytes is None:
+                memory_bytes = predictor.pregrant_memory(prediction)
         plan = self.engine.coordinator.plan_sql(sql, options)
         cores = planned_cores(plan, options, self.engine.config)
         memory = (
@@ -137,6 +152,39 @@ class AdmissionController:
         self._pump()
         if self.manager.autoscaler is not None:
             self.manager.autoscaler.ensure_tick()
+        return handle
+
+    def _reject_predicted_miss(
+        self, session, sql, deadline, prediction, miss
+    ) -> QueryHandle:
+        """SLO rejection before queueing: the runtime estimate + variance
+        says this query cannot plausibly meet its deadline.  The handle
+        is terminal immediately; the structured error carries the
+        prediction so the caller can renegotiate (retry with a looser
+        deadline or after warming more history)."""
+        handle = QueryHandle(self.engine, sql=sql)
+        record = self.manager.new_record(session.tenant, sql, deadline)
+        record.state = "rejected"
+        record.finished_at = self.kernel.now
+        self.submitted += 1
+        self.rejected += 1
+        error = QueryRejectedError(
+            f"tenant {session.tenant!r}: predicted deadline-miss "
+            f"probability {miss:.3f} exceeds "
+            f"{self.engine.config.prediction.max_miss_probability} "
+            f"(predicted runtime {prediction.runtime:.2f}s +- "
+            f"{prediction.std:.2f}s vs deadline {deadline:.2f}s)",
+            tenant=session.tenant,
+            reason="predicted-miss",
+            prediction=prediction,
+        )
+        handle._reject(error)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "workload", "admission:rejected", node="coordinator",
+                tenant=session.tenant, reason="predicted-miss",
+            )
         return handle
 
     # -- queue dynamics -----------------------------------------------------

@@ -97,6 +97,10 @@ class TenantStats:
         return _percentile(sorted(self.latencies), 0.95)
 
     @property
+    def p99_latency(self) -> float:
+        return _percentile(sorted(self.latencies), 0.99)
+
+    @property
     def mean_queue_wait(self) -> float:
         if not self.queue_waits:
             return 0.0
@@ -121,6 +125,10 @@ class WorkloadReport:
     #: Sharing-layer deltas for the run window (folds, cache hits/misses,
     #: pages saved, carriers, unshared) — empty when sharing is disabled.
     sharing: dict = field(default_factory=dict)
+    #: Prediction-layer deltas for the run window (runs recorded,
+    #: predictions served, pre-grants, DRR placements, reprovisions,
+    #: SLO rejections) — empty when prediction is disabled.
+    predict: dict = field(default_factory=dict)
 
     def throughput(self, tenant: str) -> float:
         if self.horizon <= 0:
@@ -144,6 +152,7 @@ class WorkloadReport:
             "arbiter": dict(self.arbiter),
             "cluster": dict(self.cluster),
             "sharing": dict(self.sharing),
+            "predict": dict(self.predict),
             "violations": list(self.violations),
             "tenants": {
                 name: {
@@ -155,6 +164,7 @@ class WorkloadReport:
                     "mean_latency": s.mean_latency,
                     "p50_latency": s.p50_latency,
                     "p95_latency": s.p95_latency,
+                    "p99_latency": s.p99_latency,
                     "mean_queue_wait": s.mean_queue_wait,
                     "throughput": self.throughput(name),
                     "deadline_met": s.deadline_met,
@@ -221,6 +231,16 @@ class WorkloadReport:
                 f"carriers={s.get('carriers', 0)} "
                 f"effective_qps={self.effective_qps:.4f}"
             )
+        if self.predict:
+            d = self.predict
+            lines.append(
+                f"predict: recorded={d.get('recorded', 0)} "
+                f"served={d.get('predictions', 0)} "
+                f"pregrants={d.get('pregrants', 0)} "
+                f"drr={d.get('drr_placements', 0)} "
+                f"reprovisions={d.get('reprovisions', 0)} "
+                f"slo_rejections={d.get('slo_rejections', 0)}"
+            )
         return "\n".join(lines)
 
 
@@ -272,6 +292,10 @@ class Workload:
             self.engine.sharing.snapshot()
             if self.engine.sharing is not None else None
         )
+        predict_baseline = (
+            self.engine.predict_service.stats()
+            if self.engine.predict_service is not None else None
+        )
         for index, spec in enumerate(self.specs):
             session = manager.session(
                 spec.name, priority=spec.priority, deadline=spec.deadline
@@ -299,9 +323,15 @@ class Workload:
             sharing = {
                 k: current[k] - sharing_baseline[k] for k in sorted(current)
             }
+        predict = {}
+        if predict_baseline is not None:
+            current = self.engine.predict_service.stats()
+            predict = {
+                k: current[k] - predict_baseline[k] for k in sorted(current)
+            }
         return self._report(
             manager.records[baseline_records:], horizon, manager, start,
-            sharing=sharing,
+            sharing=sharing, predict=predict,
         )
 
     # ------------------------------------------------------------------
@@ -365,6 +395,7 @@ class Workload:
     def _report(
         self, records: list[QueryRecord], horizon: float, manager,
         start: float = 0.0, sharing: dict | None = None,
+        predict: dict | None = None,
     ) -> WorkloadReport:
         tenants: dict[str, TenantStats] = {}
         for spec in self.specs:
@@ -415,4 +446,5 @@ class Workload:
             violations=list(manager.admission.violations),
             cluster=cluster,
             sharing=dict(sharing) if sharing else {},
+            predict=dict(predict) if predict else {},
         )

@@ -112,7 +112,7 @@ def test_prediction_formula(catalog):
     engine, query, elastic = start_q3(catalog)
     run_until_cond(engine, builds_ready(query, 1))
     engine.run_for(3.0)
-    pred = elastic.predict(1, 4)
+    pred = elastic.estimate(1, 4)
     assert pred is not None
     assert pred.current_dop == 1
     expected = max(0.0, pred.t_remain - pred.t_tuning) / pred.n_f + pred.t_tuning
@@ -127,7 +127,7 @@ def test_prediction_accuracy_shape(catalog):
     engine, query, elastic = start_q3(catalog, initial_stage_dop=2, initial_task_dop=2)
     run_until_cond(engine, builds_ready(query, 1))
     engine.run_for(3.0)
-    pred = elastic.predict(1, 6)
+    pred = elastic.estimate(1, 6)
     if pred is None:
         pytest.skip("no rate observable yet at this scale")
     elastic.ap(1, 6)
@@ -152,7 +152,7 @@ def test_speedup_capped_by_cpu_headroom(catalog):
     engine, query, elastic = start_q3(catalog)
     run_until_cond(engine, builds_ready(query, 1))
     engine.run_for(3.0)
-    pred = elastic.predict(1, 1000)
+    pred = elastic.estimate(1, 1000)
     assert pred is not None
     assert pred.n_f < 1000  # the paper's "no 1000x requests" guard
     engine.run_until_done(query, 1e6)

@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Predictive smoke: learned demand profiles must pay off and stay exact.
+
+Runs the same seeded multi-tenant workload in two modes on identical
+catalogs — reactive (deadline arbitration only, PR 5's behaviour) and
+predictive (``EngineConfig.with_prediction()`` on top) — and checks the
+contract of ``repro.predict`` (DESIGN.md §16):
+
+1. **Inertness**: with prediction *disabled*, the same-seed
+   :class:`~repro.WorkloadReport` renders byte-identical to an engine
+   that has no prediction section configured at all.
+2. **Prediction actually engaged**: the predictive measured window
+   served predictions and applied at least one pre-grant and one
+   demand-aware (DRR) placement.
+3. **Identical answers**: every measured submission returns the same
+   rows the reactive run returns for the same submission; float
+   aggregates are compared to within accumulation-order tolerance,
+   since pre-granted DOPs legitimately reorder partial sums.
+4. **It pays off**: after a warmup window accumulates history, the
+   predictive measured window beats the reactive one on *both* makespan
+   and overall p99 latency.
+
+Both modes run a warmup window followed by a measured window (same
+seed), so plan caches are warm in both; only the predictive engine
+carries demand history into its measured window.
+
+Exit status 0 on success, 1 with a summary on any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/predict_smoke.py [--scale 0.01]
+        [--seed 20250807] [--count 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro import (
+    AccordionEngine,
+    Catalog,
+    CostModel,
+    EngineConfig,
+    PoissonArrivals,
+    Workload,
+)
+
+#: Analyst-style mix: templated aggregations whose literals vary per
+#: query (exercising template grouping) with total ORDER BY, so row
+#: order is canonical at any DOP.
+QUERY_MIX = [
+    "select l_returnflag, l_linestatus, count(*), sum(l_quantity) "
+    "from lineitem where l_quantity > {lit} "
+    "group by l_returnflag, l_linestatus "
+    "order by l_returnflag, l_linestatus",
+    "select l_orderkey, sum(l_extendedprice), count(*) from lineitem "
+    "where l_quantity > {lit} group by l_orderkey order by l_orderkey",
+    "select o_orderstatus, count(*), sum(o_totalprice) from orders "
+    "where o_totalprice > {lit} group by o_orderstatus "
+    "order by o_orderstatus",
+]
+
+
+def build_engine(catalog: Catalog, mode: str) -> AccordionEngine:
+    # CPU costs scaled up so queries are execution-bound (DOP matters);
+    # virtual seconds are free, wall clock is unchanged.
+    config = EngineConfig(cost=CostModel().scaled(300.0)).with_workload(
+        arbitration="deadline"
+    )
+    if mode == "predictive":
+        config = config.with_prediction()
+    elif mode == "disabled":
+        config = config.with_prediction(enabled=False)
+    return AccordionEngine(catalog, config=config)
+
+
+def run_window(engine: AccordionEngine, seed: int, count: int):
+    """One seeded workload window; returns (report, ordered rows)."""
+    workload = Workload(engine, seed=seed)
+    for index, tenant in enumerate(("bi", "analysts")):
+        queries = [
+            q.format(lit=3 * index + i) for i, q in enumerate(QUERY_MIX)
+        ]
+        # A burst well above the service rate: the horizon measures
+        # execution under contention, not the arrival window.
+        workload.add_tenant(
+            tenant, queries, PoissonArrivals(rate=50.0, count=count),
+            deadline=60.0,
+        )
+    report = workload.run()
+    rows = [handle.result().rows for handle in workload.handles]
+    return report, rows
+
+
+def rows_equal(left, right) -> bool:
+    """Exact on counts, keys and ints; floats within 1e-9 relative
+    (partial-aggregate order differs across DOPs)."""
+    if len(left) != len(right):
+        return False
+    for row_a, row_b in zip(left, right):
+        if len(row_a) != len(row_b):
+            return False
+        for a, b in zip(row_a, row_b):
+            if isinstance(a, float) and isinstance(b, float):
+                if not math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9):
+                    return False
+            elif a != b:
+                return False
+    return True
+
+
+def overall_p99(report) -> float:
+    latencies = sorted(
+        lat for s in report.tenants.values() for lat in s.latencies
+    )
+    if not latencies:
+        return 0.0
+    index = min(len(latencies) - 1, round(0.99 * (len(latencies) - 1)))
+    return latencies[index]
+
+
+def run_mode(catalog: Catalog, mode: str, seed: int, count: int):
+    """Warmup window + measured window on one engine."""
+    engine = build_engine(catalog, mode)
+    run_window(engine, seed, count)
+    report, rows = run_window(engine, seed, count)
+    return engine, report, rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=20250807)
+    parser.add_argument("--count", type=int, default=6,
+                        help="queries per tenant per window (two tenants)")
+    args = parser.parse_args()
+
+    catalog = Catalog.tpch(scale=args.scale, seed=args.seed)
+    _, reactive_report, reactive_rows = run_mode(
+        catalog, "reactive", args.seed, args.count
+    )
+    _, disabled_report, _ = run_mode(
+        catalog, "disabled", args.seed, args.count
+    )
+    predictive_engine, predictive_report, predictive_rows = run_mode(
+        catalog, "predictive", args.seed, args.count
+    )
+
+    failures = []
+    if disabled_report.render() != reactive_report.render():
+        failures.append(
+            "prediction disabled is not inert: same-seed reports differ"
+        )
+    stats = predictive_engine.predict_service.stats()
+    if stats["pregrants"] < 1:
+        failures.append(f"no pre-grants were applied: {stats}")
+    if stats["drr_placements"] < 1:
+        failures.append(f"no demand-aware placements happened: {stats}")
+    mismatched = [
+        i for i, (a, b) in enumerate(zip(reactive_rows, predictive_rows))
+        if not rows_equal(a, b)
+    ]
+    if len(reactive_rows) != len(predictive_rows) or mismatched:
+        failures.append(
+            f"predictive answers differ from reactive at "
+            f"submissions {mismatched}"
+        )
+    makespan_gain = reactive_report.horizon / max(
+        predictive_report.horizon, 1e-12
+    )
+    reactive_p99 = overall_p99(reactive_report)
+    predictive_p99 = overall_p99(predictive_report)
+    p99_gain = reactive_p99 / max(predictive_p99, 1e-12)
+    if makespan_gain <= 1.0:
+        failures.append(
+            f"predictive makespan {predictive_report.horizon:.3f}s is not "
+            f"better than reactive {reactive_report.horizon:.3f}s"
+        )
+    if p99_gain <= 1.0:
+        failures.append(
+            f"predictive p99 {predictive_p99:.3f}s is not better than "
+            f"reactive {reactive_p99:.3f}s"
+        )
+
+    print(
+        f"SF{args.scale} seed={args.seed}: "
+        f"{len(predictive_rows)} measured queries, "
+        f"served={stats['predictions']} pregrants={stats['pregrants']} "
+        f"drr={stats['drr_placements']} reprovisions={stats['reprovisions']}"
+    )
+    print(
+        f"makespan {reactive_report.horizon:.3f}s -> "
+        f"{predictive_report.horizon:.3f}s ({makespan_gain:.2f}x), "
+        f"p99 {reactive_p99:.3f}s -> {predictive_p99:.3f}s "
+        f"({p99_gain:.2f}x)"
+    )
+    if failures:
+        print("\nPREDICT SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("predict smoke OK: inert when off, identical answers, "
+          "faster makespan and p99 with warm history")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
